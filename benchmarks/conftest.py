@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artifacts (a
+table or a figure) and prints it, while pytest-benchmark times the run.
+``REPRO_BENCH_SCENARIOS`` controls the number of random scenarios averaged
+per point (default 3; the paper used 40 — set it to 40 for a full-fidelity,
+much slower run). ``REPRO_BENCH_FULL=1`` additionally uses the paper's full
+sweep grids instead of the trimmed defaults.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def n_scenarios(default: int = 3) -> int:
+    return int(os.environ.get("REPRO_BENCH_SCENARIOS", default))
+
+
+def full_sweeps() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def show():
+    """Print a rendered experiment table below the benchmark output."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return it.
+
+    The experiments are deterministic and expensive; one timed round is
+    both honest and sufficient.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

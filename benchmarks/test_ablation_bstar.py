@@ -1,0 +1,44 @@
+"""Ablation: BLA's B* guessing budget and the local-search finish.
+
+The paper says to try "several (a constant number)" of B* values; this
+bench sweeps the number of guesses (plus bisection refinement) and toggles
+the local-search rebalancing pass, measuring the achieved max load
+against the unconstrained cover.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.core.bla import solve_bla
+from repro.scenarios.presets import fig12_users_sweep
+
+CONFIGS = (
+    ("1 guess, no LS", dict(n_guesses=1, refine_steps=0, local_search=False)),
+    ("4 guesses, no LS", dict(n_guesses=4, refine_steps=0, local_search=False)),
+    ("12 guesses + refine, no LS", dict(n_guesses=12, refine_steps=12, local_search=False)),
+    ("12 guesses + refine + LS", dict(n_guesses=12, refine_steps=12, local_search=True)),
+)
+
+
+def run_ablation(n_runs: int):
+    results = {name: [] for name, _ in CONFIGS}
+    for point in fig12_users_sweep(n_runs, users=(40,)):
+        for scenario in point.scenarios:
+            problem = scenario.problem()
+            for name, kwargs in CONFIGS:
+                results[name].append(solve_bla(problem, **kwargs).max_load)
+    return {name: sum(vals) / len(vals) for name, vals in results.items()}
+
+
+def test_ablation_bstar(benchmark, show):
+    means = run_once(benchmark, run_ablation, n_scenarios())
+    show("== BLA ablation: mean max load by search budget ==")
+    for name, _ in CONFIGS:
+        show(f"  {name:<28} {means[name]:.4f}")
+    # more search never hurts on average (same instances, nested effort)
+    assert means["12 guesses + refine, no LS"] <= means["1 guess, no LS"] + 1e-9
+    # the local-search finish is the single biggest lever
+    assert (
+        means["12 guesses + refine + LS"]
+        <= means["12 guesses + refine, no LS"] + 1e-9
+    )

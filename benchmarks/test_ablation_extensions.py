@@ -1,0 +1,138 @@
+"""Ablation: the Section-8 extensions.
+
+* Lock-based coordination: plain simultaneous rounds vs lock-gated
+  simultaneous rounds (convergence rate and quality).
+* Adaptive power control: MLA total load with one power level vs three.
+* Implicit interference optimization: MLA/BLA reduce the total co-channel
+  interference metric relative to SSA, as the paper asserts (footnote 7).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.core.distributed import run_distributed
+from repro.core.locks import run_locked_simultaneous
+from repro.core.mla import solve_mla
+from repro.core.power import PowerLevel, expand_with_power_levels
+from repro.core.ssa import solve_ssa
+from repro.radio.interference import InterferenceMap, build_conflict_graph
+from repro.scenarios.generator import generate
+
+
+def run_lock_ablation(n_runs: int):
+    rows = []
+    for seed in range(n_runs):
+        problem = generate(
+            n_aps=30, n_users=60, n_sessions=5, seed=seed,
+            budget=math.inf,
+        ).problem()
+        plain = run_distributed(
+            problem, "mla", mode="simultaneous", max_rounds=60
+        )
+        locked = run_locked_simultaneous(problem, "mla", max_rounds=60)
+        rows.append(
+            {
+                "plain_converged": plain.converged,
+                "locked_converged": locked.converged,
+                "plain_total": plain.assignment.total_load(),
+                "locked_total": locked.assignment.total_load(),
+            }
+        )
+    return rows
+
+
+def run_power_ablation(n_runs: int):
+    rows = []
+    for seed in range(n_runs):
+        scenario = generate(
+            n_aps=20, n_users=40, n_sessions=3, seed=seed, budget=math.inf
+        )
+        nominal = expand_with_power_levels(
+            scenario.ap_positions,
+            scenario.user_positions,
+            scenario.model,
+            scenario.sessions,
+            scenario.user_sessions,
+            levels=[PowerLevel("nominal", 1.0)],
+        )
+        adaptive = expand_with_power_levels(
+            scenario.ap_positions,
+            scenario.user_positions,
+            scenario.model,
+            scenario.sessions,
+            scenario.user_sessions,
+        )
+        rows.append(
+            {
+                "nominal": solve_mla(nominal.problem).total_load,
+                "adaptive": solve_mla(adaptive.problem).total_load,
+            }
+        )
+    return rows
+
+
+def run_interference_ablation(n_runs: int):
+    rows = []
+    for seed in range(n_runs):
+        scenario = generate(
+            n_aps=40, n_users=80, n_sessions=5, seed=seed, budget=math.inf
+        )
+        problem = scenario.problem()
+        imap = InterferenceMap(
+            build_conflict_graph(scenario.ap_positions, 400.0)
+        )
+        mla_loads = dict(enumerate(solve_mla(problem).assignment.loads()))
+        import random
+
+        ssa_loads = dict(
+            enumerate(
+                solve_ssa(problem, rng=random.Random(seed)).assignment.loads()
+            )
+        )
+        rows.append(
+            {
+                "mla_interference": imap.total_interference(mla_loads),
+                "ssa_interference": imap.total_interference(ssa_loads),
+            }
+        )
+    return rows
+
+
+def test_locks_vs_plain_simultaneous(benchmark, show):
+    rows = run_once(benchmark, run_lock_ablation, n_scenarios())
+    locked_ok = sum(r["locked_converged"] for r in rows)
+    plain_ok = sum(r["plain_converged"] for r in rows)
+    show(
+        f"== locks ablation: converged {locked_ok}/{len(rows)} (locked) vs "
+        f"{plain_ok}/{len(rows)} (plain simultaneous) =="
+    )
+    assert locked_ok == len(rows)  # locks always converge
+    for row in rows:
+        if row["plain_converged"]:
+            # same family of local optima: quality comparable
+            assert row["locked_total"] <= 1.5 * row["plain_total"] + 1e-9
+
+
+def test_power_control_reduces_load(benchmark, show):
+    rows = run_once(benchmark, run_power_ablation, n_scenarios())
+    mean_nominal = sum(r["nominal"] for r in rows) / len(rows)
+    mean_adaptive = sum(r["adaptive"] for r in rows) / len(rows)
+    show(
+        f"== power ablation: mean MLA total load {mean_nominal:.3f} (fixed) "
+        f"vs {mean_adaptive:.3f} (3 power levels) =="
+    )
+    for row in rows:
+        assert row["adaptive"] <= row["nominal"] + 1e-9
+
+
+def test_mla_implicitly_reduces_interference(benchmark, show):
+    rows = run_once(benchmark, run_interference_ablation, n_scenarios())
+    mla = sum(r["mla_interference"] for r in rows) / len(rows)
+    ssa = sum(r["ssa_interference"] for r in rows) / len(rows)
+    show(
+        f"== interference ablation: co-channel interference metric "
+        f"{mla:.4f} (MLA) vs {ssa:.4f} (SSA) =="
+    )
+    assert mla <= ssa + 1e-9

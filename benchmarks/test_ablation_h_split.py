@@ -1,0 +1,57 @@
+"""Ablation: MNU's H1/H2 split and the augmentation pass.
+
+DESIGN.md calls out two design choices in Centralized MNU: the budget-
+repair split (mandatory for feasibility, costs up to half the coverage)
+and the optional greedy augmentation that re-adds dropped users. This
+bench quantifies both against the ILP optimum on Fig-12c-sized instances.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.core.mnu import solve_mnu
+from repro.core.optimal import solve_mnu_optimal
+from repro.scenarios.presets import FIG12C_BUDGET, fig12_users_sweep
+
+
+def run_ablation(n_runs: int):
+    rows = []
+    for point in fig12_users_sweep(
+        n_runs, users=(20, 40), budget=FIG12C_BUDGET
+    ):
+        for scenario in point.scenarios:
+            problem = scenario.problem()
+            raw = solve_mnu(problem, split=False)
+            split = solve_mnu(problem, split=True)
+            augmented = solve_mnu(problem, split=True, augment=True)
+            optimal = solve_mnu_optimal(problem)
+            rows.append(
+                {
+                    "users": point.x,
+                    "raw_greedy_served": raw.n_served,
+                    "raw_feasible": not raw.assignment.violations(),
+                    "split_served": split.n_served,
+                    "augmented_served": augmented.n_served,
+                    "optimal_served": optimal.assignment.n_served,
+                }
+            )
+    return rows
+
+
+def test_ablation_h_split(benchmark, show):
+    rows = run_once(benchmark, run_ablation, n_scenarios())
+    show("== MNU ablation: raw greedy vs H1/H2 split vs +augmentation ==")
+    for row in rows:
+        show(
+            f"  users={row['users']:>3}: raw={row['raw_greedy_served']}"
+            f" (feasible={row['raw_feasible']}), split={row['split_served']},"
+            f" +aug={row['augmented_served']}, opt={row['optimal_served']}"
+        )
+    for row in rows:
+        # the split trades coverage for feasibility ...
+        assert row["split_served"] <= row["raw_greedy_served"]
+        # ... augmentation wins (some of) it back without losing feasibility
+        assert row["augmented_served"] >= row["split_served"]
+        assert row["augmented_served"] <= row["optimal_served"]
+        # Theorem 2's guarantee
+        assert 8 * row["split_served"] >= row["optimal_served"]

@@ -1,0 +1,48 @@
+"""Ablation: the same-(AP, session) min-rate merge repair.
+
+The covering reductions may select several sets of one (AP, session) at
+different rates; physically the AP sends the stream once, at the minimum
+rate. This bench measures how much the derived (merged) load undercuts
+the planned (additive) cost of the greedy set cover — i.e. how much the
+repair is worth — and, relatedly, how much multi-rate multicast buys over
+the 802.11-standard basic-rate-only regime.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.core.mla import solve_mla
+from repro.scenarios.presets import fig9a_users_sweep
+
+
+def run_ablation(n_runs: int):
+    rows = []
+    for point in fig9a_users_sweep(n_runs, users=(200,)):
+        for scenario in point.scenarios:
+            problem = scenario.problem()
+            solution = solve_mla(problem)
+            basic = solve_mla(problem.basic_rate_only(6.0))
+            rows.append(
+                {
+                    "planned_cost": solution.cover.total_cost,
+                    "merged_load": solution.total_load,
+                    "basic_rate_load": basic.total_load,
+                }
+            )
+    return rows
+
+
+def test_ablation_rate_merge(benchmark, show):
+    rows = run_once(benchmark, run_ablation, n_scenarios())
+    mean_planned = sum(r["planned_cost"] for r in rows) / len(rows)
+    mean_merged = sum(r["merged_load"] for r in rows) / len(rows)
+    mean_basic = sum(r["basic_rate_load"] for r in rows) / len(rows)
+    show("== MLA ablation: planned vs merged load; multi-rate vs basic ==")
+    show(f"  planned (additive) cost : {mean_planned:.3f}")
+    show(f"  merged (derived) load   : {mean_merged:.3f}")
+    show(f"  basic-rate-only load    : {mean_basic:.3f}")
+    for row in rows:
+        # the merge repair never increases load
+        assert row["merged_load"] <= row["planned_cost"] + 1e-9
+        # multi-rate multicast beats (or ties) basic-rate-only
+        assert row["merged_load"] <= row["basic_rate_load"] + 1e-9

@@ -1,0 +1,74 @@
+"""Extension bench: online maintenance under churn — quality vs stability.
+
+Users join and leave over time; the online controller maintains the
+association with one of three repair scopes. Expected trade-off: wider
+repair -> lower total load (closer to the from-scratch distributed
+optimum) but more handoffs per event. ``none`` must be the most stable,
+``full`` the highest quality.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.core.distributed import run_distributed
+from repro.core.online import OnlineController, generate_churn_trace
+from repro.scenarios.generator import generate
+
+SCOPES = ("none", "local", "full")
+
+
+def run_churn(n_runs: int):
+    stats = {scope: {"load": 0.0, "handoffs": 0.0} for scope in SCOPES}
+    scratch_load = 0.0
+    runs = 0
+    for seed in range(n_runs):
+        problem = generate(
+            n_aps=25, n_users=60, n_sessions=4, seed=seed
+        ).problem()
+        trace = generate_churn_trace(
+            problem, 120, join_bias=0.65, rng=random.Random(seed)
+        )
+        final_active = None
+        for scope in SCOPES:
+            controller = OnlineController(
+                problem, "mla", repair=scope, rng=random.Random(seed + 1)
+            )
+            result = controller.run(trace)
+            stats[scope]["load"] += result.final.total_load
+            stats[scope]["handoffs"] += result.handoffs_per_event()
+            final_active = set(controller.active)
+        # from-scratch reference on the same final active set
+        sub, _ = problem.restricted_to_users(sorted(final_active))
+        scratch = run_distributed(sub, "mla", rng=random.Random(seed + 2))
+        scratch_load += scratch.assignment.total_load()
+        runs += 1
+    return {
+        "scopes": {
+            scope: {k: v / runs for k, v in values.items()}
+            for scope, values in stats.items()
+        },
+        "scratch_load": scratch_load / runs,
+    }
+
+
+def test_churn_stability(benchmark, show):
+    outcome = run_once(benchmark, run_churn, n_scenarios())
+    show("== churn ablation: repair scope vs quality and stability ==")
+    for scope in SCOPES:
+        row = outcome["scopes"][scope]
+        show(
+            f"  repair={scope:<6} final total load {row['load']:.3f}, "
+            f"handoffs/event {row['handoffs']:.3f}"
+        )
+    show(f"  from-scratch distributed reference load {outcome['scratch_load']:.3f}")
+    scopes = outcome["scopes"]
+    # stability ordering: none <= local <= full handoffs
+    assert scopes["none"]["handoffs"] <= scopes["local"]["handoffs"] + 1e-9
+    assert scopes["local"]["handoffs"] <= scopes["full"]["handoffs"] + 1e-9
+    # quality ordering (aggregate): full <= local <= none
+    assert scopes["full"]["load"] <= scopes["local"]["load"] + 1e-9
+    assert scopes["local"]["load"] <= scopes["none"]["load"] + 1e-9
+    # full repair tracks the from-scratch reference closely
+    assert scopes["full"]["load"] <= 1.1 * outcome["scratch_load"] + 1e-9

@@ -1,0 +1,81 @@
+"""Extension bench: centralized vs distributed control over the protocol.
+
+The paper prefers distributed control at scale because centralized control
+"will lead to more frequent changes in associations causing increased
+signaling traffic over the wireless links". This bench runs the same
+scenarios under both control planes and reports quality (total load),
+handoffs and over-the-air management frames per station-minute.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.net.controller import make_centralized
+from repro.net.wlan import WlanConfig, WlanSimulation
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+
+HORIZON_S = 600.0
+
+
+def run_comparison(n_runs: int):
+    rows = []
+    for seed in range(n_runs):
+        scenario = generate(
+            n_aps=10, n_users=24, n_sessions=4, seed=seed,
+            area=Area.square(550),
+        )
+
+        d_sim = WlanSimulation(
+            scenario, WlanConfig(policy="mla", max_time_s=HORIZON_S)
+        )
+        d_sim.run()
+        d_sim.sim.run(until=HORIZON_S)
+
+        c_sim, controller = make_centralized(
+            scenario,
+            "mla",
+            config=WlanConfig(policy="mla", max_time_s=HORIZON_S),
+            controller_period_s=30.0,
+        )
+        c_sim.run()
+        c_sim.sim.run(until=HORIZON_S)
+
+        minutes = HORIZON_S / 60.0 * scenario.n_users
+        rows.append(
+            {
+                "d_load": d_sim.current_assignment().total_load(),
+                "c_load": c_sim.current_assignment().total_load(),
+                "d_frames_rate": d_sim.medium.frames_sent / minutes,
+                "c_frames_rate": c_sim.medium.frames_sent / minutes,
+                "d_handoffs": sum(s.handoffs for s in d_sim.stations),
+                "c_handoffs": sum(s.handoffs for s in c_sim.stations),
+                "directives": controller.stats.directives_sent,
+            }
+        )
+    return rows
+
+
+def test_control_plane(benchmark, show):
+    rows = run_once(benchmark, run_comparison, n_scenarios())
+    mean = lambda key: sum(r[key] for r in rows) / len(rows)  # noqa: E731
+    show("== control plane: distributed vs centralized (same scenarios) ==")
+    show(
+        f"  total load        : distributed {mean('d_load'):.3f} vs "
+        f"centralized {mean('c_load'):.3f}"
+    )
+    show(
+        f"  frames / sta-min  : distributed {mean('d_frames_rate'):.1f} vs "
+        f"centralized {mean('c_frames_rate'):.1f}"
+    )
+    show(
+        f"  handoffs          : distributed {mean('d_handoffs'):.1f} vs "
+        f"centralized {mean('c_handoffs'):.1f} "
+        f"(directives {mean('directives'):.1f})"
+    )
+    # quality: both control planes land in the same ballpark
+    assert mean("c_load") <= 1.25 * mean("d_load") + 1e-9
+    assert mean("d_load") <= 1.25 * mean("c_load") + 1e-9
+    # everything converged to serving everyone
+    for row in rows:
+        assert row["d_load"] > 0 and row["c_load"] > 0

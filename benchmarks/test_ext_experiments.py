@@ -1,0 +1,58 @@
+"""The four extension experiments as asserted benchmarks.
+
+Mirrors ``python -m repro.eval run ext`` with the shape checks that make
+regressions loud: multicast-aware control must dominate every naive
+metric, hotspots must not erase the BLA edge, the basic-rate regime must
+stay ordered, and the LP certificates must stay informative at scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.eval.extensions import (
+    ext_baselines,
+    ext_basic_rate,
+    ext_certificates,
+    ext_hotspot,
+)
+from repro.eval.reporting import format_table
+
+
+def test_ext_baselines(benchmark, show):
+    result = run_once(benchmark, ext_baselines, n_scenarios(), users=(100, 200))
+    show(format_table(result))
+    for point in result.points:
+        c_mla = point.stats["c-mla"].mean
+        for naive in ("ssa", "least-load", "least-users", "random"):
+            assert c_mla <= point.stats[naive].mean + 1e-9
+        # the load-blind spreaders fragment sessions: clearly worse than SSA
+        assert point.stats["least-load"].mean > point.stats["ssa"].mean
+        assert point.stats["random"].mean > point.stats["ssa"].mean
+
+
+def test_ext_hotspot(benchmark, show):
+    result = run_once(benchmark, ext_hotspot, n_scenarios(), users=(60, 120))
+    show(format_table(result))
+    for point in result.points:
+        assert point.stats["c-bla"].mean <= point.stats["ssa"].mean + 1e-9
+        assert point.stats["d-bla"].mean <= point.stats["ssa"].mean + 1e-9
+
+
+def test_ext_basic_rate(benchmark, show):
+    result = run_once(
+        benchmark, ext_basic_rate, n_scenarios(), users=(100, 200)
+    )
+    show(format_table(result))
+    for point in result.points:
+        assert point.stats["c-mla"].mean <= point.stats["ssa"].mean + 1e-9
+        assert point.stats["d-mla"].mean <= point.stats["ssa"].mean + 1e-9
+
+
+def test_ext_certificates(benchmark, show):
+    result = run_once(
+        benchmark, ext_certificates, n_scenarios(), users=(100, 200)
+    )
+    show(format_table(result))
+    for point in result.points:
+        assert 0 <= point.stats["c-mla gap"].mean < 0.5
+        assert 0 <= point.stats["c-bla gap"].mean < 3.0

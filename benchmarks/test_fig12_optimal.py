@@ -1,0 +1,51 @@
+"""Figure 12: heuristics vs exact ILP optima on small networks.
+
+30 APs on a 600 m square, 10–50 users. (a) total load / MLA, (b) max load
+/ BLA, (c) unsatisfied users / MNU with budget 0.042. Expected shape: the
+optimum lower-bounds (resp. for (c), lower-bounds the unsatisfied count
+of) every heuristic, with both MLA variants within tens of percent of it
+(paper: +25 % / +22 % at 30 users for MLA, +12 % / +23 % at 40 users for
+BLA) and SSA clearly worst.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_sweeps, n_scenarios, run_once
+from repro.eval.figures import fig12a, fig12b, fig12c
+from repro.eval.reporting import format_comparison, format_table
+
+USERS_SMALL = (10, 30, 50)
+USERS_FULL = (10, 20, 30, 40, 50)
+
+
+def users():
+    return USERS_FULL if full_sweeps() else USERS_SMALL
+
+
+def test_fig12a_total_load_vs_optimal(benchmark, show):
+    result = run_once(benchmark, fig12a, n_scenarios(), users=users())
+    show(format_table(result))
+    show(format_comparison(result, baseline="opt-mla"))
+    for point in result.points:
+        optimum = point.stats["opt-mla"].mean
+        for algorithm in ("c-mla", "d-mla", "ssa"):
+            assert point.stats[algorithm].mean >= optimum - 1e-9
+
+
+def test_fig12b_max_load_vs_optimal(benchmark, show):
+    result = run_once(benchmark, fig12b, n_scenarios(), users=users())
+    show(format_table(result))
+    show(format_comparison(result, baseline="opt-bla"))
+    for point in result.points:
+        optimum = point.stats["opt-bla"].mean
+        for algorithm in ("c-bla", "d-bla", "ssa"):
+            assert point.stats[algorithm].mean >= optimum - 1e-9
+
+
+def test_fig12c_unsatisfied_vs_optimal(benchmark, show):
+    result = run_once(benchmark, fig12c, n_scenarios(), users=users())
+    show(format_table(result))
+    for point in result.points:
+        optimum = point.stats["opt-mnu"].mean
+        for algorithm in ("c-mnu", "d-mnu", "ssa-budget"):
+            assert point.stats[algorithm].mean >= optimum - 1e-9

@@ -1,0 +1,49 @@
+"""Figure 9: total AP load for multicast (MLA vs SSA).
+
+(a) varies users (200 APs), (b) varies APs (100 users), (c) varies
+sessions (200 APs, 200 users). Expected shape, per the paper: centralized
+and distributed MLA sit well below SSA (up to ~31 % / ~30 % at 400 users),
+the distributed variant within a few percent of the centralized one; total
+load grows with users and sessions and falls with AP density.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_sweeps, n_scenarios, run_once
+from repro.eval.figures import fig9a, fig9b, fig9c
+from repro.eval.reporting import format_comparison, format_table
+
+
+def test_fig9a_users(benchmark, show):
+    users = (50, 100, 200, 300, 400) if not full_sweeps() else (
+        50, 100, 150, 200, 250, 300, 350, 400
+    )
+    result = run_once(benchmark, fig9a, n_scenarios(), users=users)
+    show(format_table(result))
+    show(format_comparison(result, baseline="ssa"))
+    for point in result.points:
+        assert point.stats["c-mla"].mean <= point.stats["ssa"].mean + 1e-9
+        assert point.stats["d-mla"].mean <= point.stats["ssa"].mean + 1e-9
+    # total load grows with the number of users
+    series = result.series("c-mla")
+    assert series[-1] > series[0]
+
+
+def test_fig9b_aps(benchmark, show):
+    aps = (50, 100, 200) if not full_sweeps() else (50, 75, 100, 125, 150, 175, 200)
+    result = run_once(benchmark, fig9b, n_scenarios(), aps=aps)
+    show(format_table(result))
+    # denser APs -> higher link rates -> lower total load
+    series = result.series("c-mla")
+    assert series[-1] < series[0]
+
+
+def test_fig9c_sessions(benchmark, show):
+    sessions = (1, 4, 8) if not full_sweeps() else (1, 2, 4, 6, 8, 10)
+    result = run_once(benchmark, fig9c, n_scenarios(), sessions=sessions)
+    show(format_table(result))
+    # more sessions -> more transmissions -> higher total load
+    series = result.series("c-mla")
+    assert series[-1] > series[0]
+    for point in result.points:
+        assert point.stats["c-mla"].mean <= point.stats["ssa"].mean + 1e-9

@@ -1,0 +1,85 @@
+"""Extension bench: the Section-3 revenue models, objective by objective.
+
+The paper motivates each objective with a revenue function; this bench
+checks the circle closes: each algorithm earns the most (vs SSA, in
+aggregate) under *its own* revenue model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.core.bla import solve_bla
+import math
+
+from repro.core.fairness import (
+    concave_unicast_revenue,
+    pay_per_view_revenue,
+    per_byte_unicast_revenue,
+    worst_unicast_share,
+)
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.ssa import solve_ssa
+from repro.scenarios.generator import generate
+
+
+def run_revenues(n_runs: int):
+    totals = {
+        "mnu": {"alg": 0.0, "ssa": 0.0},
+        "bla": {"alg": 0.0, "ssa": 0.0},
+        "bla-worst": {"alg": 0.0, "ssa": 0.0},
+        "mla": {"alg": 0.0, "ssa": 0.0},
+    }
+    # Strongly concave utility: close to the max-min fairness the paper's
+    # BLA argument (via Kelly et al.) is really about. Mildly concave
+    # utilities can prefer SSA when balancing costs extra transmissions.
+    strongly_concave = lambda x: math.log(x + 0.05)  # noqa: E731
+    for seed in range(n_runs):
+        # MNU setting: tight budgets, pay-per-view revenue
+        tight = generate(
+            n_aps=40, n_users=120, n_sessions=8, seed=seed, budget=0.05
+        ).problem()
+        mnu = solve_mnu(tight, augment=True).assignment
+        ssa_b = solve_ssa(
+            tight, enforce_budgets=True, rng=random.Random(seed)
+        ).assignment
+        totals["mnu"]["alg"] += pay_per_view_revenue(mnu)
+        totals["mnu"]["ssa"] += pay_per_view_revenue(ssa_b)
+
+        # BLA/MLA setting: no budgets, unicast revenue models
+        problem = generate(
+            n_aps=40, n_users=120, n_sessions=8, seed=seed
+        ).problem()
+        ssa = solve_ssa(problem, rng=random.Random(seed)).assignment
+        counts = [2] * problem.n_aps  # uniform unicast users, per the paper
+        bla = solve_bla(problem, n_guesses=8, refine_steps=6).assignment
+        totals["bla"]["alg"] += concave_unicast_revenue(
+            bla, counts, utility=strongly_concave
+        )
+        totals["bla"]["ssa"] += concave_unicast_revenue(
+            ssa, counts, utility=strongly_concave
+        )
+        totals["bla-worst"]["alg"] += worst_unicast_share(bla, counts)
+        totals["bla-worst"]["ssa"] += worst_unicast_share(ssa, counts)
+        mla = solve_mla(problem).assignment
+        totals["mla"]["alg"] += per_byte_unicast_revenue(mla)
+        totals["mla"]["ssa"] += per_byte_unicast_revenue(ssa)
+    return totals
+
+
+def test_revenue_models(benchmark, show):
+    totals = run_once(benchmark, run_revenues, n_scenarios())
+    show("== revenue models: each objective vs SSA under its own model ==")
+    for name, label in (
+        ("mnu", "MNU / pay-per-view"),
+        ("bla", "BLA / strongly concave utility"),
+        ("bla-worst", "BLA / worst unicast share"),
+        ("mla", "MLA / per-byte unicast"),
+    ):
+        alg, ssa = totals[name]["alg"], totals[name]["ssa"]
+        gain = (alg - ssa) / abs(ssa) if ssa else 0.0
+        show(f"  {label:<32} {alg:10.2f} vs {ssa:10.2f}  ({gain:+.1%})")
+    for name in totals:
+        assert totals[name]["alg"] >= totals[name]["ssa"] - 1e-9

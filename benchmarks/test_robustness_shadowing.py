@@ -1,0 +1,62 @@
+"""Robustness study: do the gains survive lognormal shadowing?
+
+The paper's simulations use the clean distance-threshold rate model. Real
+links scatter around it. This bench regenerates the Fig-9a/10a operating
+point under the log-distance model with increasing shadowing sigma and
+checks the qualitative result — association control beats SSA — holds at
+every sigma.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import n_scenarios, run_once
+from repro.eval.metrics import run_algorithm
+from repro.radio.propagation import LogDistancePropagation
+from repro.scenarios.generator import generate
+
+SIGMAS_DB = (0.0, 4.0, 8.0)
+
+
+def run_study(n_runs: int):
+    rows = {}
+    for sigma in SIGMAS_DB:
+        totals = {"c-mla": 0.0, "d-mla": 0.0, "c-bla-max": 0.0, "ssa": 0.0,
+                  "ssa-max": 0.0}
+        for seed in range(n_runs):
+            model = LogDistancePropagation(
+                shadowing_sigma_db=sigma, seed=seed
+            )
+            problem = generate(
+                n_aps=100,
+                n_users=200,
+                n_sessions=5,
+                seed=seed,
+                model=model,
+                budget=math.inf,
+            ).problem()
+            totals["c-mla"] += run_algorithm("c-mla", problem, seed=seed).total_load
+            totals["d-mla"] += run_algorithm("d-mla", problem, seed=seed).total_load
+            totals["ssa"] += run_algorithm("ssa", problem, seed=seed).total_load
+            totals["c-bla-max"] += run_algorithm(
+                "c-bla", problem, seed=seed
+            ).max_load
+            totals["ssa-max"] += run_algorithm("ssa", problem, seed=seed).max_load
+        rows[sigma] = {k: v / n_runs for k, v in totals.items()}
+    return rows
+
+
+def test_robustness_to_shadowing(benchmark, show):
+    rows = run_once(benchmark, run_study, n_scenarios())
+    show("== shadowing robustness: mean loads by sigma (dB) ==")
+    for sigma, row in rows.items():
+        show(
+            f"  sigma={sigma:>3}: total c-mla {row['c-mla']:.3f} / d-mla "
+            f"{row['d-mla']:.3f} / ssa {row['ssa']:.3f}; "
+            f"max c-bla {row['c-bla-max']:.3f} / ssa {row['ssa-max']:.3f}"
+        )
+    for sigma, row in rows.items():
+        assert row["c-mla"] <= row["ssa"] + 1e-9, sigma
+        assert row["d-mla"] <= row["ssa"] + 1e-9, sigma
+        assert row["c-bla-max"] <= row["ssa-max"] + 1e-9, sigma

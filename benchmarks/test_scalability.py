@@ -1,0 +1,63 @@
+"""Solver scalability: runtime vs network size.
+
+Not a paper figure — due diligence for a library release. Times each
+centralized algorithm and the distributed dynamics across growing
+deployments and asserts sane growth (no accidental quadratic blowups in
+the greedy loops' incremental bookkeeping).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from benchmarks.conftest import run_once
+from repro.eval.metrics import run_algorithm
+from repro.scenarios.generator import PAPER_AREA, generate
+
+SIZES = ((50, 100), (100, 200), (200, 400))  # (APs, users)
+ALGORITHMS = ("ssa", "c-mla", "d-mla", "c-bla", "d-bla")
+
+
+def run_scaling():
+    rows = []
+    for n_aps, n_users in SIZES:
+        problem = generate(
+            n_aps=n_aps,
+            n_users=n_users,
+            n_sessions=5,
+            seed=0,
+            area=PAPER_AREA,
+            budget=math.inf,
+        ).problem()
+        timings = {}
+        for algorithm in ALGORITHMS:
+            start = time.perf_counter()
+            run_algorithm(algorithm, problem, seed=0)
+            timings[algorithm] = time.perf_counter() - start
+        rows.append(((n_aps, n_users), timings))
+    return rows
+
+
+def test_scalability(benchmark, show):
+    rows = run_once(benchmark, run_scaling)
+    show("== solver runtime (s) by deployment size ==")
+    header = "  (APs, users)   " + "".join(f"{a:>10}" for a in ALGORITHMS)
+    show(header)
+    for size, timings in rows:
+        show(
+            f"  {str(size):<15}"
+            + "".join(f"{timings[a]:>10.3f}" for a in ALGORITHMS)
+        )
+    # every algorithm finishes the paper's largest setting quickly
+    largest = rows[-1][1]
+    for algorithm in ALGORITHMS:
+        assert largest[algorithm] < 30.0, algorithm
+    # growth sanity: 4x the instance should cost well under 100x the time
+    # (the incremental greedy stays far from cubic). The small-instance
+    # time is floored at 50 ms so scheduler noise on sub-ms runs cannot
+    # inflate the ratio.
+    for algorithm in ALGORITHMS:
+        small = max(rows[0][1][algorithm], 0.05)
+        big = rows[-1][1][algorithm]
+        assert big / small < 100.0, algorithm

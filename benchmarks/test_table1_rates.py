@@ -1,0 +1,36 @@
+"""Table 1: transmission rate vs distance threshold (802.11a).
+
+Regenerates the paper's Table 1 from the rate-table substrate and checks
+it row-for-row; times a full rate-lookup sweep across the deployment area.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.radio.rates import dot11a_table
+
+PAPER_TABLE_1 = {6: 200, 12: 145, 18: 105, 24: 85, 36: 60, 48: 40, 54: 35}
+
+
+def render_table1() -> str:
+    table = dot11a_table()
+    rates = "  ".join(f"{s.rate_mbps:>4g}" for s in table)
+    dists = "  ".join(f"{s.max_distance_m:>4g}" for s in table)
+    return (
+        "== Table 1: Transmission Rate vs. Distance Threshold ==\n"
+        f"Rate (Mbps)            {rates}\n"
+        f"Distance Threshold (m) {dists}"
+    )
+
+
+def test_table1(benchmark, show):
+    def regenerate():
+        table = dot11a_table()
+        # exercise the lookup path across the whole area at 1 m resolution
+        lookups = [table.rate_at(d) for d in range(0, 250)]
+        return table, lookups
+
+    table, lookups = run_once(benchmark, regenerate)
+    assert {s.rate_mbps: s.max_distance_m for s in table} == PAPER_TABLE_1
+    assert lookups[0] == 54 and lookups[200] == 6 and lookups[201] is None
+    show(render_table1())

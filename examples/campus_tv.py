@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Campus TV: streaming a heterogeneous channel lineup to a dense campus.
+
+The paper's motivating service — local news / visitor info / TV channels
+over a large WLAN. This example uses a *heterogeneous* lineup (SD 0.5 Mbps,
+standard 1 Mbps, HD 2 Mbps channels) with Zipf-skewed popularity (everyone
+watches the news channel), and shows:
+
+1. how much unicast airtime each association policy leaves per AP, and
+2. how the answer shifts when HD channels dominate demand.
+
+Run:  python examples/campus_tv.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import MulticastAssociationProblem, solve_bla, solve_mla, solve_ssa
+from repro.scenarios import (
+    assign_sessions,
+    generate,
+    tv_lineup,
+    zipf_weights,
+)
+
+
+def build_problem(seed: int, skew: float) -> MulticastAssociationProblem:
+    base = generate(n_aps=60, n_users=150, n_sessions=1, seed=seed)
+    lineup = tv_lineup(n_channels=6)
+    rng = random.Random(seed + 1000)
+    requests = assign_sessions(
+        base.n_users, len(lineup), rng, weights=zipf_weights(len(lineup), skew)
+    )
+    return MulticastAssociationProblem.from_geometry(
+        base.ap_positions,
+        base.user_positions,
+        base.model,
+        lineup,
+        requests,
+    )
+
+
+def report(label: str, problem: MulticastAssociationProblem) -> None:
+    ssa = solve_ssa(problem, rng=random.Random(0)).assignment
+    mla = solve_mla(problem).assignment
+    bla = solve_bla(problem).assignment
+    print(f"\n--- {label} ---")
+    print(f"{'policy':<18}{'total load':>12}{'max AP load':>14}"
+          f"{'worst-AP unicast airtime':>28}")
+    for name, a in (("SSA", ssa), ("MLA", mla), ("BLA", bla)):
+        worst_unicast = 1.0 - a.max_load()
+        print(
+            f"{name:<18}{a.total_load():>12.3f}{a.max_load():>14.3f}"
+            f"{worst_unicast:>27.1%}"
+        )
+
+
+def main() -> None:
+    print("Campus TV lineup:", [
+        f"{s.name}@{s.rate_mbps:g}Mbps" for s in tv_lineup(6)
+    ])
+    # balanced viewing: mild popularity skew
+    report("mild popularity skew (zipf 1.0)", build_problem(seed=3, skew=1.0))
+    # everyone on the two most popular channels
+    report("heavy popularity skew (zipf 2.5)", build_problem(seed=3, skew=2.5))
+    print(
+        "\nTakeaway: with skewed demand most APs carry the same popular"
+        "\nchannels under SSA; association control consolidates viewers of a"
+        "\nchannel onto fewer APs (MLA) or spreads airtime evenly (BLA),"
+        "\nleaving more — and more predictable — airtime for unicast."
+    )
+
+
+if __name__ == "__main__":
+    main()

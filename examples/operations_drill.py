@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Operations drill: plan a deployment, certify quality, survive failures.
+
+A day in the life of a WLAN operator using this library end to end:
+
+1. **Plan** — size the AP count for double coverage (association control
+   needs overlap to have any freedom) and verify it with the coverage
+   analyzer.
+2. **Optimize & certify** — run MLA, then *prove* how close to optimal it
+   is at full scale using the LP certificate (no exponential ILP needed).
+3. **Churn** — users join and leave; the online controller keeps the
+   association good and we watch the stability/quality trade-off.
+4. **Fail** — two APs die mid-operation in the live protocol simulator;
+   displaced stations re-scan and re-home on surviving APs.
+
+Run:  python examples/operations_drill.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Area, WlanConfig, WlanSimulation
+from repro.core import (
+    OnlineController,
+    generate_churn_trace,
+    solve_mla,
+)
+from repro.core.bounds import quality_certificate
+from repro.net import crash_and_measure
+from repro.radio import ThresholdPropagation
+from repro.radio.coverage import analyze_coverage, recommend_ap_count
+from repro.scenarios import generate, grid_aps
+
+
+def plan(area: Area, model: ThresholdPropagation) -> int:
+    n_aps = recommend_ap_count(area, model, target_depth=2)
+    report = analyze_coverage(area, grid_aps(area, n_aps), model)
+    print("1) planning")
+    print(f"   recommended APs for depth-2 coverage : {n_aps}")
+    print(f"   covered area                         : {report.covered_fraction:.1%}")
+    print(f"   mean coverage depth                  : {report.mean_coverage_depth:.2f}")
+    print(f"   area with >=2 APs (control freedom)  : {report.depth_fraction(2):.1%}")
+    print(f"   mean best link rate                  : {report.mean_best_rate_mbps:.1f} Mbps")
+    return n_aps
+
+
+def optimize_and_certify(n_aps: int, area: Area) -> None:
+    scenario = generate(
+        n_aps=n_aps, n_users=150, n_sessions=5, seed=42, area=area
+    )
+    problem = scenario.problem()
+    solution = solve_mla(problem)
+    certificate = quality_certificate(solution.assignment, "mla")
+    print("\n2) optimize & certify (150 users)")
+    print(f"   MLA total multicast load             : {certificate.achieved:.3f}")
+    print(f"   LP lower bound on the optimum        : {certificate.lp_bound:.3f}")
+    print(f"   certified optimality gap             : <= {certificate.gap:.1%}")
+
+
+def churn(n_aps: int, area: Area) -> None:
+    problem = generate(
+        n_aps=n_aps, n_users=120, n_sessions=5, seed=43, area=area
+    ).problem()
+    trace = generate_churn_trace(problem, 200, rng=random.Random(1))
+    print("\n3) churn (200 join/leave events)")
+    for scope in ("none", "local", "full"):
+        controller = OnlineController(
+            problem, "mla", repair=scope, rng=random.Random(2)
+        )
+        result = controller.run(trace)
+        print(
+            f"   repair={scope:<6} final load {result.final.total_load:.3f}, "
+            f"handoffs/event {result.handoffs_per_event():.2f}"
+        )
+
+
+def failure_drill(area: Area) -> None:
+    scenario = generate(
+        n_aps=14, n_users=40, n_sessions=4, seed=44, area=Area.square(700)
+    )
+    sim = WlanSimulation(scenario, WlanConfig(policy="mla", max_time_s=600.0))
+    report = crash_and_measure(sim, failed_aps=[0, 1])
+    print("\n4) failure drill (APs 0 and 1 crash)")
+    print(f"   users served before the crash        : {report.before.n_served}/40")
+    print(f"   users displaced by the crash         : {report.displaced_users}")
+    print(f"   displaced users re-homed             : {report.recovered_users}")
+    print(f"   users served after re-convergence    : {report.after.n_served}/40")
+
+
+def main() -> None:
+    area = Area.square(900)
+    model = ThresholdPropagation()
+    n_aps = plan(area, model)
+    optimize_and_certify(n_aps, area)
+    churn(n_aps, area)
+    failure_drill(area)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` as an editable-install fallback where
+``pip install -e .`` cannot build a wheel (e.g. offline machines without
+the ``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

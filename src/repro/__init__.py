@@ -1,0 +1,94 @@
+"""repro — multicast association control for large-scale WLANs.
+
+A full reproduction of Chen, Lee & Sinha, *Optimizing Multicast Performance
+in Large-Scale WLANs* (ICDCS 2007): the MNU / BLA / MLA association-control
+problems, their centralized approximation algorithms and distributed
+protocols, a discrete-event WLAN simulation substrate, scenario generation,
+exact ILP solvers, and the paper's full evaluation harness.
+
+Quickstart::
+
+    from repro import generate, solve_mla, solve_ssa
+
+    scenario = generate(n_aps=50, n_users=100, n_sessions=5, seed=7)
+    problem = scenario.problem()
+    print("SSA total load:", solve_ssa(problem).assignment.total_load())
+    print("MLA total load:", solve_mla(problem).assignment.total_load())
+"""
+
+from repro import io
+from repro.core import (
+    Assignment,
+    CoverageError,
+    InfeasibleAssignmentError,
+    ModelError,
+    MulticastAssociationProblem,
+    ReproError,
+    Session,
+    SolverError,
+    run_distributed,
+    run_locked_simultaneous,
+    solve_bla,
+    solve_bla_optimal,
+    solve_mla,
+    solve_mla_optimal,
+    solve_mnu,
+    solve_mnu_optimal,
+    solve_ssa,
+)
+from repro.core.bounds import (
+    QualityCertificate,
+    bla_lp_bound,
+    mla_lp_bound,
+    mnu_lp_bound,
+    quality_certificate,
+)
+from repro.net import WlanConfig, WlanSimulation, simulate
+from repro.radio import (
+    Area,
+    Point,
+    RateTable,
+    ThresholdPropagation,
+    dot11a_table,
+)
+from repro.scenarios import Scenario, generate, generate_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Area",
+    "Assignment",
+    "CoverageError",
+    "InfeasibleAssignmentError",
+    "ModelError",
+    "MulticastAssociationProblem",
+    "Point",
+    "QualityCertificate",
+    "RateTable",
+    "ReproError",
+    "Scenario",
+    "Session",
+    "SolverError",
+    "ThresholdPropagation",
+    "WlanConfig",
+    "WlanSimulation",
+    "__version__",
+    "bla_lp_bound",
+    "dot11a_table",
+    "generate",
+    "generate_batch",
+    "io",
+    "mla_lp_bound",
+    "mnu_lp_bound",
+    "quality_certificate",
+    "run_distributed",
+    "run_locked_simultaneous",
+    "simulate",
+    "solve_bla",
+    "solve_bla_optimal",
+    "solve_mla",
+    "solve_mla_optimal",
+    "solve_mnu",
+    "solve_mnu_optimal",
+    "solve_ssa",
+]

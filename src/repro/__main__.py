@@ -1,0 +1,115 @@
+"""``python -m repro`` — installation self-check.
+
+Verifies, in a few seconds, that the installed package reproduces the
+paper's worked examples end to end: the Figure-1 traces for all three
+objectives (centralized, distributed, exact), the Figure-4 oscillation
+and its lock-based fix, and a tiny protocol-simulation run. Exits 0 on
+success; prints the first failed check otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+
+def _check(name: str, condition: bool) -> None:
+    status = "ok" if condition else "FAILED"
+    print(f"  [{status:^6}] {name}")
+    if not condition:
+        raise SystemExit(f"self-check failed at: {name}")
+
+
+def main() -> int:
+    import repro
+    from repro import (
+        MulticastAssociationProblem,
+        Session,
+        WlanConfig,
+        WlanSimulation,
+        run_distributed,
+        run_locked_simultaneous,
+        solve_bla,
+        solve_bla_optimal,
+        solve_mla,
+        solve_mla_optimal,
+        solve_mnu,
+        solve_mnu_optimal,
+    )
+    from repro.scenarios import Scenario, generate
+
+    print(f"repro {repro.__version__} self-check")
+
+    # the Figure-1 WLAN
+    def fig1(rate: float, budget: float = math.inf):
+        return MulticastAssociationProblem(
+            [[3, 6, 4, 4, 4], [0, 0, 5, 5, 3]],
+            [0, 1, 0, 1, 1],
+            [Session(0, rate), Session(1, rate)],
+            budgets=budget,
+        )
+
+    mnu_instance = fig1(3.0, budget=1.0)
+    load_instance = fig1(1.0)
+
+    _check(
+        "Centralized MNU trace (3 users on a1)",
+        solve_mnu(mnu_instance).assignment.ap_of_user == (None, 0, None, 0, 0),
+    )
+    _check(
+        "MNU optimum = 4 (ILP)",
+        solve_mnu_optimal(mnu_instance).objective == 4,
+    )
+    _check(
+        "Centralized MLA trace (total 7/12)",
+        abs(solve_mla(load_instance).total_load - 7 / 12) < 1e-9,
+    )
+    _check(
+        "MLA optimum = 7/12 (ILP)",
+        abs(solve_mla_optimal(load_instance).objective - 7 / 12) < 1e-9,
+    )
+    _check(
+        "Centralized BLA trace (max 7/12)",
+        abs(solve_bla(load_instance, local_search=False).max_load - 7 / 12)
+        < 1e-9,
+    )
+    _check(
+        "BLA optimum = 1/2 (ILP)",
+        abs(solve_bla_optimal(load_instance).objective - 0.5) < 1e-9,
+    )
+
+    # Figure 4: oscillation and the Section-8 fix
+    fig4 = MulticastAssociationProblem(
+        [[5, 4, 4, 0], [0, 4, 4, 5]], [0, 0, 0, 0], [Session(0, 1.0)]
+    )
+    oscillating = run_distributed(
+        fig4,
+        "mla",
+        mode="simultaneous",
+        initial=[0, 0, 1, 1],
+        shuffle_each_round=False,
+        max_rounds=50,
+    )
+    _check("Figure-4 simultaneous oscillation", oscillating.oscillated)
+    locked = run_locked_simultaneous(fig4, "mla", initial=[0, 0, 1, 1])
+    _check("lock-based coordination converges", locked.converged)
+
+    # tiny protocol run
+    scenario: Scenario = generate(
+        n_aps=6, n_users=12, n_sessions=2, seed=1,
+        area=repro.Area.square(450),
+    )
+    result = WlanSimulation(
+        scenario, WlanConfig(policy="mla", max_time_s=400.0)
+    ).run()
+    _check(
+        "protocol simulation converges and serves everyone",
+        result.converged and result.n_served == scenario.n_users,
+    )
+
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

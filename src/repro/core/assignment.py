@@ -1,0 +1,237 @@
+"""Assignments (association maps) and their induced loads.
+
+An :class:`Assignment` maps every user to the AP it is associated with (or
+``None`` when unserved). All load quantities are *derived* from the map: an
+AP serving session ``s`` transmits at the minimum link rate among its
+associated users requesting ``s``, so its load for that session is
+``session_rate / min_link_rate``. Deriving rather than storing loads makes
+it impossible for a solver to return an assignment whose claimed loads
+disagree with the model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.errors import InfeasibleAssignmentError, ModelError
+from repro.core.problem import MulticastAssociationProblem
+
+UNSERVED = None
+
+
+class Assignment:
+    """An immutable user -> AP association map with derived loads."""
+
+    def __init__(
+        self,
+        problem: MulticastAssociationProblem,
+        ap_of_user: Sequence[int | None],
+    ) -> None:
+        if len(ap_of_user) != problem.n_users:
+            raise ModelError(
+                f"assignment covers {len(ap_of_user)} users, "
+                f"problem has {problem.n_users}"
+            )
+        for user, ap in enumerate(ap_of_user):
+            if ap is None:
+                continue
+            if not 0 <= ap < problem.n_aps:
+                raise ModelError(f"user {user} assigned to unknown AP {ap}")
+        self._problem = problem
+        self._map: tuple[int | None, ...] = tuple(
+            None if a is None else int(a) for a in ap_of_user
+        )
+        # group served users per (ap, session)
+        groups: dict[tuple[int, int], list[int]] = {}
+        for user, ap in enumerate(self._map):
+            if ap is None:
+                continue
+            groups.setdefault((ap, problem.session_of(user)), []).append(user)
+        self._groups = groups
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, problem: MulticastAssociationProblem) -> "Assignment":
+        return cls(problem, [None] * problem.n_users)
+
+    def replace(self, user: int, ap: int | None) -> "Assignment":
+        """A copy with one user's association changed."""
+        new_map = list(self._map)
+        new_map[user] = ap
+        return Assignment(self._problem, new_map)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def problem(self) -> MulticastAssociationProblem:
+        return self._problem
+
+    @property
+    def ap_of_user(self) -> tuple[int | None, ...]:
+        return self._map
+
+    def ap_of(self, user: int) -> int | None:
+        return self._map[user]
+
+    def served_users(self) -> list[int]:
+        return [u for u, a in enumerate(self._map) if a is not None]
+
+    def unserved_users(self) -> list[int]:
+        return [u for u, a in enumerate(self._map) if a is None]
+
+    @property
+    def n_served(self) -> int:
+        return sum(1 for a in self._map if a is not None)
+
+    def users_on(self, ap: int, session: int | None = None) -> list[int]:
+        """Users associated with ``ap`` (optionally only one session's)."""
+        if session is not None:
+            return list(self._groups.get((ap, session), ()))
+        return [u for u, a in enumerate(self._map) if a == ap]
+
+    def sessions_on(self, ap: int) -> list[int]:
+        """Sessions ``ap`` is transmitting, ascending."""
+        return sorted(s for (a, s) in self._groups if a == ap)
+
+    # -- derived loads ---------------------------------------------------------
+
+    def tx_rate(self, ap: int, session: int) -> float | None:
+        """Rate ``ap`` transmits ``session`` at, or None if it doesn't.
+
+        The minimum of the associated users' link rates — every associated
+        user must be able to decode the stream.
+        """
+        users = self._groups.get((ap, session))
+        if not users:
+            return None
+        return min(self._problem.link_rate(ap, u) for u in users)
+
+    def load_of(self, ap: int) -> float:
+        """Multicast load of ``ap``: summed airtime of its sessions."""
+        load = 0.0
+        for (a, session), users in self._groups.items():
+            if a != ap:
+                continue
+            rate = min(self._problem.link_rate(a, u) for u in users)
+            if rate <= 0:
+                return math.inf  # an out-of-range user makes the AP unservable
+            load += self._problem.transmission_cost(session, rate)
+        return load
+
+    def loads(self) -> list[float]:
+        """Per-AP multicast loads."""
+        return [self.load_of(a) for a in range(self._problem.n_aps)]
+
+    def total_load(self) -> float:
+        """Summed multicast load across APs (the MLA objective)."""
+        return sum(self.loads())
+
+    def max_load(self) -> float:
+        """Maximum per-AP multicast load (the BLA objective)."""
+        return max(self.loads(), default=0.0)
+
+    def sorted_load_vector(self) -> tuple[float, ...]:
+        """Loads sorted non-increasing — the BLA comparison vector."""
+        return tuple(sorted(self.loads(), reverse=True))
+
+    # -- validation ------------------------------------------------------------
+
+    def violations(self, check_budgets: bool = True) -> list[str]:
+        """Human-readable model violations (empty when feasible)."""
+        problems: list[str] = []
+        for user, ap in enumerate(self._map):
+            if ap is not None and not self._problem.in_range(ap, user):
+                problems.append(f"user {user} is out of range of AP {ap}")
+        if check_budgets:
+            for ap in range(self._problem.n_aps):
+                load = self.load_of(ap)
+                budget = self._problem.budget_of(ap)
+                if load > budget + 1e-9:
+                    problems.append(
+                        f"AP {ap} load {load:.4f} exceeds budget {budget:.4f}"
+                    )
+        return problems
+
+    def validate(self, check_budgets: bool = True) -> "Assignment":
+        """Raise :class:`InfeasibleAssignmentError` on any violation."""
+        problems = self.violations(check_budgets)
+        if problems:
+            raise InfeasibleAssignmentError(problems)
+        return self
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self._problem is other._problem and self._map == other._map
+
+    def __hash__(self) -> int:
+        return hash(self._map)
+
+    def __repr__(self) -> str:
+        return (
+            f"Assignment(served={self.n_served}/{self._problem.n_users}, "
+            f"total_load={self.total_load():.4f}, max_load={self.max_load():.4f})"
+        )
+
+
+def from_selected_sets(
+    problem: MulticastAssociationProblem,
+    selections: Iterable[tuple[int, int, float, Iterable[int]]],
+) -> Assignment:
+    """Assignment from reduction output: ``(ap, session, tx_rate, users)``.
+
+    Each selected candidate set directs its users to associate with its AP.
+    When several selected sets contain the same user, the cheapest one (the
+    one with the highest transmit rate for the user's link) wins; this only
+    lowers loads. Transmit rates are re-derived from the final association,
+    so merging same-(AP, session) selections down to the minimum rate — the
+    repair step in DESIGN.md §6 — happens automatically.
+    """
+    ap_of_user: list[int | None] = [None] * problem.n_users
+    best_rate: list[float] = [-1.0] * problem.n_users
+    for ap, session, tx_rate, users in selections:
+        for user in users:
+            if problem.session_of(user) != session:
+                raise ModelError(
+                    f"user {user} does not request session {session}"
+                )
+            link = problem.link_rate(ap, user)
+            if link < tx_rate:
+                raise ModelError(
+                    f"user {user} cannot decode AP {ap} at {tx_rate} Mbps"
+                )
+            if link > best_rate[user]:
+                best_rate[user] = link
+                ap_of_user[user] = ap
+    return Assignment(problem, ap_of_user)
+
+
+def compare_load_vectors(
+    first: Sequence[float], second: Sequence[float]
+) -> int:
+    """Lexicographic comparison of sorted non-increasing load vectors.
+
+    Returns -1 / 0 / +1 as the paper's footnote 5 defines: compare the first
+    unequal pair; the vector with the smaller element is smaller.
+    """
+    a = sorted(first, reverse=True)
+    b = sorted(second, reverse=True)
+    if len(a) != len(b):
+        raise ModelError("can only compare equal-length load vectors")
+    for x, y in zip(a, b):
+        if not math.isclose(x, y, rel_tol=1e-12, abs_tol=1e-12):
+            return -1 if x < y else 1
+    return 0
+
+
+def served_counts_by_ap(assignment: Assignment) -> Mapping[int, int]:
+    """Number of served users per AP (reporting helper)."""
+    counts: dict[int, int] = {}
+    for ap in assignment.ap_of_user:
+        if ap is not None:
+            counts[ap] = counts.get(ap, 0) + 1
+    return counts

@@ -1,0 +1,152 @@
+"""Additional association baselines beyond strongest-signal.
+
+The paper's related work surveys alternative association metrics for
+*unicast* (Fukuda et al. use the number of associated users; Wang et al.
+mix load and SNR). None of them is multicast-aware, which is precisely the
+paper's point — they make useful extra baselines for the benchmarks:
+
+* :func:`solve_random` — uniform random in-range AP (a sanity floor);
+* :func:`solve_least_users` — join the in-range AP with the fewest
+  associated users (the [8]-style metric);
+* :func:`solve_least_load` — join the in-range AP with the smallest
+  *current multicast load*; load-aware but greedy-per-user and unaware of
+  session merging, unlike the paper's algorithms.
+
+All process users in a (seeded) random arrival order and support optional
+budget enforcement, mirroring :func:`repro.core.ssa.solve_ssa`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.core.distributed import AssociationState
+from repro.core.problem import MulticastAssociationProblem
+from repro.core.ssa import SsaSolution
+
+Chooser = Callable[
+    [MulticastAssociationProblem, AssociationState, int, list[int], random.Random],
+    int,
+]
+
+
+def _solve_with_chooser(
+    problem: MulticastAssociationProblem,
+    chooser: Chooser,
+    *,
+    enforce_budgets: bool,
+    arrival_order: Sequence[int] | None,
+    rng: random.Random | None,
+) -> SsaSolution:
+    rng = rng or random.Random()
+    if arrival_order is None:
+        order = list(range(problem.n_users))
+        rng.shuffle(order)
+    else:
+        order = list(arrival_order)
+        if sorted(order) != list(range(problem.n_users)):
+            raise ValueError("arrival_order must be a permutation of all users")
+    state = AssociationState(problem)
+    for user in order:
+        neighbors = problem.aps_of_user(user)
+        if enforce_budgets:
+            neighbors = [
+                ap
+                for ap in neighbors
+                if state.load_if_joined(user, ap)
+                <= problem.budget_of(ap) + 1e-12
+            ]
+        if not neighbors:
+            continue
+        state.move(user, chooser(problem, state, user, neighbors, rng))
+    assignment = state.to_assignment()
+    if enforce_budgets:
+        assignment.validate(check_budgets=True)
+    return SsaSolution(assignment=assignment, arrival_order=tuple(order))
+
+
+def solve_random(
+    problem: MulticastAssociationProblem,
+    *,
+    enforce_budgets: bool = False,
+    arrival_order: Sequence[int] | None = None,
+    rng: random.Random | None = None,
+) -> SsaSolution:
+    """Uniform random in-range association."""
+
+    def choose(problem, state, user, neighbors, rng):
+        return rng.choice(neighbors)
+
+    return _solve_with_chooser(
+        problem,
+        choose,
+        enforce_budgets=enforce_budgets,
+        arrival_order=arrival_order,
+        rng=rng,
+    )
+
+
+def solve_least_users(
+    problem: MulticastAssociationProblem,
+    *,
+    enforce_budgets: bool = False,
+    arrival_order: Sequence[int] | None = None,
+    rng: random.Random | None = None,
+) -> SsaSolution:
+    """Join the in-range AP with the fewest associated users.
+
+    Ties break toward the stronger signal (higher link rate), then the
+    lower AP index.
+    """
+
+    def choose(problem, state, user, neighbors, rng):
+        counts = {ap: 0 for ap in neighbors}
+        for other, ap in enumerate(state.ap_of_user):
+            if ap in counts:
+                counts[ap] += 1
+        return min(
+            neighbors,
+            key=lambda ap: (counts[ap], -problem.link_rate(ap, user), ap),
+        )
+
+    return _solve_with_chooser(
+        problem,
+        choose,
+        enforce_budgets=enforce_budgets,
+        arrival_order=arrival_order,
+        rng=rng,
+    )
+
+
+def solve_least_load(
+    problem: MulticastAssociationProblem,
+    *,
+    enforce_budgets: bool = False,
+    arrival_order: Sequence[int] | None = None,
+    rng: random.Random | None = None,
+) -> SsaSolution:
+    """Join the in-range AP with the smallest current multicast load.
+
+    Load-aware, but blind to the key multicast structure: it does not
+    anticipate that joining an AP already carrying the user's session can
+    be (nearly) free — the paper's distributed rules do.
+    """
+
+    def choose(problem, state, user, neighbors, rng):
+        return min(
+            neighbors,
+            key=lambda ap: (
+                state.load_of(ap),
+                -problem.link_rate(ap, user),
+                ap,
+            ),
+        )
+
+    return _solve_with_chooser(
+        problem,
+        choose,
+        enforce_budgets=enforce_budgets,
+        arrival_order=arrival_order,
+        rng=rng,
+    )

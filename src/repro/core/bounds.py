@@ -1,0 +1,175 @@
+"""LP-relaxation bounds and quality certificates.
+
+The exact ILPs (:mod:`repro.core.optimal`) only scale to small networks.
+Their *LP relaxations* solve in polynomial time at any scale and bound the
+optimum from the right side:
+
+* MLA: ``LP <= OPT <= greedy`` — a certified upper bound on the greedy's
+  optimality gap;
+* BLA: ``LP <= OPT <= heuristic`` likewise;
+* MNU: ``heuristic <= OPT <= LP`` (the relaxation over-covers).
+
+:func:`quality_certificate` packages this: given any feasible assignment it
+returns the LP bound and the certified gap, so a deployment can say "the
+heuristic is within 12 % of optimal on tonight's instance" without ever
+running an exponential solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.assignment import Assignment
+from repro.core.candidates import build_candidates
+from repro.core.errors import CoverageError, ModelError, SolverError
+from repro.core.optimal import _coverage_matrix, _group_cost_matrix
+from repro.core.problem import MulticastAssociationProblem
+
+
+def _solve_lp(c, constraints, bounds, what: str) -> float:
+    """HiGHS LP solve (milp with zero integrality)."""
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=np.zeros(len(c)),
+        bounds=bounds,
+    )
+    if not result.success:
+        raise SolverError(f"LP relaxation for {what} failed: {result.message}")
+    return float(result.fun)
+
+
+def mla_lp_bound(problem: MulticastAssociationProblem) -> float:
+    """LP lower bound on the optimal total multicast load."""
+    isolated = problem.isolated_users()
+    if isolated:
+        raise CoverageError(isolated)
+    candidates = build_candidates(problem)
+    coverage = _coverage_matrix(candidates, problem.n_users)
+    costs = np.array([c.cost for c in candidates])
+    return _solve_lp(
+        costs,
+        [LinearConstraint(coverage, lb=1, ub=np.inf)],
+        Bounds(0, 1),
+        "MLA",
+    )
+
+
+def bla_lp_bound(problem: MulticastAssociationProblem) -> float:
+    """LP lower bound on the optimal maximum AP load."""
+    isolated = problem.isolated_users()
+    if isolated:
+        raise CoverageError(isolated)
+    candidates = build_candidates(problem)
+    n = len(candidates)
+    coverage = _coverage_matrix(candidates, problem.n_users)
+    group_costs = _group_cost_matrix(candidates, problem.n_aps)
+    objective = np.zeros(n + 1)
+    objective[n] = 1.0
+    coverage_ext = sparse.hstack(
+        [coverage, sparse.csr_matrix((problem.n_users, 1))]
+    )
+    load_ext = sparse.hstack([group_costs, -np.ones((problem.n_aps, 1))])
+    lower = np.zeros(n + 1)
+    upper = np.concatenate([np.ones(n), [np.inf]])
+    return _solve_lp(
+        objective,
+        [
+            LinearConstraint(coverage_ext, lb=1, ub=np.inf),
+            LinearConstraint(load_ext, lb=-np.inf, ub=0),
+        ],
+        Bounds(lower, upper),
+        "BLA",
+    )
+
+
+def mnu_lp_bound(problem: MulticastAssociationProblem) -> float:
+    """LP upper bound on the optimal number of served users."""
+    budgets = np.asarray(problem.budgets, dtype=float)
+    if not np.all(np.isfinite(budgets)):
+        raise SolverError("MNU requires finite per-AP budgets")
+    candidates = build_candidates(problem)
+    n = len(candidates)
+    m = problem.n_users
+    coverage = _coverage_matrix(candidates, m)
+    group_costs = _group_cost_matrix(candidates, problem.n_aps)
+    objective = np.concatenate([np.zeros(n), -np.ones(m)])
+    linkage = sparse.hstack([-coverage, sparse.eye(m, format="csr")])
+    budget_rows = sparse.hstack(
+        [group_costs, sparse.csr_matrix((problem.n_aps, m))]
+    )
+    value = _solve_lp(
+        objective,
+        [
+            LinearConstraint(linkage, lb=-np.inf, ub=0),
+            LinearConstraint(budget_rows, lb=-np.inf, ub=budgets),
+        ],
+        Bounds(0, 1),
+        "MNU",
+    )
+    return -value
+
+
+@dataclass(frozen=True)
+class QualityCertificate:
+    """A feasible value, the LP bound, and the certified optimality gap."""
+
+    objective: str
+    achieved: float
+    lp_bound: float
+
+    @property
+    def gap(self) -> float:
+        """Certified relative gap to the optimum (0 = provably optimal).
+
+        For minimization objectives: ``achieved/bound - 1``; for MNU
+        (maximization): ``bound/achieved - 1``. The true gap to OPT is at
+        most this (the LP bound brackets OPT).
+        """
+        if self.objective == "mnu":
+            if self.achieved == 0:
+                return float("inf") if self.lp_bound > 0 else 0.0
+            return max(0.0, self.lp_bound / self.achieved - 1.0)
+        if self.lp_bound <= 0:
+            return float("inf") if self.achieved > 0 else 0.0
+        return max(0.0, self.achieved / self.lp_bound - 1.0)
+
+    def format(self) -> str:
+        return (
+            f"{self.objective}: achieved {self.achieved:.4f}, LP bound "
+            f"{self.lp_bound:.4f}, certified gap <= {self.gap:.1%}"
+        )
+
+
+def quality_certificate(
+    assignment: Assignment, objective: str
+) -> QualityCertificate:
+    """Certify how far ``assignment`` can be from optimal.
+
+    ``objective`` is ``"mla"``, ``"bla"`` or ``"mnu"``. The assignment must
+    be feasible for the corresponding setting (full coverage for MLA/BLA;
+    within budgets for MNU).
+    """
+    problem = assignment.problem
+    if objective == "mla":
+        if assignment.n_served < problem.n_users:
+            raise ModelError("MLA certificates require a full cover")
+        return QualityCertificate(
+            "mla", assignment.total_load(), mla_lp_bound(problem)
+        )
+    if objective == "bla":
+        if assignment.n_served < problem.n_users:
+            raise ModelError("BLA certificates require a full cover")
+        return QualityCertificate(
+            "bla", assignment.max_load(), bla_lp_bound(problem)
+        )
+    if objective == "mnu":
+        assignment.validate(check_budgets=True)
+        return QualityCertificate(
+            "mnu", float(assignment.n_served), mnu_lp_bound(problem)
+        )
+    raise ModelError(f"unknown objective {objective!r}")

@@ -1,0 +1,141 @@
+"""Candidate-set construction — the reduction shared by MNU, BLA and MLA.
+
+Sections 4–6 of the paper reduce all three problems to covering problems
+over the same family of sets: for every (AP ``a``, session ``s``, transmit
+rate ``r``) the set of users requesting ``s`` whose link rate to ``a`` is at
+least ``r``, with cost ``rate(s) / r``. Sets belonging to one AP form that
+AP's *group* (for the group-budget problems).
+
+Only transmit rates equal to some user's link rate are useful: any rate
+strictly between two consecutive link-rate values covers the same users as
+the next link-rate value up, at strictly higher cost. ``build_candidates``
+therefore emits one set per distinct link-rate value by default, which is a
+lossless pruning; ``prune=False`` emits one set per rate-table value instead
+(matching the paper's raw construction, used in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.problem import MulticastAssociationProblem
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateSet:
+    """One (AP, session, rate) covering set of the reduction."""
+
+    ap: int
+    session: int
+    tx_rate: float
+    cost: float
+    users: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.tx_rate <= 0:
+            raise ValueError("tx rate must be positive")
+        if self.cost <= 0:
+            raise ValueError("cost must be positive")
+        if not self.users:
+            raise ValueError("a candidate set must cover at least one user")
+
+    @property
+    def size(self) -> int:
+        return len(self.users)
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateSet(ap={self.ap}, session={self.session}, "
+            f"rate={self.tx_rate:g}, cost={self.cost:.4f}, "
+            f"users={sorted(self.users)})"
+        )
+
+
+def build_candidates(
+    problem: MulticastAssociationProblem,
+    *,
+    prune: bool = True,
+    rate_grid: Sequence[float] | None = None,
+) -> list[CandidateSet]:
+    """All candidate sets of the reduction, grouped implicitly by AP.
+
+    With ``prune=True`` (default) the transmit rates considered at an AP for
+    a session are exactly the distinct link rates of that session's in-range
+    users — the lossless pruning described above. With ``prune=False`` and a
+    ``rate_grid`` (e.g. the 802.11a table rates) a set is emitted for every
+    grid rate that at least one user can decode.
+    """
+    candidates: list[CandidateSet] = []
+    for ap in range(problem.n_aps):
+        for session in range(problem.n_sessions):
+            listeners = [
+                (problem.link_rate(ap, u), u)
+                for u in problem.users_of_session(session)
+                if problem.in_range(ap, u)
+            ]
+            if not listeners:
+                continue
+            if prune:
+                rates: Iterable[float] = sorted({rate for rate, _ in listeners})
+            else:
+                if rate_grid is None:
+                    raise ValueError("prune=False requires a rate_grid")
+                max_link = max(rate for rate, _ in listeners)
+                rates = [r for r in rate_grid if r <= max_link]
+            for tx_rate in rates:
+                users = frozenset(u for rate, u in listeners if rate >= tx_rate)
+                if not users:
+                    continue
+                candidates.append(
+                    CandidateSet(
+                        ap=ap,
+                        session=session,
+                        tx_rate=tx_rate,
+                        cost=problem.transmission_cost(session, tx_rate),
+                        users=users,
+                    )
+                )
+    return candidates
+
+
+def group_by_ap(
+    candidates: Iterable[CandidateSet], n_aps: int
+) -> list[list[CandidateSet]]:
+    """Partition candidates into the per-AP groups of the MCG/SCG reductions."""
+    groups: list[list[CandidateSet]] = [[] for _ in range(n_aps)]
+    for candidate in candidates:
+        groups[candidate.ap].append(candidate)
+    return groups
+
+
+def coverable_users(candidates: Iterable[CandidateSet]) -> set[int]:
+    """Users appearing in at least one candidate set."""
+    covered: set[int] = set()
+    for candidate in candidates:
+        covered |= candidate.users
+    return covered
+
+
+def restrict_to_users(
+    candidates: Iterable[CandidateSet], users: set[int]
+) -> list[CandidateSet]:
+    """Candidates intersected with ``users``; empty intersections dropped.
+
+    Used by the iterated-MNU loop of Centralized BLA, which removes covered
+    elements from the ground set between iterations.
+    """
+    restricted: list[CandidateSet] = []
+    for candidate in candidates:
+        remaining = candidate.users & users
+        if remaining:
+            restricted.append(
+                CandidateSet(
+                    ap=candidate.ap,
+                    session=candidate.session,
+                    tx_rate=candidate.tx_rate,
+                    cost=candidate.cost,
+                    users=frozenset(remaining),
+                )
+            )
+    return restricted

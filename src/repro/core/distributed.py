@@ -1,0 +1,323 @@
+"""Distributed association policies (paper Sections 4.2, 5.2, 6.2).
+
+Each user periodically learns, from its neighboring APs, which sessions they
+transmit and at what rates, then locally re-decides its association:
+
+* **MNU / MLA policy**: join the neighboring AP that minimizes the *total
+  load of the user's neighboring APs* (for MNU, only APs whose budget the
+  join respects are eligible). MLA uses the identical rule — the paper's
+  Section 6.2 reuses the MNU algorithm with no budgets.
+* **BLA policy**: join the neighboring AP that lexicographically minimizes
+  the *sorted non-increasing vector* of neighboring-AP loads (footnote 5).
+
+Users only move on strict improvement, which makes one-at-a-time
+(*sequential*) dynamics converge (Lemmas 1 and 2: the total load, resp. the
+global sorted load vector, strictly decreases with every move and takes
+finitely many values). *Simultaneous* dynamics may oscillate — the paper's
+Figure 4 two-AP example does — and the engine detects such cycles by state
+hashing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Literal, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MulticastAssociationProblem
+
+Policy = Literal["mnu", "mla", "bla"]
+
+
+class AssociationState:
+    """Mutable association map with incrementally maintained AP loads."""
+
+    def __init__(
+        self,
+        problem: MulticastAssociationProblem,
+        initial: Sequence[int | None] | None = None,
+    ) -> None:
+        self.problem = problem
+        self.ap_of_user: list[int | None] = (
+            [None] * problem.n_users if initial is None else list(initial)
+        )
+        self._members: dict[tuple[int, int], set[int]] = {}
+        for user, ap in enumerate(self.ap_of_user):
+            if ap is not None:
+                key = (ap, problem.session_of(user))
+                self._members.setdefault(key, set()).add(user)
+        self._loads = [self._compute_load(a) for a in range(problem.n_aps)]
+
+    # -- load bookkeeping ---------------------------------------------------
+
+    def _group_cost(self, ap: int, session: int, members: set[int]) -> float:
+        if not members:
+            return 0.0
+        rate = min(self.problem.link_rate(ap, u) for u in members)
+        return self.problem.transmission_cost(session, rate)
+
+    def _compute_load(self, ap: int) -> float:
+        return sum(
+            self._group_cost(a, s, users)
+            for (a, s), users in self._members.items()
+            if a == ap
+        )
+
+    def load_of(self, ap: int) -> float:
+        return self._loads[ap]
+
+    def loads(self) -> list[float]:
+        return list(self._loads)
+
+    def total_load(self) -> float:
+        return sum(self._loads)
+
+    def sorted_load_vector(self) -> tuple[float, ...]:
+        return tuple(sorted(self._loads, reverse=True))
+
+    def load_if_joined(self, user: int, ap: int) -> float:
+        """Load of ``ap`` if ``user`` (not currently on it) joined."""
+        session = self.problem.session_of(user)
+        members = self._members.get((ap, session), set())
+        old_cost = self._group_cost(ap, session, members)
+        new_cost = self._group_cost(ap, session, members | {user})
+        return self._loads[ap] - old_cost + new_cost
+
+    def load_if_left(self, user: int) -> float:
+        """Load of the user's current AP if the user left it."""
+        ap = self.ap_of_user[user]
+        if ap is None:
+            raise ValueError(f"user {user} is not associated")
+        session = self.problem.session_of(user)
+        members = self._members[(ap, session)]
+        old_cost = self._group_cost(ap, session, members)
+        new_cost = self._group_cost(ap, session, members - {user})
+        return self._loads[ap] - old_cost + new_cost
+
+    # -- mutation -------------------------------------------------------------
+
+    def move(self, user: int, new_ap: int | None) -> None:
+        """Reassociate ``user`` (``None`` disassociates)."""
+        session = self.problem.session_of(user)
+        old_ap = self.ap_of_user[user]
+        if old_ap == new_ap:
+            return
+        if old_ap is not None:
+            self._loads[old_ap] = self.load_if_left(user)
+            members = self._members[(old_ap, session)]
+            members.discard(user)
+            if not members:
+                del self._members[(old_ap, session)]
+        if new_ap is not None:
+            self._loads[new_ap] = self.load_if_joined(user, new_ap)
+            self._members.setdefault((new_ap, session), set()).add(user)
+        self.ap_of_user[user] = new_ap
+
+    def to_assignment(self) -> Assignment:
+        return Assignment(self.problem, self.ap_of_user)
+
+    def state_key(self) -> tuple[int, ...]:
+        """Hashable snapshot for cycle detection (-1 encodes unserved)."""
+        return tuple(-1 if a is None else a for a in self.ap_of_user)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A user's locally-best target AP (``None`` = stay unserved)."""
+
+    user: int
+    target: int | None
+    improves: bool
+
+
+def _neighbor_loads_after_move(
+    state: AssociationState, user: int, neighbors: list[int], target: int | None
+) -> list[float]:
+    """Loads of the user's neighboring APs if it moved to ``target``."""
+    current = state.ap_of_user[user]
+    loads = []
+    for ap in neighbors:
+        if ap == target and ap == current:
+            loads.append(state.load_of(ap))
+        elif ap == target:
+            loads.append(state.load_if_joined(user, ap))
+        elif ap == current:
+            loads.append(state.load_if_left(user))
+        else:
+            loads.append(state.load_of(ap))
+    return loads
+
+
+def decide(
+    state: AssociationState,
+    user: int,
+    policy: Policy,
+    *,
+    enforce_budgets: bool | None = None,
+    epsilon: float = 1e-12,
+) -> Decision:
+    """The user's local decision from the current (queried) state.
+
+    ``enforce_budgets`` defaults to True for the MNU policy and False for
+    MLA/BLA, matching the paper's settings.
+    """
+    problem = state.problem
+    if enforce_budgets is None:
+        enforce_budgets = policy == "mnu"
+    neighbors = problem.aps_of_user(user)
+    if not neighbors:
+        return Decision(user=user, target=None, improves=False)
+    current = state.ap_of_user[user]
+
+    options: list[int | None] = [current] if current is not None else [None]
+    for ap in neighbors:
+        if ap == current:
+            continue
+        if enforce_budgets:
+            if state.load_if_joined(user, ap) > problem.budget_of(ap) + epsilon:
+                continue
+        options.append(ap)
+
+    if policy in ("mnu", "mla"):
+
+        def score(target: int | None) -> tuple[float, float, int]:
+            loads = (
+                _neighbor_loads_after_move(state, user, neighbors, target)
+                if target is not None or current is not None
+                else [state.load_of(a) for a in neighbors]
+            )
+            total = sum(loads)
+            # tie-breaks: stronger signal first (higher link rate), then
+            # lower AP index; staying unserved ranks last among ties.
+            if target is None:
+                return (total, 0.0, problem.n_aps)
+            return (total, -problem.link_rate(target, user), target)
+
+    else:  # bla
+
+        def score(target: int | None) -> tuple:
+            loads = _neighbor_loads_after_move(state, user, neighbors, target)
+            vector = tuple(sorted(loads, reverse=True))
+            if target is None:
+                return (vector, 0.0, problem.n_aps)
+            return (vector, -problem.link_rate(target, user), target)
+
+    best = min(options, key=score)
+    if current is None:
+        # An unserved user always takes a feasible AP when one exists.
+        feasible = [o for o in options if o is not None]
+        if feasible:
+            best = min(feasible, key=score)
+        return Decision(user=user, target=best, improves=best is not None)
+    if best == current:
+        return Decision(user=user, target=current, improves=False)
+    # Strict-improvement rule: only move when the metric genuinely drops.
+    current_key = score(current)
+    best_key = score(best)
+    if policy in ("mnu", "mla"):
+        improved = best_key[0] < current_key[0] - epsilon
+    else:
+        improved = _vector_less(best_key[0], current_key[0], epsilon)
+    if not improved:
+        return Decision(user=user, target=current, improves=False)
+    return Decision(user=user, target=best, improves=True)
+
+
+def _vector_less(a: tuple[float, ...], b: tuple[float, ...], eps: float) -> bool:
+    """Strict lexicographic comparison with tolerance (footnote 5)."""
+    for x, y in zip(a, b):
+        if x < y - eps:
+            return True
+        if x > y + eps:
+            return False
+    return False
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Outcome of running the distributed dynamics to quiescence."""
+
+    assignment: Assignment
+    rounds: int
+    moves: int
+    converged: bool
+    oscillated: bool
+
+    @property
+    def n_served(self) -> int:
+        return self.assignment.n_served
+
+
+def run_distributed(
+    problem: MulticastAssociationProblem,
+    policy: Policy,
+    *,
+    mode: Literal["sequential", "simultaneous"] = "sequential",
+    initial: Sequence[int | None] | None = None,
+    rng: random.Random | None = None,
+    shuffle_each_round: bool = True,
+    max_rounds: int = 200,
+    enforce_budgets: bool | None = None,
+) -> DistributedResult:
+    """Run rounds of local decisions until no user moves (or a cycle/cap).
+
+    ``sequential`` applies each decision before the next user decides (the
+    regime of Lemmas 1–2, guaranteed to converge); ``simultaneous`` lets the
+    whole round decide on one snapshot and applies all moves together,
+    reproducing Figure 4's potential oscillation.
+    """
+    state = AssociationState(problem, initial)
+    rng = rng or random.Random(0)
+    order = list(range(problem.n_users))
+    total_moves = 0
+    seen_states: dict[tuple[int, ...], int] = {state.state_key(): 0}
+    oscillated = False
+
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        if shuffle_each_round:
+            rng.shuffle(order)
+        moved = False
+        if mode == "sequential":
+            for user in order:
+                decision = decide(
+                    state, user, policy, enforce_budgets=enforce_budgets
+                )
+                if decision.target != state.ap_of_user[user]:
+                    state.move(user, decision.target)
+                    total_moves += 1
+                    moved = True
+        else:
+            decisions = [
+                decide(state, user, policy, enforce_budgets=enforce_budgets)
+                for user in order
+            ]
+            for decision in decisions:
+                if decision.target != state.ap_of_user[decision.user]:
+                    state.move(decision.user, decision.target)
+                    total_moves += 1
+                    moved = True
+        if not moved:
+            return DistributedResult(
+                assignment=state.to_assignment(),
+                rounds=rounds,
+                moves=total_moves,
+                converged=True,
+                oscillated=False,
+            )
+        key = state.state_key()
+        if key in seen_states and mode == "simultaneous":
+            oscillated = True
+            break
+        seen_states[key] = rounds
+
+    return DistributedResult(
+        assignment=state.to_assignment(),
+        rounds=rounds,
+        moves=total_moves,
+        converged=False,
+        oscillated=oscillated,
+    )

@@ -1,0 +1,42 @@
+"""Exception types for the association-control library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ModelError(ReproError):
+    """A problem instance is malformed (inconsistent sizes, bad values)."""
+
+
+class CoverageError(ReproError):
+    """Full coverage was required but some users cannot be served.
+
+    Raised by BLA/MLA solvers when a user is out of range of every AP, or
+    (for budgeted variants) when no budget-respecting cover exists.
+    """
+
+    def __init__(self, uncovered: list[int], message: str | None = None) -> None:
+        self.uncovered = list(uncovered)
+        super().__init__(
+            message
+            or f"{len(self.uncovered)} user(s) cannot be covered: "
+            f"{self.uncovered[:10]}{'...' if len(self.uncovered) > 10 else ''}"
+        )
+
+
+class InfeasibleAssignmentError(ReproError):
+    """An assignment violates the model (rate, range, or budget)."""
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        super().__init__(
+            "; ".join(self.violations[:5])
+            + ("..." if len(self.violations) > 5 else "")
+        )
+
+
+class SolverError(ReproError):
+    """An exact solver failed (ILP did not reach optimality)."""

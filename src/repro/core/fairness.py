@@ -1,0 +1,165 @@
+"""Unicast coexistence and the paper's revenue models (Section 3.2).
+
+The paper motivates each objective with a revenue function:
+
+* **MNU** — multicast is pay-per-view: revenue grows with the number of
+  served multicast users (:func:`pay_per_view_revenue`).
+* **BLA** — unicast revenue is a *diminishing-returns* (concave) utility of
+  each user's bandwidth share; by Kelly et al. such utilities are maximized
+  when resources are spread evenly, so balancing the multicast load
+  maximizes unicast revenue under a uniform unicast user distribution
+  (:func:`concave_unicast_revenue`).
+* **MLA** — unicast is billed per byte: revenue is proportional to the
+  total airtime left over for unicast (:func:`per_byte_unicast_revenue`).
+
+The connective tissue is :func:`residual_airtime` (what multicast leaves
+behind, per AP) and :func:`max_min_unicast_shares` (the max-min fair split
+of that residue among each AP's unicast users — the allocation that
+Bejerano et al., cited by the paper, aim for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.errors import ModelError
+
+
+def residual_airtime(assignment: Assignment) -> list[float]:
+    """Per-AP fraction of airtime left for unicast: ``1 - multicast load``.
+
+    Clamped at zero — an overloaded AP starves unicast entirely.
+    """
+    return [max(0.0, 1.0 - load) for load in assignment.loads()]
+
+
+def max_min_unicast_shares(
+    assignment: Assignment,
+    unicast_users_per_ap: Sequence[int],
+) -> list[float]:
+    """Max-min fair per-user airtime share at every AP.
+
+    Unicast users are pinned to their AP (they associate by the usual
+    unicast rules, outside this model's control), so the max-min fair
+    allocation degenerates to an equal split of each AP's residual airtime
+    among its unicast users. Returns one share per *AP* (the share each of
+    its unicast users receives; ``inf`` where an AP has no unicast users).
+    """
+    if len(unicast_users_per_ap) != assignment.problem.n_aps:
+        raise ModelError("one unicast user count per AP required")
+    if any(n < 0 for n in unicast_users_per_ap):
+        raise ModelError("user counts must be non-negative")
+    shares = []
+    for residual, n_users in zip(
+        residual_airtime(assignment), unicast_users_per_ap
+    ):
+        shares.append(residual / n_users if n_users else math.inf)
+    return shares
+
+
+def worst_unicast_share(
+    assignment: Assignment, unicast_users_per_ap: Sequence[int]
+) -> float:
+    """The worst-off unicast user's share — what BLA effectively protects."""
+    finite = [
+        s
+        for s in max_min_unicast_shares(assignment, unicast_users_per_ap)
+        if s != math.inf
+    ]
+    return min(finite, default=math.inf)
+
+
+# -- revenue models -----------------------------------------------------------
+
+
+def pay_per_view_revenue(
+    assignment: Assignment, *, price_per_user: float = 1.0
+) -> float:
+    """MNU's model: duration-billed multicast, one price per served user."""
+    if price_per_user < 0:
+        raise ModelError("price must be non-negative")
+    return price_per_user * assignment.n_served
+
+
+def concave_unicast_revenue(
+    assignment: Assignment,
+    unicast_users_per_ap: Sequence[int],
+    *,
+    utility: Callable[[float], float] | None = None,
+) -> float:
+    """BLA's model: summed diminishing-returns utility of unicast shares.
+
+    The default utility is ``log1p`` (strictly concave, zero at zero).
+    APs with no unicast users contribute nothing. A balanced multicast
+    load maximizes this sum for a uniform user distribution.
+    """
+    u = utility if utility is not None else math.log1p
+    total = 0.0
+    for share, n_users in zip(
+        max_min_unicast_shares(assignment, unicast_users_per_ap),
+        unicast_users_per_ap,
+    ):
+        if n_users:
+            total += n_users * u(share)
+    return total
+
+
+def per_byte_unicast_revenue(
+    assignment: Assignment,
+    *,
+    price_per_mbit: float = 1.0,
+    unicast_rate_mbps: float = 54.0,
+) -> float:
+    """MLA's model: flat rate per unicast byte, demand saturating capacity.
+
+    Every AP's residual airtime is sold at ``unicast_rate_mbps``; revenue
+    is the total deliverable megabits times the price.
+    """
+    if price_per_mbit < 0 or unicast_rate_mbps <= 0:
+        raise ModelError("price must be >= 0 and rate positive")
+    total_airtime = sum(residual_airtime(assignment))
+    return price_per_mbit * unicast_rate_mbps * total_airtime
+
+
+@dataclass(frozen=True)
+class RevenueBreakdown:
+    """All three revenue models evaluated on one assignment."""
+
+    pay_per_view: float
+    concave_unicast: float
+    per_byte_unicast: float
+
+
+def revenue_breakdown(
+    assignment: Assignment,
+    unicast_users_per_ap: Sequence[int] | None = None,
+) -> RevenueBreakdown:
+    """Evaluate every Section-3 revenue model on ``assignment``.
+
+    With ``unicast_users_per_ap`` omitted, one unicast user per AP is
+    assumed (the paper's uniform-distribution hypothesis).
+    """
+    counts = (
+        list(unicast_users_per_ap)
+        if unicast_users_per_ap is not None
+        else [1] * assignment.problem.n_aps
+    )
+    return RevenueBreakdown(
+        pay_per_view=pay_per_view_revenue(assignment),
+        concave_unicast=concave_unicast_revenue(assignment, counts),
+        per_byte_unicast=per_byte_unicast_revenue(assignment),
+    )
+
+
+def compare_revenues(
+    assignments: Mapping[str, Assignment],
+    unicast_users_per_ap: Sequence[int] | None = None,
+) -> dict[str, RevenueBreakdown]:
+    """Revenue breakdowns for several labelled assignments (reporting)."""
+    return {
+        label: revenue_breakdown(a, unicast_users_per_ap)
+        for label, a in assignments.items()
+    }

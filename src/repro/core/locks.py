@@ -1,0 +1,131 @@
+"""Lock-based coordination for simultaneous decisions (paper Section 8).
+
+Section 8 sketches the fix for the non-convergence of simultaneous local
+decisions (Figure 4): before committing a reassociation, a user obtains
+explicit *locks* from its neighboring APs; while any of those APs is locked
+by another user, the decision is deferred. With all of a user's neighboring
+APs locked, its local view cannot be invalidated by a concurrent move, so
+every committed move strictly improves the global potential and the
+sequential convergence argument (Lemmas 1–2) applies again.
+
+Deadlock avoidance: locks are acquired in ascending AP order, all-or-nothing
+(two-phase). A user that fails to get all its locks backs off for the round;
+since some user always holds the lowest-indexed contended AP's lock, at
+least one contender per connected component proceeds — no deadlock and no
+livelock.
+
+:func:`run_locked_simultaneous` is the engine: per round, users decide on a
+common snapshot (as in simultaneous mode) but only the subset whose
+neighborhoods are mutually disjoint — resolved via the lock protocol —
+commit their moves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.distributed import (
+    AssociationState,
+    DistributedResult,
+    Policy,
+    decide,
+)
+from repro.core.problem import MulticastAssociationProblem
+
+
+@dataclass
+class LockTable:
+    """Per-AP locks with ordered, all-or-nothing acquisition."""
+
+    n_aps: int
+    holder: dict[int, int] = field(default_factory=dict)
+
+    def try_acquire(self, user: int, aps: Sequence[int]) -> bool:
+        """Atomically acquire every AP lock in ``aps`` or none of them.
+
+        Acquisition is attempted in ascending AP order; on the first
+        conflict everything already taken in this call is released.
+        """
+        taken: list[int] = []
+        for ap in sorted(aps):
+            if ap in self.holder:
+                for held in taken:
+                    del self.holder[held]
+                return False
+            self.holder[ap] = user
+            taken.append(ap)
+        return True
+
+    def release_all(self, user: int) -> None:
+        for ap in [a for a, holder in self.holder.items() if holder == user]:
+            del self.holder[ap]
+
+    def locked_aps(self) -> set[int]:
+        return set(self.holder)
+
+
+def run_locked_simultaneous(
+    problem: MulticastAssociationProblem,
+    policy: Policy,
+    *,
+    initial: Sequence[int | None] | None = None,
+    rng: random.Random | None = None,
+    max_rounds: int = 200,
+    enforce_budgets: bool | None = None,
+) -> DistributedResult:
+    """Simultaneous rounds, but commits gated by neighbor-AP locks.
+
+    Each round: every user (in random order) computes its decision from the
+    round's starting snapshot; a user wanting to move first requests locks
+    on *all* its neighboring APs; only lock-winners commit. Because two
+    committed moves can never share a neighboring AP, each commit sees the
+    true loads of every AP it reads — restoring the strict-improvement
+    invariant that guarantees convergence.
+    """
+    state = AssociationState(problem, initial)
+    rng = rng or random.Random(0)
+    order = list(range(problem.n_users))
+    total_moves = 0
+
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        rng.shuffle(order)
+        # Snapshot decisions: simultaneous semantics.
+        snapshot = AssociationState(problem, list(state.ap_of_user))
+        wanted = []
+        for user in order:
+            decision = decide(
+                snapshot, user, policy, enforce_budgets=enforce_budgets
+            )
+            if decision.target != snapshot.ap_of_user[user]:
+                wanted.append(decision)
+        if not wanted:
+            return DistributedResult(
+                assignment=state.to_assignment(),
+                rounds=rounds,
+                moves=total_moves,
+                converged=True,
+                oscillated=False,
+            )
+        locks = LockTable(problem.n_aps)
+        for decision in wanted:
+            neighborhood = problem.aps_of_user(decision.user)
+            if not locks.try_acquire(decision.user, neighborhood):
+                continue  # defer to the next round
+            # Re-validate on the live state: a prior commit this round can't
+            # overlap our neighborhood (we hold its locks), so the snapshot
+            # decision is still exactly right — commit it.
+            state.move(decision.user, decision.target)
+            total_moves += 1
+        # Locks are per-round; releasing all is implicit (table dropped).
+
+    return DistributedResult(
+        assignment=state.to_assignment(),
+        rounds=rounds,
+        moves=total_moves,
+        converged=False,
+        oscillated=False,
+    )

@@ -1,0 +1,47 @@
+"""Centralized MLA — minimize the total multicast load (paper Section 6.1).
+
+Reduces the instance to weighted set cover (Theorem 5): ground set = users,
+one set per (AP, session, rate) with cost ``session_rate / rate``, no
+groups. Solves with the ``CostSC`` greedy — an ``(ln n + 1)``-approximation
+(Theorem 6). Budgets are ignored (the paper's MLA setting assumes all users
+can and must be served).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment, from_selected_sets
+from repro.core.candidates import build_candidates
+from repro.core.errors import CoverageError
+from repro.core.problem import MulticastAssociationProblem
+from repro.core.setcover import SetCoverResult, greedy_set_cover
+
+
+@dataclass(frozen=True)
+class MlaSolution:
+    """An MLA assignment plus the set-cover trace."""
+
+    assignment: Assignment
+    cover: SetCoverResult
+
+    @property
+    def total_load(self) -> float:
+        return self.assignment.total_load()
+
+
+def solve_mla(problem: MulticastAssociationProblem) -> MlaSolution:
+    """Run Centralized MLA; raises :class:`CoverageError` for isolated users."""
+    isolated = problem.isolated_users()
+    if isolated:
+        raise CoverageError(isolated)
+    candidates = build_candidates(problem)
+    ground = set(range(problem.n_users))
+    cover = greedy_set_cover(candidates, ground)
+    assignment = from_selected_sets(
+        problem,
+        ((c.ap, c.session, c.tx_rate, c.users) for c in cover.selected),
+    )
+    # Feasibility wrt range/rates only: MLA has no budget constraint.
+    assignment.validate(check_budgets=False)
+    return MlaSolution(assignment=assignment, cover=cover)

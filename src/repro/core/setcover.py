@@ -1,0 +1,67 @@
+"""Weighted greedy set cover — the paper's ``CostSC`` (Fig. 8).
+
+Repeatedly picks the set maximizing newly-covered-elements per unit cost
+until the ground set is covered; an ``(ln n + 1)``-approximation (Theorem 6,
+via Vazirani). Used directly by Centralized MLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.candidates import CandidateSet
+from repro.core.errors import CoverageError
+
+
+@dataclass(frozen=True)
+class SetCoverResult:
+    """Selected sets in greedy order and their summed (planned) cost."""
+
+    selected: tuple[CandidateSet, ...]
+    total_cost: float
+
+
+def greedy_set_cover(
+    candidates: Sequence[CandidateSet], ground: set[int]
+) -> SetCoverResult:
+    """Run ``CostSC``; raise :class:`CoverageError` if X is not coverable."""
+    coverable: set[int] = set()
+    for candidate in candidates:
+        coverable |= candidate.users
+    missing = ground - coverable
+    if missing:
+        raise CoverageError(sorted(missing))
+
+    uncovered_count = [len(c.users & ground) for c in candidates]
+    incidence: dict[int, list[int]] = {}
+    for k, candidate in enumerate(candidates):
+        for user in candidate.users:
+            if user in ground:
+                incidence.setdefault(user, []).append(k)
+
+    remaining = set(ground)
+    selected: list[CandidateSet] = []
+    chosen_indices: set[int] = set()
+    total_cost = 0.0
+    while remaining:
+        best_index = -1
+        best_effectiveness = 0.0
+        for k, candidate in enumerate(candidates):
+            if k in chosen_indices or uncovered_count[k] == 0:
+                continue
+            effectiveness = uncovered_count[k] / candidate.cost
+            if effectiveness > best_effectiveness:
+                best_effectiveness = effectiveness
+                best_index = k
+        if best_index < 0:  # unreachable given the coverability check above
+            raise CoverageError(sorted(remaining))
+        candidate = candidates[best_index]
+        selected.append(candidate)
+        chosen_indices.add(best_index)
+        total_cost += candidate.cost
+        for user in candidate.users & remaining:
+            for k in incidence.get(user, ()):
+                uncovered_count[k] -= 1
+        remaining -= candidate.users
+    return SetCoverResult(selected=tuple(selected), total_cost=total_cost)

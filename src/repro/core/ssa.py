@@ -1,0 +1,85 @@
+"""Signal-strength association (SSA) — the 802.11-default baseline.
+
+Every user associates with the AP providing the strongest signal among its
+neighboring APs, which under the paper's distance-threshold propagation is
+the *nearest* in-range AP (highest link rate, ties toward lower AP index).
+
+Two modes, matching how the paper uses SSA:
+
+* **unbudgeted** (Figs 9/10/12a/12b): everyone associates; loads fall where
+  they fall.
+* **budgeted admission** (Figs 11/12c): users arrive one at a time and the
+  strongest AP admits a user only if doing so keeps its multicast load
+  within its budget. A rejected user stays unserved — SSA never tries the
+  second-strongest AP, which is precisely why association *control* wins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.problem import MulticastAssociationProblem
+
+
+@dataclass(frozen=True)
+class SsaSolution:
+    """An SSA assignment plus the admission order used (budgeted mode)."""
+
+    assignment: Assignment
+    arrival_order: tuple[int, ...]
+
+    @property
+    def n_served(self) -> int:
+        return self.assignment.n_served
+
+
+def strongest_ap_of(
+    problem: MulticastAssociationProblem, user: int
+) -> int | None:
+    """The user's strongest-signal AP: highest link rate, then lowest index."""
+    best_ap: int | None = None
+    best_rate = 0.0
+    for ap in range(problem.n_aps):
+        rate = problem.link_rate(ap, user)
+        if rate > best_rate:
+            best_rate = rate
+            best_ap = ap
+    return best_ap
+
+
+def solve_ssa(
+    problem: MulticastAssociationProblem,
+    *,
+    enforce_budgets: bool = False,
+    arrival_order: Sequence[int] | None = None,
+    rng: random.Random | None = None,
+) -> SsaSolution:
+    """Associate every user with its strongest-signal AP.
+
+    With ``enforce_budgets=True`` users are admitted in ``arrival_order``
+    (random when omitted; supply ``rng`` for reproducibility), and a user is
+    rejected when admitting it would push its strongest AP past its budget.
+    """
+    if arrival_order is None:
+        order = list(range(problem.n_users))
+        (rng or random.Random()).shuffle(order)
+    else:
+        order = list(arrival_order)
+        if sorted(order) != list(range(problem.n_users)):
+            raise ValueError("arrival_order must be a permutation of all users")
+
+    assignment = Assignment.empty(problem)
+    for user in order:
+        ap = strongest_ap_of(problem, user)
+        if ap is None:
+            continue
+        candidate = assignment.replace(user, ap)
+        if enforce_budgets and candidate.load_of(ap) > problem.budget_of(ap) + 1e-12:
+            continue
+        assignment = candidate
+    if enforce_budgets:
+        assignment.validate(check_budgets=True)
+    return SsaSolution(assignment=assignment, arrival_order=tuple(order))

@@ -1,0 +1,161 @@
+"""Multi-session subscriptions (generalizing "one stream per user").
+
+The paper's model gives every user exactly one multicast session (its TV
+analogy). Real deployments also see multi-subscription clients — a dorm TV
+decoding a main feed plus an audio channel, a dashboard showing several
+streams. This extension reduces the general problem back to the paper's:
+
+every (user, session) subscription becomes a *virtual user* requesting that
+one session, with the physical user's link rates. Covering all virtual
+users serves every subscription; budgets and loads are untouched because
+the load model only depends on (AP, session, min member rate) — which
+virtual users preserve exactly.
+
+For MNU two natural satisfaction semantics exist and both are supported
+when mapping back:
+
+* ``"subscriptions"`` — count served (user, session) pairs;
+* ``"all-or-nothing"`` — a user is satisfied only if *all* its
+  subscriptions are served (the stricter reading of "satisfied user").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.errors import ModelError
+from repro.core.problem import MulticastAssociationProblem, Session
+
+
+@dataclass(frozen=True)
+class SubscriptionProblem:
+    """A multi-subscription instance and its virtual-user expansion."""
+
+    problem: MulticastAssociationProblem  # over virtual users
+    subscriptions: tuple[tuple[int, int], ...]  # virtual -> (user, session)
+    n_physical_users: int
+
+    def virtual_users_of(self, user: int) -> list[int]:
+        return [
+            v
+            for v, (u, _) in enumerate(self.subscriptions)
+            if u == user
+        ]
+
+
+def expand_subscriptions(
+    link_rates: Sequence[Sequence[float]] | np.ndarray,
+    subscriptions: Sequence[Sequence[int]],
+    sessions: Sequence[Session],
+    *,
+    budgets: float | Sequence[float] = float("inf"),
+) -> SubscriptionProblem:
+    """Build the virtual-user instance from per-user subscription sets.
+
+    ``subscriptions[u]`` is the list of session indices user ``u`` wants
+    (duplicates rejected; empty lists allowed — such users need nothing).
+    """
+    rates = np.asarray(link_rates, dtype=float)
+    if rates.ndim != 2:
+        raise ModelError("link_rates must be 2-D")
+    n_users = rates.shape[1]
+    if len(subscriptions) != n_users:
+        raise ModelError("one subscription list per user required")
+    pairs: list[tuple[int, int]] = []
+    for user, wanted in enumerate(subscriptions):
+        if len(set(wanted)) != len(wanted):
+            raise ModelError(f"user {user} has duplicate subscriptions")
+        for session in wanted:
+            if not 0 <= session < len(sessions):
+                raise ModelError(
+                    f"user {user} subscribes to unknown session {session}"
+                )
+            pairs.append((user, session))
+    if not pairs:
+        raise ModelError("no subscriptions at all")
+    virtual_rates = np.column_stack(
+        [rates[:, user] for user, _ in pairs]
+    )
+    virtual_sessions = [session for _, session in pairs]
+    problem = MulticastAssociationProblem(
+        virtual_rates, virtual_sessions, sessions, budgets
+    )
+    return SubscriptionProblem(
+        problem=problem,
+        subscriptions=tuple(pairs),
+        n_physical_users=n_users,
+    )
+
+
+@dataclass(frozen=True)
+class SubscriptionOutcome:
+    """Mapped-back result of solving the virtual instance."""
+
+    served_subscriptions: int
+    total_subscriptions: int
+    satisfied_users: int
+    n_physical_users: int
+    ap_of_subscription: Mapping[tuple[int, int], int | None]
+
+    @property
+    def subscription_fraction(self) -> float:
+        if self.total_subscriptions == 0:
+            return 1.0
+        return self.served_subscriptions / self.total_subscriptions
+
+
+def map_back(
+    expanded: SubscriptionProblem,
+    assignment: Assignment,
+    *,
+    satisfaction: Literal["subscriptions", "all-or-nothing"] = "subscriptions",
+) -> SubscriptionOutcome:
+    """Interpret a virtual-user assignment in physical terms."""
+    if assignment.problem is not expanded.problem:
+        raise ModelError("assignment does not belong to this expansion")
+    if satisfaction not in ("subscriptions", "all-or-nothing"):
+        raise ModelError(f"unknown satisfaction mode {satisfaction!r}")
+    ap_of_subscription: dict[tuple[int, int], int | None] = {}
+    served_by_user: dict[int, list[bool]] = {}
+    for virtual, (user, session) in enumerate(expanded.subscriptions):
+        ap = assignment.ap_of(virtual)
+        ap_of_subscription[(user, session)] = ap
+        served_by_user.setdefault(user, []).append(ap is not None)
+    served = sum(1 for ap in ap_of_subscription.values() if ap is not None)
+    if satisfaction == "subscriptions":
+        satisfied = sum(
+            1 for flags in served_by_user.values() if any(flags)
+        )
+    else:
+        satisfied = sum(
+            1 for flags in served_by_user.values() if all(flags)
+        )
+    return SubscriptionOutcome(
+        served_subscriptions=served,
+        total_subscriptions=len(expanded.subscriptions),
+        satisfied_users=satisfied,
+        n_physical_users=expanded.n_physical_users,
+        ap_of_subscription=ap_of_subscription,
+    )
+
+
+def single_radio_conflicts(
+    expanded: SubscriptionProblem, assignment: Assignment
+) -> list[int]:
+    """Users whose subscriptions landed on *different* APs.
+
+    A single-radio client can only sit on one AP at a time; serving its
+    subscriptions from several APs needs the multi-association framework
+    the paper cites ([16], synchronized APs). This reports which users
+    would need it.
+    """
+    by_user: dict[int, set[int]] = {}
+    for virtual, (user, _) in enumerate(expanded.subscriptions):
+        ap = assignment.ap_of(virtual)
+        if ap is not None:
+            by_user.setdefault(user, set()).add(ap)
+    return sorted(u for u, aps in by_user.items() if len(aps) > 1)

@@ -1,0 +1,107 @@
+"""Experiment harness: metrics, sweeps, figure runners, reporting."""
+
+from repro.eval.aggregate import (
+    SeriesStats,
+    aggregate,
+    relative_improvement,
+    relative_increase,
+)
+from repro.eval.experiments import (
+    METRICS,
+    ExperimentPoint,
+    ExperimentResult,
+    run_sweep,
+)
+from repro.eval.figures import (
+    BLA_ALGORITHMS,
+    FIGURES,
+    MLA_ALGORITHMS,
+    MNU_ALGORITHMS,
+    fig9a,
+    fig9b,
+    fig9c,
+    fig10a,
+    fig10b,
+    fig10c,
+    fig11,
+    fig12a,
+    fig12b,
+    fig12c,
+)
+from repro.eval.headline import HeadlineClaim, headline_report
+from repro.eval.metrics import ALGORITHMS, AlgorithmResult, run_algorithm
+from repro.eval.plots import PlotGeometry, plot_experiment, render_series
+from repro.eval.sweeps import (
+    ParameterStudy,
+    StudyCell,
+    StudyResult,
+    render_study,
+    study_to_csv,
+)
+from repro.eval.stats import (
+    ConfidenceInterval,
+    PairedComparison,
+    format_win_matrix,
+    mean_confidence_interval,
+    paired_comparison,
+    win_matrix,
+)
+from repro.eval.extensions import EXTENSIONS
+from repro.eval.suite import generate_report, write_report
+from repro.eval.reporting import (
+    format_comparison,
+    format_table,
+    to_csv_string,
+    write_csv,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmResult",
+    "BLA_ALGORITHMS",
+    "ConfidenceInterval",
+    "EXTENSIONS",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "FIGURES",
+    "HeadlineClaim",
+    "METRICS",
+    "MLA_ALGORITHMS",
+    "MNU_ALGORITHMS",
+    "PairedComparison",
+    "ParameterStudy",
+    "PlotGeometry",
+    "SeriesStats",
+    "StudyCell",
+    "StudyResult",
+    "aggregate",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig12c",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "format_comparison",
+    "format_table",
+    "format_win_matrix",
+    "generate_report",
+    "headline_report",
+    "mean_confidence_interval",
+    "paired_comparison",
+    "plot_experiment",
+    "relative_improvement",
+    "relative_increase",
+    "render_series",
+    "render_study",
+    "run_algorithm",
+    "run_sweep",
+    "study_to_csv",
+    "to_csv_string",
+    "win_matrix",
+    "write_csv",
+    "write_report",
+]

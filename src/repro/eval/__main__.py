@@ -1,0 +1,122 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.eval list
+    python -m repro.eval run fig9a --scenarios 5 --seed 0 [--csv out.csv]
+    python -m repro.eval run all --scenarios 3
+    python -m repro.eval headline --scenarios 5
+
+``--scenarios 40`` reproduces the paper's averaging exactly (slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.extensions import EXTENSIONS
+from repro.eval.figures import FIGURES
+from repro.eval.headline import headline_report
+from repro.eval.reporting import format_table, write_csv
+
+RUNNERS = {**FIGURES, **EXTENSIONS}
+
+
+def _cmd_list() -> int:
+    for name, runner in sorted(RUNNERS.items()):
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<18} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.figure == "all":
+        names = sorted(FIGURES)  # 'all' = the paper's figures
+    elif args.figure == "ext":
+        names = sorted(EXTENSIONS)
+    else:
+        names = [args.figure]
+    for name in names:
+        if name not in RUNNERS:
+            print(f"unknown figure {name!r}; try 'list'", file=sys.stderr)
+            return 2
+    for name in names:
+        result = RUNNERS[name](
+            args.scenarios,
+            base_seed=args.seed,
+            progress=(lambda msg: print(f"  .. {msg}", file=sys.stderr))
+            if args.verbose
+            else None,
+        )
+        print(format_table(result))
+        print()
+        if args.plot:
+            from repro.eval.plots import plot_experiment
+
+            print(plot_experiment(result))
+            print()
+        if args.csv:
+            path = args.csv if len(names) == 1 else f"{name}_{args.csv}"
+            with open(path, "w", newline="") as stream:
+                write_csv(result, stream)
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    for claim in headline_report(args.scenarios, args.seed):
+        print(claim.format())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figures")
+
+    run = sub.add_parser("run", help="run one figure (or 'all')")
+    run.add_argument("figure")
+    run.add_argument("--scenarios", type=int, default=5)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--csv", default=None)
+    run.add_argument("--plot", action="store_true")
+    run.add_argument("--verbose", action="store_true")
+
+    headline = sub.add_parser("headline", help="re-measure the headline claims")
+    headline.add_argument("--scenarios", type=int, default=5)
+    headline.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="write a full Markdown report")
+    report.add_argument("--scenarios", type=int, default=5)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", default="report.md")
+    report.add_argument("--extensions", action="store_true")
+    report.add_argument("--plots", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "headline":
+        return _cmd_headline(args)
+    if args.command == "report":
+        from repro.eval.suite import write_report
+
+        write_report(
+            args.out,
+            n_scenarios=args.scenarios,
+            base_seed=args.seed,
+            include_extensions=args.extensions,
+            include_plots=args.plots,
+            progress=lambda msg: print(f"  .. {msg}", file=sys.stderr),
+        )
+        print(f"wrote {args.out}")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

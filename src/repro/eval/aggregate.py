@@ -1,0 +1,56 @@
+"""Multi-scenario aggregation: the paper's avg/min/max over 40 runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Average, minimum and maximum of one metric across scenarios."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SeriesStats":
+        if not values:
+            raise ValueError("cannot aggregate an empty sample")
+        return cls(
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            n=len(values),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} [{self.minimum:.4f}, {self.maximum:.4f}]"
+
+
+def aggregate(
+    samples: Iterable[object], metric: Callable[[object], float]
+) -> SeriesStats:
+    """Aggregate ``metric`` over a collection of result objects."""
+    return SeriesStats.of([metric(sample) for sample in samples])
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """Fractional improvement of a *smaller-is-better* metric vs baseline.
+
+    ``0.31`` means a 31 % reduction relative to the baseline. Returns 0 for
+    a zero baseline (no improvement measurable).
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline
+
+
+def relative_increase(baseline: float, improved: float) -> float:
+    """Fractional increase of a *larger-is-better* metric vs baseline."""
+    if baseline == 0:
+        return math.inf if improved > 0 else 0.0
+    return (improved - baseline) / baseline

@@ -1,0 +1,189 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Registered in the CLI next to the paper figures (``python -m repro.eval
+run ext-baselines`` etc.):
+
+* ``ext-baselines`` — the paper's algorithms against the related-work
+  association metrics (random, least-users, least-load);
+* ``ext-hotspot`` — max AP load on clustered (hotspot) demand;
+* ``ext-basic-rate`` — the 802.11-standard regime where multicast is
+  pinned to the basic rate (the paper notes its results still apply);
+* ``ext-certificates`` — certified LP optimality gaps at full scale, where
+  the exact ILP is out of reach.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.bla import solve_bla
+from repro.core.bounds import quality_certificate
+from repro.core.mla import solve_mla
+from repro.eval.aggregate import SeriesStats
+from repro.eval.experiments import (
+    ExperimentPoint,
+    ExperimentResult,
+    run_sweep,
+)
+from repro.scenarios.generator import PAPER_AREA, generate
+from repro.scenarios.hotspots import generate_hotspot
+from repro.scenarios.presets import SweepPoint
+
+Progress = Callable[[str], None] | None
+
+
+def _uniform_points(
+    users: Sequence[int], n_scenarios: int, base_seed: int, **kwargs
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            x=u,
+            scenarios=tuple(
+                generate(
+                    seed=base_seed + i, n_users=int(u), budget=math.inf,
+                    **kwargs,
+                )
+                for i in range(n_scenarios)
+            ),
+        )
+        for u in users
+    ]
+
+
+def ext_baselines(
+    n_scenarios: int = 5,
+    *,
+    users: Sequence[int] = (100, 200, 300),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Total load: paper algorithms vs related-work association metrics."""
+    return run_sweep(
+        "ext-baselines",
+        "number of users",
+        "total_load",
+        ("c-mla", "d-mla", "ssa", "least-load", "least-users", "random"),
+        _uniform_points(users, n_scenarios, base_seed, n_aps=100, n_sessions=5),
+        progress=progress,
+    )
+
+
+def ext_hotspot(
+    n_scenarios: int = 5,
+    *,
+    users: Sequence[int] = (60, 120, 180),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Max AP load under clustered (hotspot) demand."""
+    points = [
+        SweepPoint(
+            x=u,
+            scenarios=tuple(
+                generate_hotspot(
+                    n_aps=100,
+                    n_users=int(u),
+                    n_sessions=5,
+                    seed=base_seed + i,
+                    area=PAPER_AREA,
+                    n_hotspots=4,
+                    spread_m=50.0,
+                )
+                for i in range(n_scenarios)
+            ),
+        )
+        for u in users
+    ]
+    return run_sweep(
+        "ext-hotspot",
+        "number of users",
+        "max_load",
+        ("c-bla", "d-bla", "ssa"),
+        points,
+        progress=progress,
+    )
+
+
+def ext_basic_rate(
+    n_scenarios: int = 5,
+    *,
+    users: Sequence[int] = (100, 200, 300),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """The 802.11-standard regime: multicast pinned to the 6 Mbps basic rate.
+
+    The paper's NP-hardness proofs and algorithms do not require multi-rate
+    transmission; this sweep shows the algorithms keep beating SSA there
+    (with uniformly higher absolute loads, since every transmission is slow).
+    """
+    return run_sweep(
+        "ext-basic-rate",
+        "number of users",
+        "total_load",
+        ("c-mla", "d-mla", "ssa"),
+        _uniform_points(users, n_scenarios, base_seed, n_aps=100, n_sessions=5),
+        problem_transform=lambda p: p.basic_rate_only(6.0),
+        progress=progress,
+    )
+
+
+def ext_certificates(
+    n_scenarios: int = 5,
+    *,
+    users: Sequence[int] = (100, 200, 300),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Certified LP optimality gaps of the MLA/BLA heuristics at scale.
+
+    Reported as a synthetic two-series experiment (gap of ``c-mla`` on the
+    total-load objective, gap of ``c-bla`` on the max-load objective).
+    """
+    points: list[ExperimentPoint] = []
+    for u in users:
+        mla_gaps, bla_gaps = [], []
+        for i in range(n_scenarios):
+            problem = generate(
+                seed=base_seed + i,
+                n_users=int(u),
+                n_aps=100,
+                n_sessions=5,
+                budget=math.inf,
+            ).problem()
+            mla_gaps.append(
+                quality_certificate(solve_mla(problem).assignment, "mla").gap
+            )
+            bla_gaps.append(
+                quality_certificate(
+                    solve_bla(problem, n_guesses=8, refine_steps=6).assignment,
+                    "bla",
+                ).gap
+            )
+        points.append(
+            ExperimentPoint(
+                x=u,
+                stats={
+                    "c-mla gap": SeriesStats.of(mla_gaps),
+                    "c-bla gap": SeriesStats.of(bla_gaps),
+                },
+            )
+        )
+        if progress is not None:
+            progress(f"ext-certificates: x={u} done")
+    return ExperimentResult(
+        name="ext-certificates",
+        x_label="number of users",
+        metric="certified optimality gap",
+        algorithms=("c-mla gap", "c-bla gap"),
+        points=tuple(points),
+    )
+
+
+EXTENSIONS: dict[str, Callable[..., ExperimentResult]] = {
+    "ext-baselines": ext_baselines,
+    "ext-hotspot": ext_hotspot,
+    "ext-basic-rate": ext_basic_rate,
+    "ext-certificates": ext_certificates,
+}

@@ -1,0 +1,236 @@
+"""Per-figure experiment definitions (paper Section 7).
+
+One runner per evaluation artifact — Figs 9(a–c), 10(a–c), 11 and 12(a–c) —
+each returning an :class:`~repro.eval.experiments.ExperimentResult` with the
+same x-axis, series and metric the paper plots. ``n_scenarios=40``
+reproduces the paper's averaging; the default is smaller so the whole suite
+runs in minutes on a laptop (the shapes are stable well below 40 seeds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.eval.experiments import ExperimentResult, run_sweep
+from repro.scenarios.presets import (
+    FIG11_BUDGETS,
+    FIG12C_BUDGET,
+    SweepPoint,
+    fig9a_users_sweep,
+    fig9b_aps_sweep,
+    fig9c_sessions_sweep,
+    fig11_budget_scenarios,
+    fig12_users_sweep,
+)
+
+DEFAULT_N_SCENARIOS = 5
+
+MLA_ALGORITHMS = ("c-mla", "d-mla", "ssa")
+BLA_ALGORITHMS = ("c-bla", "d-bla", "ssa")
+MNU_ALGORITHMS = ("c-mnu", "d-mnu", "ssa-budget")
+
+Progress = Callable[[str], None] | None
+
+
+def fig9a(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    users: Sequence[int] = (50, 100, 150, 200, 250, 300, 350, 400),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 9(a): total load vs number of users (200 APs, 5 sessions)."""
+    return run_sweep(
+        "fig9a",
+        "number of users",
+        "total_load",
+        MLA_ALGORITHMS,
+        fig9a_users_sweep(n_scenarios, base_seed, users),
+        progress=progress,
+    )
+
+
+def fig9b(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    aps: Sequence[int] = (50, 75, 100, 125, 150, 175, 200),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 9(b): total load vs number of APs (100 users)."""
+    return run_sweep(
+        "fig9b",
+        "number of APs",
+        "total_load",
+        MLA_ALGORITHMS,
+        fig9b_aps_sweep(n_scenarios, base_seed, aps),
+        progress=progress,
+    )
+
+
+def fig9c(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    sessions: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 9(c): total load vs number of sessions (200 APs, 200 users)."""
+    return run_sweep(
+        "fig9c",
+        "number of sessions",
+        "total_load",
+        MLA_ALGORITHMS,
+        fig9c_sessions_sweep(n_scenarios, base_seed, sessions),
+        progress=progress,
+    )
+
+
+def fig10a(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    users: Sequence[int] = (50, 100, 150, 200, 250, 300, 350, 400),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 10(a): max AP load vs number of users (200 APs)."""
+    return run_sweep(
+        "fig10a",
+        "number of users",
+        "max_load",
+        BLA_ALGORITHMS,
+        fig9a_users_sweep(n_scenarios, base_seed, users),
+        progress=progress,
+    )
+
+
+def fig10b(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    aps: Sequence[int] = (50, 75, 100, 125, 150, 175, 200),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 10(b): max AP load vs number of APs (100 users)."""
+    return run_sweep(
+        "fig10b",
+        "number of APs",
+        "max_load",
+        BLA_ALGORITHMS,
+        fig9b_aps_sweep(n_scenarios, base_seed, aps),
+        progress=progress,
+    )
+
+
+def fig10c(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    sessions: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 10(c): max AP load vs number of sessions (200 APs, 200 users)."""
+    return run_sweep(
+        "fig10c",
+        "number of sessions",
+        "max_load",
+        BLA_ALGORITHMS,
+        fig9c_sessions_sweep(n_scenarios, base_seed, sessions),
+        progress=progress,
+    )
+
+
+def fig11(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    budgets: Sequence[float] = FIG11_BUDGETS,
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 11: satisfied users vs per-AP budget (400 users, 100 APs, 18 sessions)."""
+    base = fig11_budget_scenarios(n_scenarios, base_seed)
+    points = [
+        SweepPoint(
+            x=budget,
+            scenarios=tuple(s.with_budget(budget) for s in base),
+        )
+        for budget in budgets
+    ]
+    return run_sweep(
+        "fig11",
+        "multicast load limit (budget)",
+        "n_served",
+        MNU_ALGORITHMS,
+        points,
+        progress=progress,
+    )
+
+
+def fig12a(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    users: Sequence[int] = (10, 20, 30, 40, 50),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 12(a): total load vs optimal (30 APs, 600 m square)."""
+    return run_sweep(
+        "fig12a",
+        "number of users",
+        "total_load",
+        ("c-mla", "d-mla", "ssa", "opt-mla"),
+        fig12_users_sweep(n_scenarios, base_seed, users),
+        progress=progress,
+    )
+
+
+def fig12b(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    users: Sequence[int] = (10, 20, 30, 40, 50),
+    base_seed: int = 0,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 12(b): max AP load vs optimal (30 APs)."""
+    return run_sweep(
+        "fig12b",
+        "number of users",
+        "max_load",
+        ("c-bla", "d-bla", "ssa", "opt-bla"),
+        fig12_users_sweep(n_scenarios, base_seed, users),
+        progress=progress,
+    )
+
+
+def fig12c(
+    n_scenarios: int = DEFAULT_N_SCENARIOS,
+    *,
+    users: Sequence[int] = (10, 20, 30, 40, 50),
+    base_seed: int = 0,
+    budget: float = FIG12C_BUDGET,
+    progress: Progress = None,
+) -> ExperimentResult:
+    """Fig 12(c): unsatisfied users vs optimal, budget 0.042 (30 APs)."""
+    return run_sweep(
+        "fig12c",
+        "number of users",
+        "n_unsatisfied",
+        ("c-mnu", "d-mnu", "ssa-budget", "opt-mnu"),
+        fig12_users_sweep(n_scenarios, base_seed, users, budget=budget),
+        progress=progress,
+    )
+
+
+#: Every figure runner keyed by experiment id.
+FIGURES: dict[str, Callable[..., ExperimentResult]] = {
+    "fig9a": fig9a,
+    "fig9b": fig9b,
+    "fig9c": fig9c,
+    "fig10a": fig10a,
+    "fig10b": fig10b,
+    "fig10c": fig10c,
+    "fig11": fig11,
+    "fig12a": fig12a,
+    "fig12b": fig12b,
+    "fig12c": fig12c,
+}

@@ -1,0 +1,116 @@
+"""The paper's headline claims, recomputed from our experiments.
+
+Abstract / Section 7 claims (vs the SSA baseline):
+
+* MNU increases the number of satisfied users by up to **36.9 %**
+  (centralized) / 20.2 % (distributed) — Fig 11, budget 0.04;
+* BLA reduces the maximum AP load by up to **52.9 %** (centralized) /
+  50.5 % (distributed) — Fig 10(a), 400 users;
+* MLA reduces the total load by up to **31.1 %** (centralized) / 30.1 %
+  (distributed) — Fig 9(a), 400 users.
+
+:func:`headline_report` reruns exactly those operating points and reports
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.figures import fig9a, fig10a, fig11
+
+
+@dataclass(frozen=True)
+class HeadlineClaim:
+    """One paper claim and our measured counterpart."""
+
+    name: str
+    operating_point: str
+    paper_centralized: float
+    paper_distributed: float
+    measured_centralized: float
+    measured_distributed: float
+
+    def format(self) -> str:
+        return (
+            f"{self.name} @ {self.operating_point}: "
+            f"paper C {self.paper_centralized:+.1%} / D "
+            f"{self.paper_distributed:+.1%}; measured C "
+            f"{self.measured_centralized:+.1%} / D "
+            f"{self.measured_distributed:+.1%}"
+        )
+
+
+def _gain_at(
+    result: ExperimentResult,
+    x: float,
+    centralized: str,
+    distributed: str,
+    baseline: str,
+    *,
+    larger_is_better: bool,
+) -> tuple[float, float]:
+    point = next(p for p in result.points if p.x == x)
+    base = point.stats[baseline].mean
+    if base == 0:
+        return 0.0, 0.0
+
+    def gain(algorithm: str) -> float:
+        value = point.stats[algorithm].mean
+        if larger_is_better:
+            return (value - base) / base
+        return (base - value) / base
+
+    return gain(centralized), gain(distributed)
+
+
+def headline_report(n_scenarios: int = 5, base_seed: int = 0) -> list[HeadlineClaim]:
+    """Re-measure the three headline claims (see module docstring)."""
+    claims: list[HeadlineClaim] = []
+
+    mla = fig9a(n_scenarios, users=(400,), base_seed=base_seed)
+    c_gain, d_gain = _gain_at(
+        mla, 400, "c-mla", "d-mla", "ssa", larger_is_better=False
+    )
+    claims.append(
+        HeadlineClaim(
+            name="MLA total-load reduction",
+            operating_point="400 users, 200 APs",
+            paper_centralized=0.311,
+            paper_distributed=0.301,
+            measured_centralized=c_gain,
+            measured_distributed=d_gain,
+        )
+    )
+
+    bla = fig10a(n_scenarios, users=(400,), base_seed=base_seed)
+    c_gain, d_gain = _gain_at(
+        bla, 400, "c-bla", "d-bla", "ssa", larger_is_better=False
+    )
+    claims.append(
+        HeadlineClaim(
+            name="BLA max-load reduction",
+            operating_point="400 users, 200 APs",
+            paper_centralized=0.529,
+            paper_distributed=0.505,
+            measured_centralized=c_gain,
+            measured_distributed=d_gain,
+        )
+    )
+
+    mnu = fig11(n_scenarios, budgets=(0.04,), base_seed=base_seed)
+    c_gain, d_gain = _gain_at(
+        mnu, 0.04, "c-mnu", "d-mnu", "ssa-budget", larger_is_better=True
+    )
+    claims.append(
+        HeadlineClaim(
+            name="MNU satisfied-user increase",
+            operating_point="budget 0.04, 400 users, 100 APs, 18 sessions",
+            paper_centralized=0.369,
+            paper_distributed=0.202,
+            measured_centralized=c_gain,
+            measured_distributed=d_gain,
+        )
+    )
+    return claims

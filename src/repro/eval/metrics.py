@@ -1,0 +1,166 @@
+"""Uniform algorithm invocation and metric extraction.
+
+Every solver in the library is wrapped behind one registry so that the
+experiment harness, benchmarks and examples can say "run ``c-mla`` on this
+problem" and get back the three metrics the paper reports: total load
+(Fig 9), max AP load (Fig 10) and satisfied users (Figs 11/12c).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.assignment import Assignment
+from repro.core.baselines import (
+    solve_least_load,
+    solve_least_users,
+    solve_random,
+)
+from repro.core.bla import solve_bla
+from repro.core.distributed import run_distributed
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.optimal import (
+    solve_bla_optimal,
+    solve_mla_optimal,
+    solve_mnu_optimal,
+)
+from repro.core.problem import MulticastAssociationProblem
+from repro.core.ssa import solve_ssa
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """One (algorithm, instance) evaluation."""
+
+    algorithm: str
+    n_users: int
+    n_served: int
+    total_load: float
+    max_load: float
+    runtime_s: float
+
+    @property
+    def n_unsatisfied(self) -> int:
+        return self.n_users - self.n_served
+
+    @property
+    def satisfied_fraction(self) -> float:
+        return self.n_served / self.n_users if self.n_users else 1.0
+
+
+def _metrics(name: str, assignment: Assignment, elapsed: float) -> AlgorithmResult:
+    return AlgorithmResult(
+        algorithm=name,
+        n_users=assignment.problem.n_users,
+        n_served=assignment.n_served,
+        total_load=assignment.total_load(),
+        max_load=assignment.max_load(),
+        runtime_s=elapsed,
+    )
+
+
+Solver = Callable[[MulticastAssociationProblem, random.Random], Assignment]
+
+
+def _ssa(problem, rng):
+    return solve_ssa(problem, enforce_budgets=False, rng=rng).assignment
+
+
+def _ssa_budget(problem, rng):
+    return solve_ssa(problem, enforce_budgets=True, rng=rng).assignment
+
+
+def _c_mla(problem, rng):
+    return solve_mla(problem).assignment
+
+
+def _c_bla(problem, rng):
+    return solve_bla(problem).assignment
+
+
+def _c_mnu(problem, rng):
+    return solve_mnu(problem).assignment
+
+
+def _c_mnu_augmented(problem, rng):
+    return solve_mnu(problem, augment=True).assignment
+
+
+def _d_mla(problem, rng):
+    return run_distributed(problem, "mla", rng=rng).assignment
+
+
+def _d_bla(problem, rng):
+    return run_distributed(problem, "bla", rng=rng).assignment
+
+
+def _d_mnu(problem, rng):
+    return run_distributed(problem, "mnu", rng=rng).assignment
+
+
+def _random_assoc(problem, rng):
+    return solve_random(problem, rng=rng).assignment
+
+
+def _least_users(problem, rng):
+    return solve_least_users(problem, rng=rng).assignment
+
+
+def _least_load(problem, rng):
+    return solve_least_load(problem, rng=rng).assignment
+
+
+def _opt_mla(problem, rng):
+    return solve_mla_optimal(problem).assignment
+
+
+def _opt_bla(problem, rng):
+    return solve_bla_optimal(problem).assignment
+
+
+def _opt_mnu(problem, rng):
+    return solve_mnu_optimal(problem).assignment
+
+
+#: Registry of every runnable algorithm. ``ssa`` ignores budgets (Figs
+#: 9/10/12a/12b); ``ssa-budget`` admits users under per-AP budgets (Figs
+#: 11/12c).
+ALGORITHMS: dict[str, Solver] = {
+    "ssa": _ssa,
+    "ssa-budget": _ssa_budget,
+    "c-mla": _c_mla,
+    "c-bla": _c_bla,
+    "c-mnu": _c_mnu,
+    "c-mnu+aug": _c_mnu_augmented,
+    "d-mla": _d_mla,
+    "d-bla": _d_bla,
+    "d-mnu": _d_mnu,
+    "opt-mla": _opt_mla,
+    "opt-bla": _opt_bla,
+    "opt-mnu": _opt_mnu,
+    "random": _random_assoc,
+    "least-users": _least_users,
+    "least-load": _least_load,
+}
+
+
+def run_algorithm(
+    name: str,
+    problem: MulticastAssociationProblem,
+    *,
+    seed: int = 0,
+) -> AlgorithmResult:
+    """Run a registered algorithm and extract the paper's metrics."""
+    if name not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    assignment = ALGORITHMS[name](problem, rng)
+    elapsed = time.perf_counter() - start
+    return _metrics(name, assignment, elapsed)

@@ -1,0 +1,121 @@
+"""Terminal (ASCII) charts for experiment results.
+
+The repository has no plotting dependency; these renderers draw the
+paper's figures as terminal line charts — good enough to eyeball the
+shapes (who wins, where curves cross) directly from the CLI:
+
+    python -m repro.eval run fig9a --plot
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.eval.experiments import ExperimentResult
+
+#: Plot glyphs assigned to series in order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+@dataclass(frozen=True)
+class PlotGeometry:
+    """Canvas size in characters."""
+
+    width: int = 64
+    height: int = 18
+
+    def __post_init__(self) -> None:
+        if self.width < 16 or self.height < 6:
+            raise ValueError("canvas too small to plot on")
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, round(fraction * (steps - 1))))
+
+
+def render_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    geometry: PlotGeometry = PlotGeometry(),
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named series over shared x values as an ASCII chart."""
+    if not xs:
+        raise ValueError("nothing to plot")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("nothing to plot")
+    y_lo = min(0.0, min(all_values))
+    y_hi = max(all_values)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * geometry.width for _ in range(geometry.height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        previous: tuple[int, int] | None = None
+        for x, y in zip(xs, values):
+            col = _scale(x, x_lo, x_hi, geometry.width)
+            row = geometry.height - 1 - _scale(y, y_lo, y_hi, geometry.height)
+            # connect with a sparse line toward the previous point
+            if previous is not None:
+                pc, pr = previous
+                steps = max(abs(col - pc), abs(row - pr))
+                for step in range(1, steps):
+                    ic = pc + round((col - pc) * step / steps)
+                    ir = pr + round((row - pr) * step / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[row][col] = glyph
+            previous = (col, row)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == geometry.height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = "-" * geometry.width
+    lines.append(f"{' ' * margin}+{axis}")
+    x_axis = f"{x_lo:g}".ljust(geometry.width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(f"{' ' * margin} {x_axis}")
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * margin} [{y_label} vs {x_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def plot_experiment(
+    result: ExperimentResult, *, geometry: PlotGeometry = PlotGeometry()
+) -> str:
+    """Render an :class:`ExperimentResult` (mean series) as an ASCII chart."""
+    series = {name: result.series(name) for name in result.algorithms}
+    return render_series(
+        result.xs(),
+        series,
+        geometry=geometry,
+        x_label=result.x_label,
+        y_label=result.metric,
+        title=f"== {result.name}: {result.metric} vs {result.x_label} ==",
+    )

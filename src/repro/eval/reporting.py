@@ -1,0 +1,91 @@
+"""Rendering experiment results: ASCII tables and CSV files."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TextIO
+
+from repro.eval.experiments import ExperimentResult
+
+
+def format_table(result: ExperimentResult, *, precision: int = 4) -> str:
+    """The figure as a plain-text table: one row per x, one column set per
+    algorithm (mean [min, max])."""
+    header = [result.x_label] + [f"{a} (mean [min,max])" for a in result.algorithms]
+    rows: list[list[str]] = []
+    for point in result.points:
+        row = [f"{point.x:g}"]
+        for algorithm in result.algorithms:
+            stats = point.stats[algorithm]
+            row.append(
+                f"{stats.mean:.{precision}f} "
+                f"[{stats.minimum:.{precision}f}, {stats.maximum:.{precision}f}]"
+            )
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    lines = [
+        f"== {result.name}: {result.metric} vs {result.x_label} ==",
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(result: ExperimentResult, stream: TextIO) -> None:
+    """Long-format CSV: figure, x, algorithm, mean, min, max, n."""
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["figure", "metric", "x_label", "x", "algorithm", "mean", "min", "max", "n"]
+    )
+    for point in result.points:
+        for algorithm in result.algorithms:
+            stats = point.stats[algorithm]
+            writer.writerow(
+                [
+                    result.name,
+                    result.metric,
+                    result.x_label,
+                    point.x,
+                    algorithm,
+                    f"{stats.mean:.6f}",
+                    f"{stats.minimum:.6f}",
+                    f"{stats.maximum:.6f}",
+                    stats.n,
+                ]
+            )
+
+
+def to_csv_string(result: ExperimentResult) -> str:
+    buffer = io.StringIO()
+    write_csv(result, buffer)
+    return buffer.getvalue()
+
+
+def format_comparison(
+    result: ExperimentResult, baseline: str, *, larger_is_better: bool = False
+) -> str:
+    """Per-point relative gap of every algorithm vs a baseline algorithm."""
+    if baseline not in result.algorithms:
+        raise KeyError(f"{baseline!r} is not part of {result.name}")
+    lines = [f"== {result.name}: improvement vs {baseline} =="]
+    for point in result.points:
+        base = point.stats[baseline].mean
+        parts = []
+        for algorithm in result.algorithms:
+            if algorithm == baseline:
+                continue
+            value = point.stats[algorithm].mean
+            if base == 0:
+                gain = 0.0
+            elif larger_is_better:
+                gain = (value - base) / base
+            else:
+                gain = (base - value) / base
+            parts.append(f"{algorithm}: {gain:+.1%}")
+        lines.append(f"  x={point.x:g}: " + ", ".join(parts))
+    return "\n".join(lines)

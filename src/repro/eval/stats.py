@@ -1,0 +1,145 @@
+"""Statistical rigor for experiment comparisons.
+
+The paper reports avg/min/max over 40 scenarios; these helpers add what a
+careful reader wants on top: t-based confidence intervals on means,
+paired t-tests between algorithms on common scenarios (the sweeps are
+seed-matched, so pairing is valid and much more powerful), and win/loss
+matrices across an algorithm pool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Mean with a symmetric t-based confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4f} "
+            f"[{self.lower:.4f}, {self.upper:.4f}] @ {self.confidence:.0%}"
+        )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of ``values``.
+
+    With a single sample the interval degenerates to the point estimate.
+    """
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean, mean, mean, confidence, n)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    half_width = scipy_stats.t.ppf((1 + confidence) / 2, df=n - 1) * sem
+    return ConfidenceInterval(
+        mean, mean - half_width, mean + half_width, confidence, n
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired t-test between two seed-matched samples."""
+
+    mean_difference: float  # a - b
+    interval: ConfidenceInterval
+    t_statistic: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_comparison(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired t-test of ``a`` vs ``b`` measured on the same scenarios."""
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least two pairs")
+    differences = [x - y for x, y in zip(a, b)]
+    interval = mean_confidence_interval(differences, confidence)
+    if all(d == differences[0] for d in differences):
+        # zero variance: scipy returns nan; define the degenerate outcome
+        t_stat = math.inf if differences[0] != 0 else 0.0
+        p_value = 0.0 if differences[0] != 0 else 1.0
+    else:
+        t_stat, p_value = scipy_stats.ttest_rel(a, b)
+    return PairedComparison(
+        mean_difference=interval.mean,
+        interval=interval,
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+    )
+
+
+def win_matrix(
+    samples: Mapping[str, Sequence[float]],
+    *,
+    smaller_is_better: bool = True,
+) -> dict[str, dict[str, float]]:
+    """Pairwise win fractions over seed-matched runs.
+
+    ``matrix[a][b]`` is the fraction of scenarios where ``a`` strictly
+    beats ``b``; ties count for neither side.
+    """
+    names = list(samples)
+    lengths = {len(v) for v in samples.values()}
+    if len(lengths) > 1:
+        raise ValueError("all samples must cover the same scenarios")
+    (n,) = lengths or {0}
+    if n == 0:
+        raise ValueError("cannot compare empty samples")
+    matrix: dict[str, dict[str, float]] = {}
+    for a in names:
+        matrix[a] = {}
+        for b in names:
+            if a == b:
+                continue
+            wins = sum(
+                1
+                for x, y in zip(samples[a], samples[b])
+                if (x < y) == smaller_is_better and x != y
+            )
+            matrix[a][b] = wins / n
+    return matrix
+
+
+def format_win_matrix(matrix: Mapping[str, Mapping[str, float]]) -> str:
+    """Readable table of a :func:`win_matrix` result."""
+    names = list(matrix)
+    width = max(len(n) for n in names) + 2
+    header = " " * width + "".join(n.ljust(width) for n in names)
+    lines = [header]
+    for a in names:
+        cells = []
+        for b in names:
+            cells.append(
+                "--".ljust(width)
+                if a == b
+                else f"{matrix[a][b]:.0%}".ljust(width)
+            )
+        lines.append(a.ljust(width) + "".join(cells))
+    return "\n".join(lines)

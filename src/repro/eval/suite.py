@@ -1,0 +1,105 @@
+"""One-shot evaluation report: every figure, one Markdown document.
+
+``generate_report`` runs a set of figure runners and renders their tables
+(and optionally ASCII charts) into a single Markdown string;
+``write_report`` saves it. The EXPERIMENTS.md tables in this repository
+come from this machinery:
+
+    python -m repro.eval report --scenarios 5 --out report.md
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping, Sequence
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.extensions import EXTENSIONS
+from repro.eval.figures import FIGURES
+from repro.eval.plots import plot_experiment
+from repro.eval.reporting import format_table
+
+Runner = Callable[..., ExperimentResult]
+
+
+def _render_section(
+    name: str,
+    runner: Runner,
+    n_scenarios: int,
+    base_seed: int,
+    overrides: Mapping[str, Mapping] | None,
+    include_plots: bool,
+) -> str:
+    kwargs = dict(overrides.get(name, {})) if overrides else {}
+    start = time.perf_counter()
+    result = runner(n_scenarios, base_seed=base_seed, **kwargs)
+    elapsed = time.perf_counter() - start
+    doc = (runner.__doc__ or "").strip().splitlines()
+    blurb = doc[0] if doc else ""
+    parts = [
+        f"## {name}",
+        "",
+        blurb,
+        "",
+        "```",
+        format_table(result),
+        "```",
+    ]
+    if include_plots:
+        parts += ["", "```", plot_experiment(result), "```"]
+    parts += ["", f"_{n_scenarios} scenario(s), {elapsed:.1f} s._", ""]
+    return "\n".join(parts)
+
+
+def generate_report(
+    n_scenarios: int = 5,
+    *,
+    base_seed: int = 0,
+    figures: Sequence[str] | None = None,
+    include_extensions: bool = False,
+    include_plots: bool = False,
+    overrides: Mapping[str, Mapping] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> str:
+    """Run the selected figures and render one Markdown report.
+
+    ``figures=None`` runs all paper figures (plus the extension
+    experiments when ``include_extensions``); ``overrides`` passes
+    per-figure keyword arguments (e.g. smaller sweep grids).
+    """
+    registry: dict[str, Runner] = dict(FIGURES)
+    if include_extensions:
+        registry.update(EXTENSIONS)
+    names = sorted(registry) if figures is None else list(figures)
+    for name in names:
+        if name not in registry:
+            raise KeyError(f"unknown figure {name!r}")
+    sections = [
+        "# Evaluation report",
+        "",
+        f"Scenarios per point: {n_scenarios} (seeds {base_seed}.."
+        f"{base_seed + n_scenarios - 1}).",
+        "",
+    ]
+    for name in names:
+        sections.append(
+            _render_section(
+                name,
+                registry[name],
+                n_scenarios,
+                base_seed,
+                overrides,
+                include_plots,
+            )
+        )
+        if progress is not None:
+            progress(f"report: {name} done")
+    return "\n".join(sections)
+
+
+def write_report(path: str, **kwargs) -> str:
+    """Generate a report and write it to ``path``; returns the text."""
+    text = generate_report(**kwargs)
+    with open(path, "w") as stream:
+        stream.write(text)
+    return text

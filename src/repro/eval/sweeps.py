@@ -1,0 +1,173 @@
+"""Generic parameter studies: cartesian sweeps over scenario knobs.
+
+The figure runners pin the paper's exact settings; this tool answers the
+follow-up questions ("how does the MLA gain move with stream rate *and*
+AP density?") without writing a new runner per question:
+
+    study = ParameterStudy(
+        factors={"n_aps": [50, 100], "stream_rate_mbps": [0.5, 1.0, 2.0]},
+        fixed={"n_users": 200, "n_sessions": 5},
+        algorithms=("c-mla", "ssa"),
+        metric="total_load",
+    )
+    table = study.run(n_scenarios=3)
+    print(render_study(table))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.eval.aggregate import SeriesStats
+from repro.eval.experiments import METRICS
+from repro.eval.metrics import run_algorithm
+from repro.scenarios.generator import generate
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One factor combination's aggregated results."""
+
+    settings: Mapping[str, object]
+    stats: Mapping[str, SeriesStats]  # algorithm -> metric stats
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The full cartesian table."""
+
+    factors: Mapping[str, Sequence[object]]
+    algorithms: tuple[str, ...]
+    metric: str
+    cells: tuple[StudyCell, ...]
+
+    def cell(self, **settings) -> StudyCell:
+        """Look up one combination (all factors must be given)."""
+        for candidate in self.cells:
+            if all(
+                candidate.settings.get(key) == value
+                for key, value in settings.items()
+            ):
+                return candidate
+        raise KeyError(f"no cell for {settings}")
+
+
+@dataclass
+class ParameterStudy:
+    """A declarative sweep definition."""
+
+    factors: Mapping[str, Sequence[object]]
+    algorithms: Sequence[str]
+    metric: str = "total_load"
+    fixed: Mapping[str, object] = field(default_factory=dict)
+    scenario_factory: Callable = generate
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise ValueError("need at least one factor")
+        if not self.algorithms:
+            raise ValueError("need at least one algorithm")
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; choose from {sorted(METRICS)}"
+            )
+        overlap = set(self.factors) & set(self.fixed)
+        if overlap:
+            raise ValueError(f"factors also fixed: {sorted(overlap)}")
+
+    def combinations(self) -> list[dict[str, object]]:
+        keys = list(self.factors)
+        return [
+            dict(zip(keys, values))
+            for values in itertools.product(
+                *(self.factors[key] for key in keys)
+            )
+        ]
+
+    def run(
+        self,
+        n_scenarios: int = 3,
+        *,
+        base_seed: int = 0,
+        progress: Callable[[str], None] | None = None,
+    ) -> StudyResult:
+        extract = METRICS[self.metric]
+        cells: list[StudyCell] = []
+        for settings in self.combinations():
+            kwargs = {**self.fixed, **settings}
+            problems = [
+                self.scenario_factory(seed=base_seed + i, **kwargs).problem()
+                for i in range(n_scenarios)
+            ]
+            stats = {}
+            for algorithm in self.algorithms:
+                values = [
+                    extract(run_algorithm(algorithm, problem, seed=base_seed + i))
+                    for i, problem in enumerate(problems)
+                ]
+                stats[algorithm] = SeriesStats.of(values)
+            cells.append(StudyCell(settings=settings, stats=stats))
+            if progress is not None:
+                progress(f"study: {settings} done")
+        return StudyResult(
+            factors=dict(self.factors),
+            algorithms=tuple(self.algorithms),
+            metric=self.metric,
+            cells=tuple(cells),
+        )
+
+
+def render_study(result: StudyResult, *, precision: int = 4) -> str:
+    """The study as a flat text table (one row per combination)."""
+    factor_names = list(result.factors)
+    header = factor_names + list(result.algorithms)
+    rows = []
+    for cell in result.cells:
+        row = [f"{cell.settings[name]}" for name in factor_names]
+        row += [
+            f"{cell.stats[algorithm].mean:.{precision}f}"
+            for algorithm in result.algorithms
+        ]
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        f"== parameter study: {result.metric} ==",
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def study_to_csv(result: StudyResult) -> str:
+    """Long-format CSV of a study."""
+    import csv
+    import io as stdlib_io
+
+    buffer = stdlib_io.StringIO()
+    writer = csv.writer(buffer)
+    factor_names = list(result.factors)
+    writer.writerow(
+        factor_names + ["algorithm", "metric", "mean", "min", "max", "n"]
+    )
+    for cell in result.cells:
+        for algorithm in result.algorithms:
+            stats = cell.stats[algorithm]
+            writer.writerow(
+                [cell.settings[name] for name in factor_names]
+                + [
+                    algorithm,
+                    result.metric,
+                    f"{stats.mean:.6f}",
+                    f"{stats.minimum:.6f}",
+                    f"{stats.maximum:.6f}",
+                    stats.n,
+                ]
+            )
+    return buffer.getvalue()

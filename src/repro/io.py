@@ -1,0 +1,251 @@
+"""JSON serialization for problems, scenarios and assignments.
+
+Lets experiments be shared and replayed exactly: a scenario (geometry +
+radio model + workload) or a bare combinatorial problem round-trips
+through a JSON document, and an assignment can be stored next to the
+instance it solves. Formats are versioned ("repro/1") and validated on
+load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO
+
+from repro.core.assignment import Assignment
+from repro.core.errors import ModelError
+from repro.core.problem import MulticastAssociationProblem, Session
+from repro.radio.geometry import Area, Point
+from repro.radio.propagation import (
+    LogDistancePropagation,
+    PropagationModel,
+    ThresholdPropagation,
+)
+from repro.radio.rates import RateStep, RateTable
+from repro.scenarios.generator import Scenario
+
+FORMAT = "repro/1"
+
+
+def _require(document: dict, kind: str) -> dict:
+    if not isinstance(document, dict):
+        raise ModelError("not a repro document")
+    if document.get("format") != FORMAT:
+        raise ModelError(f"unsupported format {document.get('format')!r}")
+    if document.get("kind") != kind:
+        raise ModelError(
+            f"expected a {kind!r} document, got {document.get('kind')!r}"
+        )
+    return document
+
+
+# -- rate tables / propagation models -----------------------------------------
+
+
+def rate_table_to_dict(table: RateTable) -> dict:
+    return {
+        "steps": [
+            {"rate_mbps": s.rate_mbps, "max_distance_m": s.max_distance_m}
+            for s in table
+        ]
+    }
+
+
+def rate_table_from_dict(data: dict) -> RateTable:
+    return RateTable(
+        RateStep(step["rate_mbps"], step["max_distance_m"])
+        for step in data["steps"]
+    )
+
+
+def model_to_dict(model: PropagationModel) -> dict:
+    if isinstance(model, ThresholdPropagation):
+        return {
+            "type": "threshold",
+            "table": rate_table_to_dict(model.table),
+            "tx_power_dbm": model.tx_power_dbm,
+            "path_loss_exponent": model.path_loss_exponent,
+        }
+    if isinstance(model, LogDistancePropagation):
+        return {
+            "type": "log-distance",
+            "table": rate_table_to_dict(model.rate_table),
+            "tx_power_dbm": model._tx_power_dbm,
+            "path_loss_exponent": model._exponent,
+            "reference_distance_m": model._d0,
+            "reference_loss_db": model._pl0,
+            "noise_floor_dbm": model._noise_dbm,
+            "shadowing_sigma_db": model._sigma,
+            "seed": model._seed,
+        }
+    raise ModelError(
+        f"cannot serialize propagation model {type(model).__name__}"
+    )
+
+
+def model_from_dict(data: dict) -> PropagationModel:
+    if data.get("type") not in ("threshold", "log-distance"):
+        raise ModelError(f"unknown propagation model type {data.get('type')!r}")
+    table = rate_table_from_dict(data["table"])
+    if data["type"] == "threshold":
+        return ThresholdPropagation(
+            table=table,
+            tx_power_dbm=data["tx_power_dbm"],
+            path_loss_exponent=data["path_loss_exponent"],
+        )
+    if data["type"] == "log-distance":
+        return LogDistancePropagation(
+            table,
+            tx_power_dbm=data["tx_power_dbm"],
+            path_loss_exponent=data["path_loss_exponent"],
+            reference_distance_m=data["reference_distance_m"],
+            reference_loss_db=data["reference_loss_db"],
+            noise_floor_dbm=data["noise_floor_dbm"],
+            shadowing_sigma_db=data["shadowing_sigma_db"],
+            seed=data["seed"],
+        )
+    raise AssertionError("unreachable")  # guarded above
+
+
+# -- problems -------------------------------------------------------------------
+
+
+def problem_to_dict(problem: MulticastAssociationProblem) -> dict:
+    return {
+        "format": FORMAT,
+        "kind": "problem",
+        "link_rates": problem.link_rates.tolist(),
+        "user_sessions": list(problem.user_sessions),
+        "sessions": [
+            {"id": s.session_id, "rate_mbps": s.rate_mbps, "name": s.name}
+            for s in problem.sessions
+        ],
+        "budgets": [
+            None if b == float("inf") else b for b in problem.budgets
+        ],
+    }
+
+
+def problem_from_dict(document: dict) -> MulticastAssociationProblem:
+    data = _require(document, "problem")
+    budgets = [
+        float("inf") if b is None else float(b) for b in data["budgets"]
+    ]
+    return MulticastAssociationProblem(
+        data["link_rates"],
+        data["user_sessions"],
+        [
+            Session(s["id"], s["rate_mbps"], s.get("name", ""))
+            for s in data["sessions"]
+        ],
+        budgets,
+    )
+
+
+# -- scenarios --------------------------------------------------------------------
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    return {
+        "format": FORMAT,
+        "kind": "scenario",
+        "ap_positions": [p.as_tuple() for p in scenario.ap_positions],
+        "user_positions": [p.as_tuple() for p in scenario.user_positions],
+        "model": model_to_dict(scenario.model),
+        "sessions": [
+            {"id": s.session_id, "rate_mbps": s.rate_mbps, "name": s.name}
+            for s in scenario.sessions
+        ],
+        "user_sessions": list(scenario.user_sessions),
+        "budget": None if scenario.budget == float("inf") else scenario.budget,
+        "seed": scenario.seed,
+        "area": [
+            scenario.area.x_min,
+            scenario.area.y_min,
+            scenario.area.x_max,
+            scenario.area.y_max,
+        ],
+    }
+
+
+def scenario_from_dict(document: dict) -> Scenario:
+    data = _require(document, "scenario")
+    return Scenario(
+        ap_positions=tuple(Point(x, y) for x, y in data["ap_positions"]),
+        user_positions=tuple(Point(x, y) for x, y in data["user_positions"]),
+        model=model_from_dict(data["model"]),
+        sessions=tuple(
+            Session(s["id"], s["rate_mbps"], s.get("name", ""))
+            for s in data["sessions"]
+        ),
+        user_sessions=tuple(data["user_sessions"]),
+        budget=float("inf") if data["budget"] is None else data["budget"],
+        seed=data["seed"],
+        area=Area(*data["area"]),
+    )
+
+
+# -- assignments --------------------------------------------------------------------
+
+
+def assignment_to_dict(assignment: Assignment) -> dict:
+    return {
+        "format": FORMAT,
+        "kind": "assignment",
+        "ap_of_user": list(assignment.ap_of_user),
+        "metrics": {
+            "n_served": assignment.n_served,
+            "total_load": assignment.total_load(),
+            "max_load": assignment.max_load(),
+        },
+    }
+
+
+def assignment_from_dict(
+    document: dict, problem: MulticastAssociationProblem
+) -> Assignment:
+    data = _require(document, "assignment")
+    assignment = Assignment(problem, data["ap_of_user"])
+    stored = data.get("metrics", {})
+    if stored and abs(stored["total_load"] - assignment.total_load()) > 1e-6:
+        raise ModelError(
+            "stored metrics do not match this problem — wrong instance?"
+        )
+    return assignment
+
+
+# -- file helpers -----------------------------------------------------------------
+
+
+def dump(obj: Any, stream: IO[str]) -> None:
+    """Serialize a problem / scenario / assignment to an open stream."""
+    if isinstance(obj, MulticastAssociationProblem):
+        document = problem_to_dict(obj)
+    elif isinstance(obj, Scenario):
+        document = scenario_to_dict(obj)
+    elif isinstance(obj, Assignment):
+        document = assignment_to_dict(obj)
+    else:
+        raise ModelError(f"cannot serialize {type(obj).__name__}")
+    json.dump(document, stream, indent=2)
+
+
+def save(obj: Any, path: str) -> None:
+    with open(path, "w") as stream:
+        dump(obj, stream)
+
+
+def load(path: str, problem: MulticastAssociationProblem | None = None):
+    """Load any repro JSON document; assignments need their ``problem``."""
+    with open(path) as stream:
+        document = json.load(stream)
+    kind = document.get("kind")
+    if kind == "problem":
+        return problem_from_dict(document)
+    if kind == "scenario":
+        return scenario_from_dict(document)
+    if kind == "assignment":
+        if problem is None:
+            raise ModelError("loading an assignment requires its problem")
+        return assignment_from_dict(document, problem)
+    raise ModelError(f"unknown document kind {kind!r}")

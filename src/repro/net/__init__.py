@@ -1,0 +1,111 @@
+"""Discrete-event WLAN simulation substrate (the ns-2 replacement)."""
+
+from repro.net.controller import (
+    CentralizedController,
+    ControllerStats,
+    make_centralized,
+)
+from repro.net.events import EventHandle, Simulator
+from repro.net.failures import (
+    CrashReport,
+    FailureEvent,
+    FailureInjector,
+    FailureLog,
+    crash_and_measure,
+)
+from repro.net.mac import (
+    DOT11A_MAC,
+    IDEAL_MAC,
+    AirtimeMeter,
+    MacParameters,
+    burst_airtime,
+    frames_for,
+)
+from repro.net.messages import (
+    BROADCAST,
+    Directive,
+    ScanReport,
+    AssociationRequest,
+    AssociationResponse,
+    Beacon,
+    Disassociation,
+    Frame,
+    LoadQuery,
+    LoadReport,
+    MulticastData,
+    ProbeRequest,
+    ProbeResponse,
+    SessionInfo,
+)
+from repro.net.handoff import (
+    HandoffReport,
+    StationContinuity,
+    analyze_handoffs,
+    report_from_simulation,
+)
+from repro.net.nodes import AccessPoint, Medium, Node, UserStation
+from repro.net.policy import NeighborInfo, decide_local, load_if_joined
+from repro.net.unicast import (
+    UnicastDeployment,
+    UnicastScheduler,
+    UnicastStation,
+    attach_unicast_users,
+    unicast_throughputs_mbps,
+)
+from repro.net.trace import Trace, TraceRecord
+from repro.net.wlan import WlanConfig, WlanResult, WlanSimulation, simulate
+
+__all__ = [
+    "AccessPoint",
+    "AirtimeMeter",
+    "AssociationRequest",
+    "AssociationResponse",
+    "BROADCAST",
+    "Beacon",
+    "CentralizedController",
+    "ControllerStats",
+    "CrashReport",
+    "DOT11A_MAC",
+    "Directive",
+    "Disassociation",
+    "EventHandle",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureLog",
+    "Frame",
+    "HandoffReport",
+    "IDEAL_MAC",
+    "LoadQuery",
+    "LoadReport",
+    "MacParameters",
+    "Medium",
+    "MulticastData",
+    "NeighborInfo",
+    "Node",
+    "ProbeRequest",
+    "ProbeResponse",
+    "ScanReport",
+    "SessionInfo",
+    "Simulator",
+    "StationContinuity",
+    "Trace",
+    "TraceRecord",
+    "UnicastDeployment",
+    "UnicastScheduler",
+    "UnicastStation",
+    "UserStation",
+    "WlanConfig",
+    "WlanResult",
+    "WlanSimulation",
+    "analyze_handoffs",
+    "attach_unicast_users",
+    "burst_airtime",
+    "crash_and_measure",
+    "decide_local",
+    "frames_for",
+    "load_if_joined",
+    "make_centralized",
+    "report_from_simulation",
+    "simulate",
+    "unicast_throughputs_mbps",
+]

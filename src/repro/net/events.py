@@ -1,0 +1,124 @@
+"""A minimal discrete-event simulation kernel.
+
+The WLAN substrate (beacons, probes, association signalling, multicast
+bursts) runs on this kernel. Events are (time, sequence) ordered — equal
+timestamps fire in scheduling order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+
+class Simulator:
+    """Calendar-queue simulator: schedule callbacks, run until quiescent."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule at an absolute simulation time (>= now)."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event (firing a cancelled event is a no-op)."""
+        handle._event.cancelled = True
+
+    def step(self) -> bool:
+        """Fire the next event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """Drain the queue, stopping at ``until`` seconds or ``max_events``.
+
+        With ``until`` set, events scheduled beyond it stay queued and the
+        clock is advanced exactly to ``until``.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            if not self.step():
+                break
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until

@@ -1,0 +1,134 @@
+"""AP failure injection for the protocol simulator.
+
+Large WLAN deployments lose APs (power, backhaul, firmware); the paper's
+distributed protocols recover naturally — a dead AP stops answering probes,
+so on their next decision cycle its stations see it gone and re-associate.
+This module makes that testable:
+
+* ``AccessPoint.fail()`` / ``AccessPoint.recover()`` — toggle an AP (added
+  here as small methods on the node class; a failed AP drops every frame,
+  stops its multicast service and forgets its members);
+* :class:`FailureInjector` — schedules fail/recover events on the
+  simulation timeline and records what happened;
+* :func:`crash_and_measure` — convenience harness: run to convergence,
+  kill APs, run on, and report how many users were re-served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.net.wlan import WlanResult, WlanSimulation
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One scheduled outage: AP down at ``fail_at_s``; up at ``recover_at_s``
+    (``None`` = never recovers)."""
+
+    ap: int
+    fail_at_s: float
+    recover_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fail_at_s < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.recover_at_s is not None and self.recover_at_s <= self.fail_at_s:
+            raise ValueError("recovery must follow the failure")
+
+
+@dataclass
+class FailureLog:
+    """What the injector actually did, with timestamps."""
+
+    failures: list[tuple[float, int]] = field(default_factory=list)
+    recoveries: list[tuple[float, int]] = field(default_factory=list)
+
+
+class FailureInjector:
+    """Schedules AP outages on a :class:`WlanSimulation`."""
+
+    def __init__(self, sim: WlanSimulation, events: Sequence[FailureEvent]):
+        for event in events:
+            if not 0 <= event.ap < len(sim.aps):
+                raise ValueError(f"unknown AP {event.ap}")
+        self.sim = sim
+        self.log = FailureLog()
+        for event in events:
+            sim.sim.schedule_at(event.fail_at_s, self._fail, event.ap)
+            if event.recover_at_s is not None:
+                sim.sim.schedule_at(event.recover_at_s, self._recover, event.ap)
+
+    def _fail(self, ap_index: int) -> None:
+        self.sim.aps[ap_index].fail()
+        self.log.failures.append((self.sim.sim.now, ap_index))
+        self.sim.trace.record(self.sim.sim.now, "ap-failure", ap_index, "down")
+
+    def _recover(self, ap_index: int) -> None:
+        self.sim.aps[ap_index].recover()
+        self.log.recoveries.append((self.sim.sim.now, ap_index))
+        self.sim.trace.record(self.sim.sim.now, "ap-recovery", ap_index, "up")
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """Outcome of :func:`crash_and_measure`."""
+
+    before: WlanResult
+    after: WlanResult
+    displaced_users: int
+    recovered_users: int
+    log: FailureLog
+
+
+def crash_and_measure(
+    sim: WlanSimulation,
+    failed_aps: Sequence[int],
+    *,
+    settle_time_s: float | None = None,
+) -> CrashReport:
+    """Run to convergence, fail ``failed_aps``, run on, and compare.
+
+    ``displaced_users`` counts users associated with a failed AP at the
+    moment of the crash; ``recovered_users`` counts how many of them are
+    re-served (by a surviving AP) after the network settles again.
+    """
+    before = sim.run()
+    displaced = [
+        station.node_id - sim.scenario.n_aps
+        for station in sim.stations
+        if station.current_ap in set(failed_aps)
+    ]
+    now = sim.sim.now
+    injector = FailureInjector(
+        sim, [FailureEvent(ap, fail_at_s=now + 0.001) for ap in failed_aps]
+    )
+    settle = (
+        settle_time_s
+        if settle_time_s is not None
+        else 4 * sim.config.decision_period_s
+    )
+    sim.sim.run(until=now + settle)
+    after = WlanResult(
+        assignment=sim.current_assignment(),
+        converged=True,
+        sim_time_s=sim.sim.now,
+        handoffs=sum(s.handoffs for s in sim.stations),
+        frames_sent=sim.medium.frames_sent,
+        measured_loads=[],
+        rejections=sum(ap.rejections for ap in sim.aps),
+    )
+    recovered = sum(
+        1
+        for user in displaced
+        if after.assignment.ap_of(user) is not None
+        and after.assignment.ap_of(user) not in set(failed_aps)
+    )
+    return CrashReport(
+        before=before,
+        after=after,
+        displaced_users=len(displaced),
+        recovered_users=recovered,
+        log=injector.log,
+    )

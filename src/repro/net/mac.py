@@ -1,0 +1,118 @@
+"""Simplified 802.11 multicast MAC / airtime accounting.
+
+The paper's metric — *multicast load*, the fraction of time an AP spends
+transmitting multicast — is an airtime quantity. This module provides:
+
+* :func:`burst_airtime` — the time one service-period's worth of a stream
+  occupies the medium when sent at a PHY rate, including a constant
+  per-frame MAC/PHY overhead;
+* :class:`AirtimeMeter` — integrates per-AP busy time so the simulator can
+  *measure* multicast load and compare it with the analytic
+  ``stream_rate / tx_rate`` value (they agree as overhead goes to zero —
+  asserted in tests).
+
+Multicast frames are unacknowledged (802.11 broadcast semantics), so no
+retransmissions are modelled; reliability extensions (BMW, BMMM, busy-tone
+schemes) the paper surveys are orthogonal to association control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MacParameters:
+    """Constant MAC/PHY framing parameters.
+
+    ``per_frame_overhead_s`` lumps DIFS + preamble + PLCP header; multicast
+    uses no RTS/CTS and no ACK. ``max_frame_bytes`` bounds one MPDU.
+    """
+
+    per_frame_overhead_s: float = 0.0
+    max_frame_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.per_frame_overhead_s < 0:
+            raise ValueError("overhead must be non-negative")
+        if self.max_frame_bytes <= 0:
+            raise ValueError("frame size must be positive")
+
+
+IDEAL_MAC = MacParameters()
+DOT11A_MAC = MacParameters(per_frame_overhead_s=50e-6)
+
+
+def frames_for(bytes_total: float, params: MacParameters = IDEAL_MAC) -> int:
+    """Number of MPDUs needed to carry ``bytes_total`` payload bytes."""
+    if bytes_total < 0:
+        raise ValueError("byte count must be non-negative")
+    if bytes_total == 0:
+        return 0
+    return int(-(-bytes_total // params.max_frame_bytes))
+
+
+def burst_airtime(
+    stream_rate_mbps: float,
+    tx_rate_mbps: float,
+    period_s: float,
+    params: MacParameters = IDEAL_MAC,
+) -> float:
+    """Airtime to deliver ``period_s`` seconds of a stream at ``tx_rate``.
+
+    Payload accumulated over a period is ``stream_rate * period`` megabits;
+    sending it at ``tx_rate`` takes ``payload / tx_rate`` seconds plus the
+    per-frame overhead. With zero overhead this is exactly
+    ``(stream_rate / tx_rate) * period`` — the analytic multicast load times
+    the period.
+    """
+    if stream_rate_mbps <= 0 or tx_rate_mbps <= 0 or period_s <= 0:
+        raise ValueError("rates and period must be positive")
+    payload_mbit = stream_rate_mbps * period_s
+    n_frames = frames_for(payload_mbit * 1e6 / 8.0, params)
+    return payload_mbit / tx_rate_mbps + n_frames * params.per_frame_overhead_s
+
+
+class AirtimeMeter:
+    """Integrates per-AP multicast busy time over the simulation."""
+
+    def __init__(self, n_aps: int) -> None:
+        if n_aps <= 0:
+            raise ValueError("need at least one AP")
+        self._busy = [0.0] * n_aps
+        self._start: float | None = None
+        self._end: float | None = None
+
+    def reset(self) -> None:
+        """Zero the counters (e.g. to measure only post-convergence airtime)."""
+        self._busy = [0.0] * len(self._busy)
+        self._start = None
+        self._end = None
+
+    def add(self, ap: int, airtime_s: float, now: float) -> None:
+        """Record ``airtime_s`` of multicast transmission at time ``now``."""
+        if airtime_s < 0:
+            raise ValueError("airtime must be non-negative")
+        self._busy[ap] += airtime_s
+        if self._start is None:
+            self._start = now
+        self._end = now
+
+    @property
+    def observation_window(self) -> float:
+        """Seconds between the first and last recorded burst."""
+        if self._start is None or self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def busy_seconds(self, ap: int) -> float:
+        return self._busy[ap]
+
+    def measured_load(self, ap: int, window_s: float) -> float:
+        """Busy fraction of ``ap`` over an explicit window."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        return self._busy[ap] / window_s
+
+    def measured_loads(self, window_s: float) -> list[float]:
+        return [self.measured_load(a, window_s) for a in range(len(self._busy))]

@@ -1,0 +1,120 @@
+"""Management and data frames exchanged in the WLAN simulation.
+
+A deliberately small 802.11-flavoured vocabulary: scanning (probe
+request/response), association signalling, the paper's load-query protocol
+(each user "periodically sends a query message to each of its neighboring
+APs", which respond with the sessions they transmit and the rates used),
+and multicast data bursts for airtime accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+BROADCAST = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """Base frame: sender/receiver are node ids; -1 broadcasts."""
+
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True, slots=True)
+class Beacon(Frame):
+    """Periodic AP advertisement."""
+
+    ap_id: int = 0
+    ssid: str = "repro-wlan"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRequest(Frame):
+    """Active-scanning probe broadcast by a station."""
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResponse(Frame):
+    """AP answer to a probe; the station derives RSSI/link rate on receipt."""
+
+    ap_id: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRequest(Frame):
+    """Station asks to join an AP for one multicast session."""
+
+    session: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationResponse(Frame):
+    """AP grants or refuses an association."""
+
+    accepted: bool = True
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Disassociation(Frame):
+    """Station leaves its AP (sent before re-associating elsewhere)."""
+
+    session: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class LoadQuery(Frame):
+    """The paper's query: 'what are you transmitting, and at what rates?'"""
+
+
+@dataclass(frozen=True, slots=True)
+class SessionInfo:
+    """One session an AP currently transmits."""
+
+    session: int
+    tx_rate_mbps: float
+    n_members: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport(Frame):
+    """AP answer to a LoadQuery.
+
+    ``load_without_querier`` is the AP's load if the querying station left —
+    the paper notes a user "also needs to know the load of a if it leaves
+    AP a"; it is only meaningful when the querier is associated here.
+    """
+
+    load: float = 0.0
+    sessions: Mapping[int, SessionInfo] = field(default_factory=dict)
+    load_without_querier: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class MulticastData(Frame):
+    """One multicast burst: the session, PHY rate and airtime used."""
+
+    session: int = 0
+    tx_rate_mbps: float = 0.0
+    airtime_s: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ScanReport(Frame):
+    """A managed station's scan results, relayed to the controller.
+
+    ``measurements`` maps heard AP id -> max link rate in Mbps.
+    """
+
+    session: int = 0
+    measurements: Mapping[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class Directive(Frame):
+    """Controller order to a managed station: associate with ``target_ap``."""
+
+    target_ap: int = 0

@@ -1,0 +1,73 @@
+"""Event tracing for the WLAN simulation.
+
+A bounded in-memory trace of simulation events (frames sent, associations,
+handoffs) with cheap filtering — enough to debug protocol behaviour in
+tests and examples without a real logging pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    node: int
+    detail: str
+
+
+class Trace:
+    """A bounded trace buffer with per-category counters."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._counts: dict[str, int] = {}
+        self.enabled = enabled
+
+    def record(self, time: float, category: str, node: int, detail: str) -> None:
+        self._counts[category] = self._counts.get(category, 0) + 1
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, node, detail))
+
+    def count(self, category: str) -> int:
+        """Total events of a category (counted even when buffering is off)."""
+        return self._counts.get(category, 0)
+
+    @property
+    def categories(self) -> list[str]:
+        return sorted(self._counts)
+
+    def records(
+        self,
+        category: str | None = None,
+        node: int | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Buffered records, optionally filtered."""
+        out: Iterable[TraceRecord] = self._records
+        if category is not None:
+            out = (r for r in out if r.category == category)
+        if node is not None:
+            out = (r for r in out if r.node == node)
+        if predicate is not None:
+            out = (r for r in out if predicate(r))
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def format(self, limit: int = 50) -> str:
+        """Tail of the trace as readable lines."""
+        lines = [
+            f"[{r.time:10.4f}s] {r.category:<14} node={r.node:<4} {r.detail}"
+            for r in list(self._records)[-limit:]
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Background unicast traffic sharing airtime with multicast.
+
+The paper's whole motivation is that multicast must "minimally impact the
+existing unicast services". This module makes that impact observable in
+the protocol simulator: saturated-backlog unicast stations attach to their
+strongest AP, and each service period the AP sells them the airtime left
+over after its multicast bursts, split equally (the max-min allocation of
+:mod:`repro.core.fairness`, enacted frame by frame).
+
+Usage::
+
+    sim = WlanSimulation(scenario, config)
+    unicast = attach_unicast_users(sim, per_ap=2, seed=7)
+    sim.run()
+    throughputs = unicast_throughputs_mbps(unicast, sim.sim.now)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.net.messages import Frame
+from repro.net.nodes import AccessPoint, Medium, Node
+from repro.radio.geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class UnicastData(Frame):
+    """One period's unicast allocation to one station."""
+
+    airtime_s: float = 0.0
+    payload_bytes: float = 0.0
+
+
+class UnicastStation(Node):
+    """A saturated unicast receiver pinned to one AP."""
+
+    def __init__(
+        self, node_id: int, position: Point, medium: Medium, ap: AccessPoint
+    ) -> None:
+        super().__init__(node_id, position)
+        self.medium = medium
+        self.ap_id = ap.node_id
+        self.bytes_received = 0.0
+        self.allocations = 0
+        medium.register(self)
+
+    def handle(self, frame: Frame) -> None:
+        if isinstance(frame, UnicastData) and frame.src == self.ap_id:
+            self.bytes_received += frame.payload_bytes
+            self.allocations += 1
+
+
+class UnicastScheduler:
+    """Per-AP residual-airtime scheduler driving the unicast stations.
+
+    Every ``period_s`` it asks the AP how much airtime its multicast
+    service used in that period (recomputed from the AP's live membership,
+    exactly as the AP itself does) and splits the remainder equally among
+    the AP's unicast stations.
+    """
+
+    def __init__(
+        self,
+        ap: AccessPoint,
+        stations: Sequence[UnicastStation],
+        *,
+        period_s: float = 1.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.ap = ap
+        self.stations = list(stations)
+        self.period_s = period_s
+        self.airtime_sold_s = 0.0
+        ap.medium.sim.schedule(period_s, self._tick)
+
+    def _tick(self) -> None:
+        ap = self.ap
+        if not ap.is_down and self.stations:
+            multicast_airtime = ap.load() * self.period_s
+            residual = max(0.0, self.period_s - multicast_airtime)
+            share = residual / len(self.stations)
+            if share > 0:
+                self.airtime_sold_s += residual
+                for station in self.stations:
+                    rate = ap.medium.link_rate(ap.node_id, station.node_id)
+                    if rate is None:
+                        continue
+                    ap.medium.send(
+                        UnicastData(
+                            src=ap.node_id,
+                            dst=station.node_id,
+                            airtime_s=share,
+                            payload_bytes=share * rate * 1e6 / 8.0,
+                        )
+                    )
+        ap.medium.sim.schedule(self.period_s, self._tick)
+
+
+@dataclass
+class UnicastDeployment:
+    """The attached unicast population of one simulation."""
+
+    stations: list[UnicastStation]
+    schedulers: list[UnicastScheduler]
+
+    def total_bytes(self) -> float:
+        return sum(s.bytes_received for s in self.stations)
+
+
+def attach_unicast_users(
+    sim,
+    *,
+    per_ap: int = 1,
+    seed: int = 0,
+    period_s: float = 1.0,
+    max_offset_m: float | None = None,
+) -> UnicastDeployment:
+    """Attach ``per_ap`` saturated unicast stations near every AP.
+
+    Stations are placed at a uniform random offset within
+    ``max_offset_m`` (default: half the radio range) of their AP, so each
+    is firmly inside its AP's cell — the paper's uniform-unicast-users
+    assumption. Call *before* ``sim.run()``.
+    """
+    if per_ap < 0:
+        raise ValueError("per_ap must be non-negative")
+    rng = random.Random(seed)
+    reach = sim.scenario.model.max_range
+    offset = max_offset_m if max_offset_m is not None else reach / 2
+    next_id = sim.scenario.n_aps + sim.scenario.n_users + 10_000
+    stations: list[UnicastStation] = []
+    schedulers: list[UnicastScheduler] = []
+    for ap in sim.aps:
+        mine: list[UnicastStation] = []
+        for _ in range(per_ap):
+            angle = rng.uniform(0, 2 * math.pi)
+            radius = rng.uniform(0, offset)
+            position = Point(
+                ap.position.x + radius * math.cos(angle),
+                ap.position.y + radius * math.sin(angle),
+            )
+            station = UnicastStation(next_id, position, sim.medium, ap)
+            next_id += 1
+            mine.append(station)
+            stations.append(station)
+        if mine:
+            schedulers.append(
+                UnicastScheduler(ap, mine, period_s=period_s)
+            )
+    return UnicastDeployment(stations=stations, schedulers=schedulers)
+
+
+def unicast_throughputs_mbps(
+    deployment: UnicastDeployment, elapsed_s: float
+) -> list[float]:
+    """Per-station achieved unicast throughput over ``elapsed_s``."""
+    if elapsed_s <= 0:
+        raise ValueError("elapsed time must be positive")
+    return [
+        station.bytes_received * 8.0 / 1e6 / elapsed_s
+        for station in deployment.stations
+    ]

@@ -1,0 +1,135 @@
+"""Deployment coverage analysis.
+
+Quantifies what a given AP layout offers before any user arrives: covered
+area fraction, multi-coverage depth (how many APs overlap — the resource
+association control exploits), and the achievable-rate field. Explains the
+paper's Fig 9(b)/10(b) trends (denser APs => higher rates, more overlap)
+and supports the planning examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.radio.geometry import Area, Point
+from repro.radio.propagation import PropagationModel
+
+
+def _samples(area: Area, resolution: int) -> list[Point]:
+    if resolution < 2:
+        raise ValueError("resolution must be at least 2")
+    xs = [
+        area.x_min + (area.width * i) / (resolution - 1)
+        for i in range(resolution)
+    ]
+    ys = [
+        area.y_min + (area.height * j) / (resolution - 1)
+        for j in range(resolution)
+    ]
+    return [Point(x, y) for x in xs for y in ys]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Sampled coverage statistics for one deployment."""
+
+    covered_fraction: float
+    mean_coverage_depth: float
+    depth_histogram: tuple[int, ...]
+    mean_best_rate_mbps: float
+    samples: int
+
+    def depth_fraction(self, at_least: int) -> float:
+        """Fraction of sampled points covered by >= ``at_least`` APs."""
+        if at_least < 0:
+            raise ValueError("coverage depth must be non-negative")
+        covered = sum(
+            count
+            for depth, count in enumerate(self.depth_histogram)
+            if depth >= at_least
+        )
+        return covered / self.samples if self.samples else 0.0
+
+
+def analyze_coverage(
+    area: Area,
+    ap_positions: Sequence[Point],
+    model: PropagationModel,
+    *,
+    resolution: int = 40,
+) -> CoverageReport:
+    """Sample ``resolution x resolution`` points and report coverage.
+
+    ``mean_best_rate_mbps`` averages the best achievable link rate over
+    *covered* points only (0 if nothing is covered).
+    """
+    points = _samples(area, resolution)
+    depths: list[int] = []
+    best_rates: list[float] = []
+    for point in points:
+        depth = 0
+        best = 0.0
+        for ap in ap_positions:
+            rate = model.link_rate(ap, point)
+            if rate is not None:
+                depth += 1
+                best = max(best, rate)
+        depths.append(depth)
+        if depth:
+            best_rates.append(best)
+    max_depth = max(depths, default=0)
+    histogram = [0] * (max_depth + 1)
+    for depth in depths:
+        histogram[depth] += 1
+    covered = sum(1 for d in depths if d > 0)
+    return CoverageReport(
+        covered_fraction=covered / len(points),
+        mean_coverage_depth=sum(depths) / len(points),
+        depth_histogram=tuple(histogram),
+        mean_best_rate_mbps=(
+            sum(best_rates) / len(best_rates) if best_rates else 0.0
+        ),
+        samples=len(points),
+    )
+
+
+def coverage_holes(
+    area: Area,
+    ap_positions: Sequence[Point],
+    model: PropagationModel,
+    *,
+    resolution: int = 40,
+) -> list[Point]:
+    """Sampled points not covered by any AP (for planning diagnostics)."""
+    return [
+        point
+        for point in _samples(area, resolution)
+        if not any(
+            model.link_rate(ap, point) is not None for ap in ap_positions
+        )
+    ]
+
+
+def recommend_ap_count(
+    area: Area,
+    model: PropagationModel,
+    *,
+    target_depth: int = 2,
+    utilization: float = 0.6,
+) -> int:
+    """Back-of-envelope AP count for a target mean coverage depth.
+
+    Each AP covers ``pi * r^2`` (discounted by ``utilization`` for edge
+    effects and obstacles); the mean depth over the area is roughly
+    ``n * effective_footprint / area``. Association control needs depth
+    >= 2 somewhere to have any freedom at all.
+    """
+    import math
+
+    if target_depth < 1:
+        raise ValueError("target depth must be >= 1")
+    if not 0 < utilization <= 1:
+        raise ValueError("utilization must be in (0, 1]")
+    footprint = math.pi * model.max_range**2 * utilization
+    return max(1, math.ceil(target_depth * area.surface / footprint))

@@ -1,0 +1,190 @@
+"""PHY rate tables for 802.11 links.
+
+The paper's simulations use IEEE 802.11a with the rate-vs-distance thresholds
+of Manshaei & Turletti (Table 1 of the paper):
+
+    rate (Mbps)       6    12   18   24   36   48   54
+    threshold (m)   200   145  105   85   60   40   35
+
+``RateTable`` captures such a table: an ordered set of discrete rates, each
+usable up to some distance. The *basic rate* is the lowest one; the 802.11
+standard transmits broadcast/multicast at the basic rate, while the paper
+assumes a multi-rate-capable MAC (their footnote 3) — both behaviours are
+supported via :meth:`RateTable.restricted_to_basic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class RateStep:
+    """One (rate, max distance) row of a rate-vs-distance table."""
+
+    rate_mbps: float
+    max_distance_m: float
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_mbps}")
+        if self.max_distance_m <= 0:
+            raise ValueError(
+                f"distance threshold must be positive, got {self.max_distance_m}"
+            )
+
+
+class RateTable:
+    """An ordered, immutable table of PHY rates and their reach.
+
+    Rates are stored ascending; higher rates must have shorter (or equal)
+    reach, as in any real modulation ladder.
+    """
+
+    def __init__(self, steps: Iterable[RateStep]) -> None:
+        ordered = sorted(steps, key=lambda s: s.rate_mbps)
+        if not ordered:
+            raise ValueError("a rate table needs at least one rate")
+        for lower, higher in zip(ordered, ordered[1:]):
+            if lower.rate_mbps == higher.rate_mbps:
+                raise ValueError(f"duplicate rate {lower.rate_mbps} Mbps")
+            if higher.max_distance_m > lower.max_distance_m:
+                raise ValueError(
+                    "rate table is not monotone: "
+                    f"{higher.rate_mbps} Mbps reaches farther than "
+                    f"{lower.rate_mbps} Mbps"
+                )
+        self._steps: tuple[RateStep, ...] = tuple(ordered)
+
+    @property
+    def steps(self) -> tuple[RateStep, ...]:
+        return self._steps
+
+    @property
+    def rates(self) -> tuple[float, ...]:
+        """All rates, ascending, in Mbps."""
+        return tuple(step.rate_mbps for step in self._steps)
+
+    @property
+    def basic_rate(self) -> float:
+        """The lowest (most robust) rate — 802.11's broadcast rate."""
+        return self._steps[0].rate_mbps
+
+    @property
+    def max_range(self) -> float:
+        """The reach of the basic rate, i.e. the radio propagation range."""
+        return self._steps[0].max_distance_m
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self):
+        return iter(self._steps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RateTable):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash(self._steps)
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{s.rate_mbps:g}Mbps<= {s.max_distance_m:g}m" for s in self._steps
+        )
+        return f"RateTable({rows})"
+
+    def rate_at(self, distance_m: float) -> float | None:
+        """The highest rate usable at ``distance_m``, or ``None`` if out of range.
+
+        This is the paper's `r_{a,u}`: the maximum possible data rate on the
+        link between an AP and a user at that distance.
+        """
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        best: float | None = None
+        for step in self._steps:
+            if distance_m <= step.max_distance_m:
+                best = step.rate_mbps
+        return best
+
+    def reach_of(self, rate_mbps: float) -> float:
+        """Distance threshold for an exact rate in the table."""
+        for step in self._steps:
+            if step.rate_mbps == rate_mbps:
+                return step.max_distance_m
+        raise KeyError(f"rate {rate_mbps} Mbps not in table")
+
+    def floor_rate(self, rate_mbps: float) -> float | None:
+        """Largest table rate that is <= ``rate_mbps``, or None if below basic."""
+        best: float | None = None
+        for step in self._steps:
+            if step.rate_mbps <= rate_mbps:
+                best = step.rate_mbps
+        return best
+
+    def restricted_to_basic(self) -> "RateTable":
+        """The single-rate table used when multicast must use the basic rate.
+
+        The 802.11 standard always broadcasts at the basic rate; the paper
+        notes its NP-hardness results and algorithms apply in that regime
+        too. Restricting the table models that regime exactly.
+        """
+        return RateTable([self._steps[0]])
+
+    def scaled_reach(self, factor: float) -> "RateTable":
+        """A copy with every distance threshold multiplied by ``factor``.
+
+        Used by the adaptive power-control extension: transmitting at a
+        different power level scales the usable range of every modulation.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return RateTable(
+            RateStep(step.rate_mbps, step.max_distance_m * factor)
+            for step in self._steps
+        )
+
+
+def dot11a_table() -> RateTable:
+    """The paper's Table 1: 802.11a rates vs distance thresholds."""
+    rows: Sequence[tuple[float, float]] = (
+        (6, 200),
+        (12, 145),
+        (18, 105),
+        (24, 85),
+        (36, 60),
+        (48, 40),
+        (54, 35),
+    )
+    return RateTable(RateStep(rate, dist) for rate, dist in rows)
+
+
+def dot11b_table() -> RateTable:
+    """An 802.11b ladder, for basic-rate / legacy comparisons."""
+    rows: Sequence[tuple[float, float]] = (
+        (1, 250),
+        (2, 200),
+        (5.5, 140),
+        (11, 100),
+    )
+    return RateTable(RateStep(rate, dist) for rate, dist in rows)
+
+
+def dot11g_table() -> RateTable:
+    """An 802.11g ladder (ERP-OFDM rates, slightly longer reach than 11a)."""
+    rows: Sequence[tuple[float, float]] = (
+        (6, 250),
+        (12, 180),
+        (18, 130),
+        (24, 105),
+        (36, 75),
+        (48, 50),
+        (54, 45),
+    )
+    return RateTable(RateStep(rate, dist) for rate, dist in rows)
+
+
+PAPER_TABLE_1 = dot11a_table()

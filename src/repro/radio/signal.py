@@ -1,0 +1,58 @@
+"""Signal-strength utilities used by scanning and the SSA baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One scan result: an AP heard at some signal strength and link rate."""
+
+    ap_index: int
+    rssi_dbm: float
+    link_rate_mbps: float
+
+
+def scan(
+    user: Point,
+    ap_positions: Sequence[Point],
+    model: PropagationModel,
+    candidates: Sequence[int] | None = None,
+) -> list[Measurement]:
+    """Measurements for every AP the user can hear, strongest first.
+
+    ``candidates`` optionally restricts the scan to a subset of AP indices
+    (e.g. those a spatial index says are plausibly in range).
+    """
+    indices = range(len(ap_positions)) if candidates is None else candidates
+    results: list[Measurement] = []
+    for index in indices:
+        rate = model.link_rate(ap_positions[index], user)
+        if rate is None:
+            continue
+        rssi = model.signal_strength(ap_positions[index], user)
+        results.append(Measurement(index, rssi, rate))
+    results.sort(key=lambda m: (-m.rssi_dbm, m.ap_index))
+    return results
+
+
+def strongest_ap(
+    user: Point,
+    ap_positions: Sequence[Point],
+    model: PropagationModel,
+    candidates: Sequence[int] | None = None,
+) -> int | None:
+    """Index of the strongest-signal AP in range, or ``None`` if isolated.
+
+    This is exactly 802.11's default association rule — the paper's SSA
+    baseline. Ties break toward the lower AP index for determinism.
+    """
+    measurements = scan(user, ap_positions, model, candidates)
+    if not measurements:
+        return None
+    return measurements[0].ap_index

@@ -1,0 +1,71 @@
+"""Workload and deployment generation for the paper's experiments."""
+
+from repro.scenarios.generator import (
+    PAPER_AREA,
+    PAPER_BUDGET,
+    SMALL_AREA,
+    Scenario,
+    generate,
+    generate_batch,
+    random_points,
+)
+from repro.scenarios.hotspots import (
+    clustered_users,
+    generate_hotspot,
+    grid_aps,
+)
+from repro.scenarios.mobility import (
+    MobilityEpoch,
+    QuasiStaticMobility,
+    scenario_epochs,
+)
+from repro.scenarios.presets import (
+    FIG11_BUDGETS,
+    FIG12C_BUDGET,
+    PAPER_N_SCENARIOS,
+    SweepPoint,
+    fig9a_users_sweep,
+    fig9b_aps_sweep,
+    fig9c_sessions_sweep,
+    fig11_budget_scenarios,
+    fig12_users_sweep,
+)
+from repro.scenarios.sessions import (
+    DEFAULT_STREAM_RATE_MBPS,
+    assign_sessions,
+    mixed_catalog,
+    tv_lineup,
+    uniform_catalog,
+    zipf_weights,
+)
+
+__all__ = [
+    "DEFAULT_STREAM_RATE_MBPS",
+    "FIG11_BUDGETS",
+    "FIG12C_BUDGET",
+    "MobilityEpoch",
+    "PAPER_AREA",
+    "PAPER_BUDGET",
+    "PAPER_N_SCENARIOS",
+    "QuasiStaticMobility",
+    "SMALL_AREA",
+    "Scenario",
+    "SweepPoint",
+    "assign_sessions",
+    "clustered_users",
+    "fig11_budget_scenarios",
+    "fig12_users_sweep",
+    "fig9a_users_sweep",
+    "fig9b_aps_sweep",
+    "fig9c_sessions_sweep",
+    "generate",
+    "generate_batch",
+    "generate_hotspot",
+    "grid_aps",
+    "mixed_catalog",
+    "random_points",
+    "scenario_epochs",
+    "tv_lineup",
+    "uniform_catalog",
+    "zipf_weights",
+]

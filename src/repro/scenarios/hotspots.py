@@ -1,0 +1,127 @@
+"""Non-uniform deployments: user hotspots and planned AP grids.
+
+The paper places users uniformly at random. Real venues are lumpy — food
+courts, lecture halls, stadium gates — and association control matters
+*more* there, because strongest-signal association piles every hotspot
+user onto the same couple of APs. This module provides:
+
+* :func:`clustered_users` — users drawn from Gaussian clusters around
+  random hotspot centers (with a uniform background fraction);
+* :func:`grid_aps` — a planned AP deployment on a regular grid (the usual
+  enterprise layout), as an alternative to random placement;
+* :func:`generate_hotspot` — a full :class:`Scenario` combining the two.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.radio.geometry import Area, Point, iter_grid_positions
+from repro.radio.propagation import PropagationModel, ThresholdPropagation
+from repro.scenarios.generator import PAPER_AREA, Scenario, random_points
+from repro.scenarios.sessions import assign_sessions, uniform_catalog
+
+
+def clustered_users(
+    area: Area,
+    n_users: int,
+    *,
+    n_hotspots: int = 4,
+    spread_m: float = 40.0,
+    background_fraction: float = 0.2,
+    rng: random.Random,
+) -> list[Point]:
+    """Users clustered around random hotspot centers.
+
+    Each non-background user picks a hotspot uniformly and lands at a
+    Gaussian offset (``spread_m`` standard deviation per axis, clamped to
+    the area). ``background_fraction`` of users stay uniform.
+    """
+    if n_users < 0:
+        raise ValueError("n_users must be non-negative")
+    if n_hotspots <= 0:
+        raise ValueError("need at least one hotspot")
+    if spread_m <= 0:
+        raise ValueError("spread must be positive")
+    if not 0 <= background_fraction <= 1:
+        raise ValueError("background fraction must be a probability")
+    centers = random_points(area, n_hotspots, rng)
+    users: list[Point] = []
+    for _ in range(n_users):
+        if rng.random() < background_fraction:
+            users.append(random_points(area, 1, rng)[0])
+            continue
+        center = rng.choice(centers)
+        users.append(
+            Point(
+                rng.gauss(center.x, spread_m), rng.gauss(center.y, spread_m)
+            ).clamped(area)
+        )
+    return users
+
+
+def grid_aps(area: Area, n_aps: int) -> list[Point]:
+    """A planned near-square grid of ``n_aps`` APs covering ``area``."""
+    if n_aps <= 0:
+        raise ValueError("need at least one AP")
+    cols = max(1, round(n_aps**0.5))
+    rows = -(-n_aps // cols)
+    positions = list(iter_grid_positions(area, rows=rows, cols=cols))
+    return positions[:n_aps]
+
+
+def generate_hotspot(
+    *,
+    n_aps: int,
+    n_users: int,
+    n_sessions: int = 5,
+    seed: int = 0,
+    area: Area = PAPER_AREA,
+    model: PropagationModel | None = None,
+    n_hotspots: int = 4,
+    spread_m: float = 40.0,
+    background_fraction: float = 0.2,
+    planned_aps: bool = True,
+    stream_rate_mbps: float = 1.0,
+    budget: float = float("inf"),
+) -> Scenario:
+    """A hotspot scenario: clustered users, grid (or random) APs.
+
+    Users falling out of coverage are re-drawn uniformly (coverage is a
+    precondition for the BLA/MLA objectives, as in the uniform generator).
+    """
+    rng = random.Random(seed)
+    model = model if model is not None else ThresholdPropagation()
+    aps: Sequence[Point] = (
+        grid_aps(area, n_aps) if planned_aps else random_points(area, n_aps, rng)
+    )
+    users = clustered_users(
+        area,
+        n_users,
+        n_hotspots=n_hotspots,
+        spread_m=spread_m,
+        background_fraction=background_fraction,
+        rng=rng,
+    )
+    max_range = model.max_range
+    for index, user in enumerate(users):
+        attempts = 0
+        while not any(ap.distance_to(user) <= max_range for ap in aps):
+            user = random_points(area, 1, rng)[0]
+            attempts += 1
+            if attempts > 10_000:
+                raise RuntimeError("cannot cover a user with this AP layout")
+        users[index] = user
+    sessions = uniform_catalog(n_sessions, stream_rate_mbps)
+    requests = assign_sessions(n_users, n_sessions, rng)
+    return Scenario(
+        ap_positions=tuple(aps),
+        user_positions=tuple(users),
+        model=model,
+        sessions=tuple(sessions),
+        user_sessions=tuple(requests),
+        budget=budget,
+        seed=seed,
+        area=area,
+    )

@@ -1,0 +1,98 @@
+"""Quasi-static user mobility.
+
+The paper assumes *quasi-static* users: they stay put for long periods and
+occasionally relocate (supported by the campus-WLAN measurement studies it
+cites). :class:`QuasiStaticMobility` produces a sequence of *epochs*; within
+an epoch positions are fixed, and between epochs each user independently
+relocates with a small probability. The live-network example and the
+re-association tests drive the distributed algorithms across epochs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.radio.geometry import Area, Point
+from repro.scenarios.generator import Scenario, random_points
+
+
+@dataclass(frozen=True)
+class MobilityEpoch:
+    """One stationary period: positions and which users just moved."""
+
+    index: int
+    user_positions: tuple[Point, ...]
+    moved_users: tuple[int, ...]
+
+
+class QuasiStaticMobility:
+    """Epoch-based relocation: each epoch, each user moves w.p. ``p_move``.
+
+    A moving user either jumps uniformly within the area (``local_radius``
+    None) or takes a bounded step of at most ``local_radius`` meters
+    (clamped to the area), modelling a walk to a nearby room.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        *,
+        p_move: float = 0.05,
+        local_radius: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= p_move <= 1.0:
+            raise ValueError("p_move must be a probability")
+        if local_radius is not None and local_radius <= 0:
+            raise ValueError("local_radius must be positive")
+        self._area = area
+        self._p_move = p_move
+        self._local_radius = local_radius
+        self._rng = random.Random(seed)
+
+    def _relocate(self, user: Point) -> Point:
+        if self._local_radius is None:
+            return random_points(self._area, 1, self._rng)[0]
+        step = Point(
+            self._rng.uniform(-self._local_radius, self._local_radius),
+            self._rng.uniform(-self._local_radius, self._local_radius),
+        )
+        return user.translated(step.x, step.y).clamped(self._area)
+
+    def epochs(
+        self, initial: Sequence[Point], n_epochs: int
+    ) -> Iterator[MobilityEpoch]:
+        """Yield ``n_epochs`` epochs; epoch 0 is the unmodified initial state."""
+        if n_epochs <= 0:
+            raise ValueError("need at least one epoch")
+        positions = list(initial)
+        yield MobilityEpoch(0, tuple(positions), ())
+        for index in range(1, n_epochs):
+            moved: list[int] = []
+            for user_index in range(len(positions)):
+                if self._rng.random() < self._p_move:
+                    positions[user_index] = self._relocate(positions[user_index])
+                    moved.append(user_index)
+            yield MobilityEpoch(index, tuple(positions), tuple(moved))
+
+
+def scenario_epochs(
+    scenario: Scenario,
+    *,
+    n_epochs: int,
+    p_move: float = 0.05,
+    local_radius: float | None = None,
+    seed: int = 0,
+) -> Iterator[Scenario]:
+    """Scenario variants following a quasi-static mobility trace.
+
+    Every yielded scenario shares the APs, sessions and requests of the
+    original; only user positions evolve.
+    """
+    mobility = QuasiStaticMobility(
+        scenario.area, p_move=p_move, local_radius=local_radius, seed=seed
+    )
+    for epoch in mobility.epochs(scenario.user_positions, n_epochs):
+        yield scenario.with_user_positions(epoch.user_positions)

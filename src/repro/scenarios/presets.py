@@ -1,0 +1,151 @@
+"""Figure-specific scenario presets — the paper's exact parameter settings.
+
+Each preset mirrors one evaluation setting from Section 7 so that the
+benchmark harness, the examples and the tests all draw from a single source
+of truth. See DESIGN.md §3 for the full experiment index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.scenarios.generator import (
+    PAPER_AREA,
+    PAPER_BUDGET,
+    SMALL_AREA,
+    Scenario,
+    generate,
+)
+
+#: Number of random scenarios the paper averages over.
+PAPER_N_SCENARIOS = 40
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a figure: its label and its scenarios."""
+
+    x: float
+    scenarios: tuple[Scenario, ...]
+
+
+def _points(
+    xs: Sequence[float],
+    n_scenarios: int,
+    base_seed: int,
+    make_kwargs,
+) -> list[SweepPoint]:
+    points = []
+    for x in xs:
+        scenarios = tuple(
+            generate(seed=base_seed + i, **make_kwargs(x))
+            for i in range(n_scenarios)
+        )
+        points.append(SweepPoint(x=x, scenarios=scenarios))
+    return points
+
+
+def fig9a_users_sweep(
+    n_scenarios: int = PAPER_N_SCENARIOS,
+    base_seed: int = 0,
+    users: Sequence[int] = (50, 100, 150, 200, 250, 300, 350, 400),
+) -> list[SweepPoint]:
+    """Fig 9(a)/10(a): vary users, 200 APs, 5 sessions, 1.2 km^2."""
+    return _points(
+        users,
+        n_scenarios,
+        base_seed,
+        lambda u: dict(
+            n_aps=200, n_users=int(u), n_sessions=5, area=PAPER_AREA,
+            budget=math.inf,
+        ),
+    )
+
+
+def fig9b_aps_sweep(
+    n_scenarios: int = PAPER_N_SCENARIOS,
+    base_seed: int = 0,
+    aps: Sequence[int] = (50, 75, 100, 125, 150, 175, 200),
+) -> list[SweepPoint]:
+    """Fig 9(b)/10(b): vary APs, 100 users, 5 sessions."""
+    return _points(
+        aps,
+        n_scenarios,
+        base_seed,
+        lambda a: dict(
+            n_aps=int(a), n_users=100, n_sessions=5, area=PAPER_AREA,
+            budget=math.inf,
+        ),
+    )
+
+
+def fig9c_sessions_sweep(
+    n_scenarios: int = PAPER_N_SCENARIOS,
+    base_seed: int = 0,
+    sessions: Sequence[int] = (1, 2, 4, 6, 8, 10),
+) -> list[SweepPoint]:
+    """Fig 9(c)/10(c): vary sessions, 200 APs, 200 users."""
+    return _points(
+        sessions,
+        n_scenarios,
+        base_seed,
+        lambda s: dict(
+            n_aps=200, n_users=200, n_sessions=int(s), area=PAPER_AREA,
+            budget=math.inf,
+        ),
+    )
+
+
+def fig11_budget_scenarios(
+    n_scenarios: int = PAPER_N_SCENARIOS,
+    base_seed: int = 0,
+) -> list[Scenario]:
+    """Fig 11 base scenarios: 400 users, 100 APs, 18 sessions.
+
+    The budget (multicast load limit) is the swept variable; apply it with
+    :meth:`Scenario.with_budget` at solve time.
+    """
+    return [
+        generate(
+            seed=base_seed + i,
+            n_aps=100,
+            n_users=400,
+            n_sessions=18,
+            area=PAPER_AREA,
+            budget=PAPER_BUDGET,
+        )
+        for i in range(n_scenarios)
+    ]
+
+
+#: The budget sweep of Fig. 11 (x-axis). The paper highlights 0.04.
+FIG11_BUDGETS = (0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.20)
+
+
+def fig12_users_sweep(
+    n_scenarios: int = PAPER_N_SCENARIOS,
+    base_seed: int = 0,
+    users: Sequence[int] = (10, 20, 30, 40, 50),
+    budget: float = math.inf,
+) -> list[SweepPoint]:
+    """Fig 12: small networks for the ILP optimality study.
+
+    30 APs on a 600 m square; ``budget=0.042`` reproduces Fig 12(c)'s MNU
+    setting, ``inf`` the BLA/MLA settings of Figs 12(a)/(b). The paper uses
+    5 sessions here (the general default).
+    """
+    return _points(
+        users,
+        n_scenarios,
+        base_seed,
+        lambda u: dict(
+            n_aps=30, n_users=int(u), n_sessions=5, area=SMALL_AREA,
+            budget=budget,
+        ),
+    )
+
+
+#: Fig 12(c)'s per-AP multicast budget.
+FIG12C_BUDGET = 0.042

@@ -1,0 +1,84 @@
+"""Multicast session catalogs.
+
+The paper's simulations use 5 sessions by default (18 in Fig. 11), each user
+picking one uniformly at random. The stream rate is not stated in the paper;
+we default to 1 Mbps (see DESIGN.md §4) and provide catalog builders for
+uniform and heterogeneous rate mixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.problem import Session
+
+DEFAULT_STREAM_RATE_MBPS = 1.0
+
+
+def uniform_catalog(
+    n_sessions: int, rate_mbps: float = DEFAULT_STREAM_RATE_MBPS
+) -> list[Session]:
+    """``n_sessions`` streams, all at the same rate (the paper's setting)."""
+    if n_sessions <= 0:
+        raise ValueError("need at least one session")
+    return [
+        Session(i, rate_mbps, name=f"stream-{i}") for i in range(n_sessions)
+    ]
+
+
+def mixed_catalog(
+    rates_mbps: Sequence[float], names: Sequence[str] | None = None
+) -> list[Session]:
+    """Streams with explicit (possibly heterogeneous) rates."""
+    if not rates_mbps:
+        raise ValueError("need at least one session")
+    if names is not None and len(names) != len(rates_mbps):
+        raise ValueError("one name per rate required")
+    return [
+        Session(i, rate, name=names[i] if names else f"stream-{i}")
+        for i, rate in enumerate(rates_mbps)
+    ]
+
+
+def tv_lineup(n_channels: int = 5) -> list[Session]:
+    """A TV-like lineup: a few SD channels and progressively richer ones.
+
+    Mirrors the paper's motivating services (local news, visitor info,
+    TV/radio channels): rates cycle through 0.5, 1 and 2 Mbps.
+    """
+    ladder = (0.5, 1.0, 2.0)
+    return [
+        Session(i, ladder[i % len(ladder)], name=f"channel-{i}")
+        for i in range(n_channels)
+    ]
+
+
+def assign_sessions(
+    n_users: int,
+    n_sessions: int,
+    rng: random.Random,
+    *,
+    weights: Sequence[float] | None = None,
+) -> list[int]:
+    """Each user's requested session (uniform by default, per the paper).
+
+    ``weights`` makes the choice zipf-like/popular-channel skewed for the
+    non-uniform-demand studies.
+    """
+    if n_users < 0:
+        raise ValueError("n_users must be non-negative")
+    if n_sessions <= 0:
+        raise ValueError("need at least one session")
+    if weights is None:
+        return [rng.randrange(n_sessions) for _ in range(n_users)]
+    if len(weights) != n_sessions:
+        raise ValueError("one weight per session required")
+    return rng.choices(range(n_sessions), weights=weights, k=n_users)
+
+
+def zipf_weights(n_sessions: int, exponent: float = 1.0) -> list[float]:
+    """Zipf popularity weights — channel 0 is the most popular."""
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    return [1.0 / (rank + 1) ** exponent for rank in range(n_sessions)]

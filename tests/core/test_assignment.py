@@ -1,0 +1,172 @@
+"""Tests for assignments and derived loads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.assignment import (
+    Assignment,
+    compare_load_vectors,
+    from_selected_sets,
+    served_counts_by_ap,
+)
+from repro.core.errors import InfeasibleAssignmentError, ModelError
+from tests.conftest import paper_example_problem
+
+
+class TestBasics:
+    def test_empty(self):
+        p = paper_example_problem(1.0)
+        a = Assignment.empty(p)
+        assert a.n_served == 0
+        assert a.total_load() == 0.0
+        assert a.max_load() == 0.0
+        assert a.unserved_users() == [0, 1, 2, 3, 4]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ModelError):
+            Assignment(paper_example_problem(1.0), [None, None])
+
+    def test_rejects_unknown_ap(self):
+        with pytest.raises(ModelError):
+            Assignment(paper_example_problem(1.0), [7, None, None, None, None])
+
+    def test_replace(self):
+        p = paper_example_problem(1.0)
+        a = Assignment.empty(p).replace(0, 0)
+        assert a.ap_of(0) == 0
+        assert a.n_served == 1
+
+    def test_served_and_unserved(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, None, 1, None, None])
+        assert a.served_users() == [0, 2]
+        assert a.unserved_users() == [1, 3, 4]
+
+
+class TestDerivedLoads:
+    def test_paper_bla_optimal_loads(self):
+        """u1,u2,u3 on a1 and u4,u5 on a2 -> loads (1/2, 1/3)."""
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 0, 1, 1])
+        assert a.load_of(0) == pytest.approx(1 / 3 + 1 / 6)
+        assert a.load_of(1) == pytest.approx(1 / 3)
+        assert a.max_load() == pytest.approx(1 / 2)
+        assert a.total_load() == pytest.approx(5 / 6)
+
+    def test_tx_rate_is_min_member_rate(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 0, 1, 1])
+        assert a.tx_rate(0, 0) == 3  # u1@3, u3@4 -> 3
+        assert a.tx_rate(0, 1) == 6  # only u2
+        assert a.tx_rate(1, 1) == 3  # u4@5, u5@3 -> 3
+        assert a.tx_rate(1, 0) is None
+
+    def test_all_on_a1_total(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 0, 0, 0])
+        assert a.total_load() == pytest.approx(7 / 12)
+
+    def test_sorted_load_vector(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 0, 1, 1])
+        assert a.sorted_load_vector() == pytest.approx((0.5, 1 / 3))
+
+    def test_users_on_and_sessions_on(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 0, 1, 1])
+        assert a.users_on(0) == [0, 1, 2]
+        assert a.users_on(0, session=0) == [0, 2]
+        assert a.sessions_on(1) == [1]
+
+
+class TestValidation:
+    def test_out_of_range_violation(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [1, None, None, None, None])  # u1 can't hear a2
+        assert any("out of range" in v for v in a.violations())
+        with pytest.raises(InfeasibleAssignmentError):
+            a.validate()
+
+    def test_budget_violation(self):
+        p = paper_example_problem(3.0, budget=1.0)
+        a = Assignment(p, [0, 0, None, None, None])  # 1 + 0.5 = 1.5 > 1
+        assert any("exceeds budget" in v for v in a.violations())
+        assert a.violations(check_budgets=False) == []
+
+    def test_feasible_validates(self):
+        p = paper_example_problem(1.0, budget=0.9)
+        a = Assignment(p, [0, 0, 0, 1, 1])
+        assert a.validate() is a
+
+
+class TestFromSelectedSets:
+    def test_basic_mapping(self):
+        p = paper_example_problem(1.0)
+        a = from_selected_sets(
+            p, [(0, 1, 4.0, [1, 3, 4]), (0, 0, 3.0, [0, 2])]
+        )
+        assert a.ap_of_user == (0, 0, 0, 0, 0)
+        assert a.total_load() == pytest.approx(7 / 12)
+
+    def test_user_prefers_best_rate_ap(self):
+        p = paper_example_problem(1.0)
+        # u3 appears in sets of both APs; its link to a2 (5) beats a1 (4)
+        a = from_selected_sets(
+            p, [(0, 0, 3.0, [0, 2]), (1, 0, 5.0, [2])]
+        )
+        assert a.ap_of(2) == 1
+
+    def test_rejects_wrong_session(self):
+        p = paper_example_problem(1.0)
+        with pytest.raises(ModelError):
+            from_selected_sets(p, [(0, 0, 3.0, [1])])  # u2 requests s2
+
+    def test_rejects_undecodable_rate(self):
+        p = paper_example_problem(1.0)
+        with pytest.raises(ModelError):
+            from_selected_sets(p, [(0, 0, 6.0, [0])])  # u1 links at 3 < 6
+
+
+class TestCompareLoadVectors:
+    def test_orders_by_first_difference(self):
+        assert compare_load_vectors([0.5, 0.2], [0.5, 0.3]) == -1
+        assert compare_load_vectors([0.6, 0.0], [0.5, 0.5]) == 1
+
+    def test_equal(self):
+        assert compare_load_vectors([0.3, 0.1], [0.1, 0.3]) == 0
+
+    def test_sorting_is_applied(self):
+        # (0.2, 0.5) sorts to (0.5, 0.2): compare as sorted vectors
+        assert compare_load_vectors([0.2, 0.5], [0.5, 0.3]) == -1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            compare_load_vectors([0.1], [0.1, 0.2])
+
+
+class TestMisc:
+    def test_served_counts_by_ap(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 1, 1, None])
+        assert served_counts_by_ap(a) == {0: 2, 1: 2}
+
+    def test_equality_and_hash(self):
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [0, 0, 0, 1, 1])
+        b = Assignment(p, [0, 0, 0, 1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.replace(0, None)
+
+    def test_repr_contains_counts(self):
+        p = paper_example_problem(1.0)
+        assert "served=5/5" in repr(Assignment(p, [0, 0, 0, 1, 1]))
+
+    def test_infinite_load_for_unservable_member(self):
+        # Force an impossible grouping via the raw constructor: u1 on a2.
+        p = paper_example_problem(1.0)
+        a = Assignment(p, [1, None, None, None, None])
+        assert a.load_of(1) == math.inf

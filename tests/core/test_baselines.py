@@ -1,0 +1,116 @@
+"""Tests for the additional association baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.baselines import (
+    solve_least_load,
+    solve_least_users,
+    solve_random,
+)
+from repro.core.distributed import run_distributed
+from repro.core.mla import solve_mla
+from tests.conftest import paper_example_problem, random_problem
+
+BASELINES = (solve_random, solve_least_users, solve_least_load)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("solver", BASELINES)
+    def test_everyone_in_range_served_unbudgeted(self, solver):
+        rng = random.Random(271)
+        for _ in range(10):
+            p = random_problem(rng)
+            solution = solver(p, rng=random.Random(1))
+            assert solution.n_served == p.n_users
+            assert solution.assignment.violations(check_budgets=False) == []
+
+    @pytest.mark.parametrize("solver", BASELINES)
+    def test_budgets_respected(self, solver):
+        rng = random.Random(277)
+        for _ in range(10):
+            p = random_problem(rng, budget=0.3)
+            solution = solver(
+                p, enforce_budgets=True, rng=random.Random(2)
+            )
+            assert solution.assignment.violations(check_budgets=True) == []
+
+    @pytest.mark.parametrize("solver", BASELINES)
+    def test_arrival_order_validated(self, solver, fig1_load):
+        with pytest.raises(ValueError):
+            solver(fig1_load, arrival_order=[0, 0, 1, 2, 3])
+
+    @pytest.mark.parametrize("solver", BASELINES)
+    def test_deterministic_given_rng(self, solver, fig1_load):
+        a = solver(fig1_load, rng=random.Random(7))
+        b = solver(fig1_load, rng=random.Random(7))
+        assert a.assignment == b.assignment
+
+
+class TestLeastUsers:
+    def test_spreads_users(self, fig1_load):
+        """In order u3, u4, u5 (all dual-coverage), least-users alternates:
+        u3 takes the empty-tie by signal (a2@5 beats a1@4), u4 balances to
+        a1, u5 ties again and goes by signal to a1."""
+        solution = solve_least_users(
+            fig1_load, arrival_order=[2, 3, 4, 0, 1]
+        )
+        a = solution.assignment
+        assert a.ap_of(2) == 1  # tie at 0/0: stronger signal wins
+        assert a.ap_of(3) == 0  # 0 users on a1 vs 1 on a2
+        assert a.ap_of(4) == 0  # tie at 1/1: signal (4 vs 3) wins
+
+
+class TestLeastLoad:
+    def test_prefers_idle_ap(self):
+        """With one AP pre-loaded, least-load sends the next user to the
+        empty one even when its signal is weaker."""
+        p = paper_example_problem(1.0)
+        solution = solve_least_load(p, arrival_order=[1, 0, 2, 3, 4])
+        a = solution.assignment
+        # u2 and u1 must use a1 (only option). u3 then sees load(a1) > 0,
+        # load(a2) = 0 -> picks a2 despite SSA preferring a2 anyway; u5
+        # (a1@4 vs a2@3) also goes to the lighter AP at that moment.
+        assert a.ap_of(2) == 1
+
+    def test_beaten_by_mla_in_aggregate(self):
+        """Load-aware but merge-blind: MLA's total load is lower overall."""
+        rng = random.Random(281)
+        total_baseline = total_mla = 0.0
+        for _ in range(12):
+            p = random_problem(rng, n_aps=4, n_users=12)
+            total_baseline += solve_least_load(
+                p, rng=random.Random(3)
+            ).assignment.total_load()
+            total_mla += solve_mla(p).assignment.total_load()
+        assert total_mla < total_baseline
+
+    def test_beaten_by_distributed_bla_on_max_load(self):
+        rng = random.Random(283)
+        total_baseline = total_bla = 0.0
+        for _ in range(12):
+            p = random_problem(rng, n_aps=4, n_users=12)
+            total_baseline += solve_least_load(
+                p, rng=random.Random(4)
+            ).assignment.max_load()
+            total_bla += run_distributed(
+                p, "bla", rng=random.Random(4)
+            ).assignment.max_load()
+        assert total_bla <= total_baseline + 1e-9
+
+
+class TestRandomBaseline:
+    def test_is_a_floor_for_mla(self):
+        """Random association is (on average) the worst full-cover policy."""
+        rng = random.Random(293)
+        total_random = total_mla = 0.0
+        for _ in range(12):
+            p = random_problem(rng, n_aps=4, n_users=12)
+            total_random += solve_random(
+                p, rng=random.Random(5)
+            ).assignment.total_load()
+            total_mla += solve_mla(p).assignment.total_load()
+        assert total_mla < total_random

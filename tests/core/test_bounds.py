@@ -1,0 +1,132 @@
+"""Tests for LP-relaxation bounds and quality certificates."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.bla import solve_bla
+from repro.core.bounds import (
+    QualityCertificate,
+    bla_lp_bound,
+    mla_lp_bound,
+    mnu_lp_bound,
+    quality_certificate,
+)
+from repro.core.errors import CoverageError, ModelError, SolverError
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.optimal import (
+    solve_bla_optimal,
+    solve_mla_optimal,
+    solve_mnu_optimal,
+)
+from repro.core.problem import MulticastAssociationProblem, Session
+from tests.conftest import paper_example_problem, random_problem
+
+
+class TestBoundsBracketOptimum:
+    def test_mla_lp_below_ilp(self):
+        rng = random.Random(251)
+        for _ in range(15):
+            p = random_problem(rng, n_users=8)
+            assert mla_lp_bound(p) <= solve_mla_optimal(p).objective + 1e-9
+
+    def test_bla_lp_below_ilp(self):
+        rng = random.Random(257)
+        for _ in range(15):
+            p = random_problem(rng, n_users=8)
+            assert bla_lp_bound(p) <= solve_bla_optimal(p).objective + 1e-9
+
+    def test_mnu_lp_above_ilp(self):
+        rng = random.Random(263)
+        for _ in range(15):
+            p = random_problem(rng, n_users=8, budget=0.4)
+            assert (
+                mnu_lp_bound(p)
+                >= solve_mnu_optimal(p).assignment.n_served - 1e-9
+            )
+
+    def test_lp_bounds_positive_on_nontrivial_instances(self):
+        p = paper_example_problem(1.0)
+        assert mla_lp_bound(p) > 0
+        assert bla_lp_bound(p) > 0
+
+    def test_paper_example_values(self, fig1_load, fig1_mnu):
+        # integral optima: 7/12 (MLA), 1/2 (BLA), 4 users (MNU)
+        assert mla_lp_bound(fig1_load) <= 7 / 12 + 1e-9
+        assert bla_lp_bound(fig1_load) <= 0.5 + 1e-9
+        assert mnu_lp_bound(fig1_mnu) >= 4 - 1e-9
+
+
+class TestErrors:
+    def test_isolated_user(self):
+        p = MulticastAssociationProblem(
+            [[1.0, 0.0]], [0, 0], [Session(0, 1.0)]
+        )
+        with pytest.raises(CoverageError):
+            mla_lp_bound(p)
+        with pytest.raises(CoverageError):
+            bla_lp_bound(p)
+
+    def test_mnu_needs_finite_budgets(self, fig1_load):
+        with pytest.raises(SolverError):
+            mnu_lp_bound(fig1_load)
+
+
+class TestQualityCertificate:
+    def test_mla_certificate(self, fig1_load):
+        cert = quality_certificate(solve_mla(fig1_load).assignment, "mla")
+        assert cert.achieved == pytest.approx(7 / 12)
+        assert cert.gap >= 0
+        assert "mla" in cert.format()
+
+    def test_bla_certificate(self, fig1_load):
+        cert = quality_certificate(solve_bla(fig1_load).assignment, "bla")
+        assert cert.achieved >= cert.lp_bound - 1e-9
+
+    def test_mnu_certificate(self, fig1_mnu):
+        cert = quality_certificate(solve_mnu(fig1_mnu).assignment, "mnu")
+        assert cert.achieved == 3.0
+        assert cert.lp_bound >= 4 - 1e-9
+        assert cert.gap >= 1 / 3 - 1e-6  # at least (4-3)/3
+
+    def test_true_gap_never_exceeds_certified_gap(self):
+        rng = random.Random(269)
+        for _ in range(10):
+            p = random_problem(rng, n_users=8)
+            heuristic = solve_mla(p).assignment
+            cert = quality_certificate(heuristic, "mla")
+            optimum = solve_mla_optimal(p).objective
+            true_gap = heuristic.total_load() / optimum - 1.0
+            assert true_gap <= cert.gap + 1e-9
+
+    def test_partial_cover_rejected(self, fig1_load):
+        from repro.core.assignment import Assignment
+
+        partial = Assignment(fig1_load, [0, None, None, None, None])
+        with pytest.raises(ModelError):
+            quality_certificate(partial, "mla")
+        with pytest.raises(ModelError):
+            quality_certificate(partial, "bla")
+
+    def test_unknown_objective(self, fig1_load):
+        with pytest.raises(ModelError):
+            quality_certificate(solve_mla(fig1_load).assignment, "nope")
+
+    def test_gap_edge_cases(self):
+        assert QualityCertificate("mla", 0.0, 0.0).gap == 0.0
+        assert QualityCertificate("mla", 1.0, 0.0).gap == math.inf
+        assert QualityCertificate("mnu", 0.0, 0.0).gap == 0.0
+        assert QualityCertificate("mnu", 0.0, 3.0).gap == math.inf
+
+    def test_scales_beyond_ilp_reach(self):
+        """The LP certificate is cheap on instances where the ILP would be
+        painful: a full 200-AP / 300-user scenario."""
+        from repro.scenarios.generator import generate
+
+        problem = generate(n_aps=200, n_users=300, n_sessions=5, seed=1).problem()
+        cert = quality_certificate(solve_mla(problem).assignment, "mla")
+        assert 0 <= cert.gap < 1.0  # certified within 2x of optimal

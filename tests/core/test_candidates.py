@@ -1,0 +1,122 @@
+"""Tests for candidate-set construction (the shared reduction)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.candidates import (
+    CandidateSet,
+    build_candidates,
+    coverable_users,
+    group_by_ap,
+    restrict_to_users,
+)
+from tests.conftest import paper_example_problem, random_problem
+
+
+def by_key(candidates):
+    return {(c.ap, c.session, c.tx_rate): c for c in candidates}
+
+
+class TestBuildCandidates:
+    def test_paper_fig2_sets(self):
+        """The MNU reduction of Fig. 2 (3 Mbps streams), pruned to the
+        distinct-link-rate transmit rates."""
+        p = paper_example_problem(3.0)
+        sets = by_key(build_candidates(p))
+        # a1, s1: rates {3: {u1,u3}, 4: {u3}}
+        assert sets[(0, 0, 3.0)].users == frozenset({0, 2})
+        assert sets[(0, 0, 3.0)].cost == pytest.approx(1.0)
+        assert sets[(0, 0, 4.0)].users == frozenset({2})
+        # a1, s2: rates {4: {u2,u4,u5}, 6: {u2}}
+        assert sets[(0, 1, 4.0)].users == frozenset({1, 3, 4})
+        assert sets[(0, 1, 4.0)].cost == pytest.approx(0.75)
+        assert sets[(0, 1, 6.0)].users == frozenset({1})
+        # a2, s1: {5: {u3}}; a2, s2: {3: {u4,u5}, 5: {u4}}
+        assert sets[(1, 0, 5.0)].users == frozenset({2})
+        assert sets[(1, 1, 3.0)].users == frozenset({3, 4})
+        assert sets[(1, 1, 5.0)].users == frozenset({3})
+        assert len(sets) == 7  # exactly the paper's S1..S7
+
+    def test_unpruned_uses_rate_grid(self):
+        p = paper_example_problem(1.0)
+        sets = build_candidates(p, prune=False, rate_grid=[1, 2, 3, 4, 5, 6])
+        keys = {(c.ap, c.session, c.tx_rate) for c in sets}
+        # a1/s1 max link is 4 -> grid rates 1..4 emitted
+        assert (0, 0, 1.0) in keys and (0, 0, 4.0) in keys
+        assert (0, 0, 5.0) not in keys
+
+    def test_unpruned_requires_grid(self):
+        with pytest.raises(ValueError):
+            build_candidates(paper_example_problem(1.0), prune=False)
+
+    def test_costs_are_session_rate_over_tx_rate(self):
+        p = paper_example_problem(1.0)
+        for c in build_candidates(p):
+            assert c.cost == pytest.approx(
+                p.session_rate(c.session) / c.tx_rate
+            )
+
+    def test_every_user_in_its_sets_can_decode(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            p = random_problem(rng)
+            for c in build_candidates(p):
+                for u in c.users:
+                    assert p.session_of(u) == c.session
+                    assert p.link_rate(c.ap, u) >= c.tx_rate
+
+    def test_pruning_is_lossless(self):
+        """Every unpruned set is dominated by (or equal to) a pruned set:
+        same-or-more users at same-or-lower cost from the same AP/session."""
+        rng = random.Random(5)
+        for _ in range(10):
+            p = random_problem(rng)
+            pruned = build_candidates(p, prune=True)
+            grid = sorted({r for row in p.link_rates for r in row if r > 0})
+            full = build_candidates(p, prune=False, rate_grid=grid)
+            for big in full:
+                assert any(
+                    small.ap == big.ap
+                    and small.session == big.session
+                    and small.users >= big.users
+                    and small.cost <= big.cost + 1e-12
+                    for small in pruned
+                )
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            CandidateSet(0, 0, 0.0, 1.0, frozenset({1}))
+        with pytest.raises(ValueError):
+            CandidateSet(0, 0, 1.0, 0.0, frozenset({1}))
+        with pytest.raises(ValueError):
+            CandidateSet(0, 0, 1.0, 1.0, frozenset())
+
+
+class TestHelpers:
+    def test_group_by_ap(self):
+        p = paper_example_problem(1.0)
+        groups = group_by_ap(build_candidates(p), p.n_aps)
+        assert len(groups) == 2
+        assert all(c.ap == 0 for c in groups[0])
+        assert all(c.ap == 1 for c in groups[1])
+
+    def test_coverable_users(self):
+        p = paper_example_problem(1.0)
+        assert coverable_users(build_candidates(p)) == {0, 1, 2, 3, 4}
+
+    def test_restrict_to_users(self):
+        p = paper_example_problem(1.0)
+        restricted = restrict_to_users(build_candidates(p), {2})
+        assert restricted
+        assert all(c.users == frozenset({2}) for c in restricted)
+        # costs/rates survive restriction unchanged
+        original = by_key(build_candidates(p))
+        for c in restricted:
+            assert c.cost == original[(c.ap, c.session, c.tx_rate)].cost
+
+    def test_restrict_drops_empty(self):
+        p = paper_example_problem(1.0)
+        assert restrict_to_users(build_candidates(p), set()) == []

@@ -1,0 +1,191 @@
+"""Tests for the distributed policies, dynamics and convergence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.distributed import (
+    AssociationState,
+    decide,
+    run_distributed,
+)
+from repro.core.problem import MulticastAssociationProblem, Session
+from tests.conftest import paper_example_problem, random_problem
+
+
+def fig4_problem() -> MulticastAssociationProblem:
+    """The paper's Figure-4 oscillation example.
+
+    a1 reaches u1, u2, u3 at 5, 4, 4 Mbps; a2 reaches u2, u3, u4 at
+    4, 4, 5 Mbps. All four users request the same 1 Mbps session.
+    """
+    return MulticastAssociationProblem(
+        link_rates=[[5, 4, 4, 0], [0, 4, 4, 5]],
+        user_sessions=[0, 0, 0, 0],
+        sessions=[Session(0, 1.0)],
+    )
+
+
+class TestAssociationState:
+    def test_incremental_loads_match_assignment(self):
+        rng = random.Random(127)
+        for _ in range(20):
+            p = random_problem(rng)
+            state = AssociationState(p)
+            local = random.Random(5)
+            for _ in range(3 * p.n_users):
+                user = local.randrange(p.n_users)
+                choice = local.choice(p.aps_of_user(user) + [None])
+                state.move(user, choice)
+            reference = Assignment(p, state.ap_of_user)
+            assert state.loads() == pytest.approx(reference.loads())
+
+    def test_load_if_joined_and_left(self, fig1_load):
+        state = AssociationState(fig1_load, [0, 0, None, None, None])
+        # u3 joining a1: session 0 rate becomes min(3,4)=3, unchanged cost
+        assert state.load_if_joined(2, 0) == pytest.approx(0.5)
+        # u3 joining a2: new session at rate 5
+        assert state.load_if_joined(2, 1) == pytest.approx(0.2)
+        state.move(2, 0)
+        assert state.load_if_left(0) == pytest.approx(
+            0.5 - 1 / 3 + 1 / 4
+        )  # s1 falls back to u3-only at rate 4
+
+    def test_load_if_left_requires_association(self, fig1_load):
+        state = AssociationState(fig1_load)
+        with pytest.raises(ValueError):
+            state.load_if_left(0)
+
+    def test_state_key_encodes_unserved(self, fig1_load):
+        state = AssociationState(fig1_load, [0, None, 1, None, None])
+        assert state.state_key() == (0, -1, 1, -1, -1)
+
+
+class TestPaperTraces:
+    """Sequential decisions in user order u1..u5 on the Fig-1 WLAN."""
+
+    def run_in_order(self, problem, policy):
+        state = AssociationState(problem)
+        for user in range(problem.n_users):
+            state.move(user, decide(state, user, policy).target)
+        return state
+
+    def test_distributed_mnu_serves_four(self, fig1_mnu):
+        state = self.run_in_order(fig1_mnu, "mnu")
+        assert state.ap_of_user == [0, None, 0, 1, 1]
+
+    def test_distributed_mla_all_on_a1(self, fig1_load):
+        state = self.run_in_order(fig1_load, "mla")
+        assert state.ap_of_user == [0, 0, 0, 0, 0]
+        assert state.total_load() == pytest.approx(7 / 12)
+
+    def test_distributed_bla_optimal_split(self, fig1_load):
+        state = self.run_in_order(fig1_load, "bla")
+        assert state.load_of(0) == pytest.approx(0.5)
+        assert state.load_of(1) == pytest.approx(1 / 3)
+
+
+class TestConvergence:
+    def test_sequential_converges(self):
+        rng = random.Random(131)
+        for policy in ("mnu", "mla", "bla"):
+            for _ in range(10):
+                p = random_problem(rng)
+                result = run_distributed(p, policy, rng=random.Random(3))
+                assert result.converged
+                assert not result.oscillated
+
+    def test_sequential_total_load_monotone(self):
+        """Each sequential MLA round cannot increase the total load once
+        everyone is associated."""
+        rng = random.Random(137)
+        p = random_problem(rng, n_aps=4, n_users=10)
+        result = run_distributed(p, "mla", rng=random.Random(4))
+        state = AssociationState(p, result.assignment.ap_of_user)
+        before = state.total_load()
+        for user in range(p.n_users):
+            decision = decide(state, user, "mla")
+            state.move(user, decision.target)
+        assert state.total_load() <= before + 1e-9
+
+    def test_fig4_simultaneous_oscillates(self):
+        """Users u2 and u3 swap APs forever under simultaneous decisions."""
+        p = fig4_problem()
+        result = run_distributed(
+            p,
+            "mla",
+            mode="simultaneous",
+            initial=[0, 0, 1, 1],
+            shuffle_each_round=False,
+            max_rounds=50,
+        )
+        assert result.oscillated
+        assert not result.converged
+
+    def test_fig4_sequential_converges(self):
+        p = fig4_problem()
+        result = run_distributed(
+            p, "mla", mode="sequential", initial=[0, 0, 1, 1]
+        )
+        assert result.converged
+        # total load improves on the initial 1/2
+        assert result.assignment.total_load() <= 0.5
+
+    def test_budget_respected_by_mnu(self):
+        rng = random.Random(139)
+        for _ in range(20):
+            p = random_problem(rng, budget=rng.choice([0.2, 0.4]))
+            result = run_distributed(p, "mnu", rng=random.Random(5))
+            assert result.assignment.violations(check_budgets=True) == []
+
+    def test_bla_and_mla_serve_everyone(self):
+        rng = random.Random(149)
+        for policy in ("mla", "bla"):
+            for _ in range(10):
+                p = random_problem(rng)
+                result = run_distributed(p, policy, rng=random.Random(6))
+                assert result.assignment.n_served == p.n_users
+
+    def test_moves_counted(self, fig1_load):
+        result = run_distributed(fig1_load, "mla", rng=random.Random(7))
+        assert result.moves >= result.assignment.n_served
+
+    def test_initial_assignment_respected(self, fig1_load):
+        initial = [0, 0, 0, 0, 0]
+        result = run_distributed(fig1_load, "mla", initial=initial)
+        # already a local optimum for MLA: nothing moves
+        assert result.assignment.ap_of_user == tuple(initial)
+        assert result.moves == 0
+
+
+class TestDecide:
+    def test_unserved_user_joins_when_feasible(self, fig1_load):
+        state = AssociationState(fig1_load)
+        decision = decide(state, 0, "mla")
+        assert decision.target == 0
+        assert decision.improves
+
+    def test_isolated_user_stays_unserved(self):
+        p = MulticastAssociationProblem(
+            [[1.0, 0.0]], [0, 0], [Session(0, 1.0)]
+        )
+        state = AssociationState(p)
+        decision = decide(state, 1, "mla")
+        assert decision.target is None
+        assert not decision.improves
+
+    def test_no_move_without_strict_improvement(self, fig1_load):
+        state = AssociationState(fig1_load, [0, 0, 0, 0, 0])
+        # u2 is already optimally placed for MLA
+        decision = decide(state, 1, "mla")
+        assert decision.target == 0
+        assert not decision.improves
+
+    def test_budget_excludes_infeasible_ap(self, fig1_mnu):
+        state = AssociationState(fig1_mnu, [0, None, None, None, None])
+        # u2 joining a1 would need 1 + 0.5 > 1: infeasible, no other AP
+        decision = decide(state, 1, "mnu")
+        assert decision.target is None

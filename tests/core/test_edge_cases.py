@@ -1,0 +1,173 @@
+"""Edge cases and degenerate instances across the core solvers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.bla import solve_bla
+from repro.core.distributed import run_distributed
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.optimal import (
+    solve_bla_optimal,
+    solve_mla_optimal,
+    solve_mnu_optimal,
+)
+from repro.core.problem import MulticastAssociationProblem, Session
+from repro.core.ssa import solve_ssa
+from tests.conftest import paper_example_problem, random_problem
+
+
+def single(rate=6.0, budget=math.inf):
+    return MulticastAssociationProblem(
+        [[rate]], [0], [Session(0, 1.0)], budgets=budget
+    )
+
+
+class TestTinyInstances:
+    def test_one_user_one_ap(self):
+        p = single()
+        assert solve_mla(p).total_load == pytest.approx(1 / 6)
+        assert solve_bla(p).max_load == pytest.approx(1 / 6)
+        assert solve_mla_optimal(p).objective == pytest.approx(1 / 6)
+        assert solve_bla_optimal(p).objective == pytest.approx(1 / 6)
+
+    def test_one_user_budget_boundary(self):
+        """A budget exactly equal to the only set's cost admits the user."""
+        p = single(rate=6.0, budget=1 / 6)
+        assert solve_mnu(p).n_served == 1
+        assert solve_mnu_optimal(p).objective == 1
+
+    def test_one_user_budget_just_below(self):
+        p = single(rate=6.0, budget=1 / 6 - 1e-6)
+        assert solve_mnu(p).n_served == 0
+        assert solve_mnu_optimal(p).objective == 0
+
+    def test_zero_users(self):
+        p = MulticastAssociationProblem(
+            [[]], [], [Session(0, 1.0)], budgets=0.9
+        )
+        assert solve_mla(p).total_load == 0.0
+        assert solve_mnu(p).n_served == 0
+        result = run_distributed(p, "mla")
+        assert result.converged
+        assert result.assignment.n_served == 0
+
+    def test_single_ap_many_users_one_session(self):
+        """All users, one session, one AP: one transmission at the slowest
+        user's rate."""
+        p = MulticastAssociationProblem(
+            [[54, 24, 6, 36]], [0, 0, 0, 0], [Session(0, 1.0)]
+        )
+        solution = solve_mla(p)
+        assert solution.total_load == pytest.approx(1 / 6)
+        assert solve_mla_optimal(p).objective == pytest.approx(1 / 6)
+
+
+class TestHomogeneousCases:
+    def test_all_users_same_session_multiple_aps(self):
+        """Single session, one AP reaches everyone: the optimum serves all
+        on AP0 (1/6); the greedy prefers the hyper-cost-effective
+        single-user 54 Mbps set first and pays 1/6 + 1/54 — a concrete
+        instance of its (ln n + 1) slack."""
+        p = MulticastAssociationProblem(
+            [[6, 6, 6], [54, 0, 0]], [0, 0, 0], [Session(0, 1.0)]
+        )
+        greedy = solve_mla(p)
+        assert greedy.total_load == pytest.approx(1 / 6 + 1 / 54)
+        assert solve_mla_optimal(p).objective == pytest.approx(1 / 6)
+
+    def test_identical_aps_tie_break_deterministic(self):
+        p = MulticastAssociationProblem(
+            [[6, 6], [6, 6]], [0, 0], [Session(0, 1.0)]
+        )
+        a = solve_mla(p).assignment
+        b = solve_mla(p).assignment
+        assert a == b
+
+    def test_extreme_rate_heterogeneity(self):
+        """A 1000x rate spread must not break cost arithmetic."""
+        p = MulticastAssociationProblem(
+            [[0.054, 54.0]], [0, 0], [Session(0, 1.0)]
+        )
+        solution = solve_mla(p)
+        # one session, both users on the AP: tx at 0.054
+        assert solution.total_load == pytest.approx(1 / 0.054)
+
+
+class TestBasicRateRegime:
+    """The 802.11-standard mode: every multicast at the basic rate."""
+
+    def test_solvers_work_and_algorithms_still_beat_ssa(self):
+        rng = random.Random(307)
+        total_mla = total_ssa = 0.0
+        for _ in range(10):
+            p = random_problem(rng).basic_rate_only(6.0)
+            total_mla += solve_mla(p).total_load
+            total_ssa += solve_ssa(
+                p, rng=random.Random(1)
+            ).assignment.total_load()
+        assert total_mla <= total_ssa + 1e-9
+
+    def test_basic_rate_never_cheaper_than_multirate(self):
+        rng = random.Random(311)
+        for _ in range(10):
+            p = random_problem(rng)
+            multi = solve_mla(p).total_load
+            basic = solve_mla(p.basic_rate_only(6.0)).total_load
+            assert basic >= multi - 1e-9
+
+    def test_paper_example_basic_rate(self, fig1_load):
+        p = fig1_load.basic_rate_only(3.0)
+        solution = solve_mla(p)
+        # both sessions at rate 3 from one AP: 1/3 + 1/3
+        assert solution.total_load == pytest.approx(2 / 3)
+
+
+class TestRestrictionRoundTrips:
+    def test_solving_a_restriction_matches_manual_subset(self):
+        p = paper_example_problem(1.0)
+        sub, mapping = p.restricted_to_users([1, 3, 4])  # the s2 users
+        solution = solve_mla(sub)
+        assert solution.assignment.n_served == 3
+        # lift back: the same associations are feasible in the parent
+        lifted = [None] * p.n_users
+        for sub_index, parent in enumerate(mapping):
+            lifted[parent] = solution.assignment.ap_of(sub_index)
+        Assignment(p, lifted).validate(check_budgets=False)
+
+    def test_empty_restriction(self):
+        p = paper_example_problem(1.0)
+        sub, mapping = p.restricted_to_users([])
+        assert sub.n_users == 0
+        assert mapping == []
+
+
+class TestDistributedEdges:
+    def test_max_rounds_one(self):
+        rng = random.Random(313)
+        p = random_problem(rng, n_users=10)
+        result = run_distributed(p, "mla", max_rounds=1)
+        # one round always executes; convergence flag may be False
+        assert result.rounds == 1
+
+    def test_all_users_isolated(self):
+        p = MulticastAssociationProblem(
+            [[0.0, 0.0]], [0, 0], [Session(0, 1.0)]
+        )
+        result = run_distributed(p, "mla")
+        assert result.converged
+        assert result.assignment.n_served == 0
+
+    def test_budget_zero_serves_nobody(self):
+        p = paper_example_problem(1.0, budget=0.0)
+        assert solve_mnu(p).n_served == 0
+        assert run_distributed(p, "mnu").assignment.n_served == 0
+        assert (
+            solve_ssa(p, enforce_budgets=True, rng=random.Random(0)).n_served
+            == 0
+        )

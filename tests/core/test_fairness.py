@@ -1,0 +1,156 @@
+"""Tests for unicast coexistence and the Section-3 revenue models."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.bla import solve_bla
+from repro.core.errors import ModelError
+from repro.core.fairness import (
+    compare_revenues,
+    concave_unicast_revenue,
+    max_min_unicast_shares,
+    pay_per_view_revenue,
+    per_byte_unicast_revenue,
+    residual_airtime,
+    revenue_breakdown,
+    worst_unicast_share,
+)
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.ssa import solve_ssa
+from tests.conftest import paper_example_problem, random_problem
+
+
+def balanced_and_skewed():
+    """Two full covers of the Fig-1 WLAN: balanced vs all-on-a1."""
+    p = paper_example_problem(1.0)
+    balanced = Assignment(p, [0, 0, 0, 1, 1])  # loads (1/2, 1/3)
+    skewed = Assignment(p, [0, 0, 0, 0, 0])  # loads (7/12, 0)
+    return balanced, skewed
+
+
+class TestResiduals:
+    def test_residual_is_one_minus_load(self):
+        balanced, _ = balanced_and_skewed()
+        assert residual_airtime(balanced) == pytest.approx([0.5, 2 / 3])
+
+    def test_residual_clamped_at_zero(self):
+        p = paper_example_problem(3.0)
+        overloaded = Assignment(p, [0, 0, None, None, None])  # load 1.5
+        assert residual_airtime(overloaded)[0] == 0.0
+
+    def test_max_min_shares(self):
+        balanced, _ = balanced_and_skewed()
+        shares = max_min_unicast_shares(balanced, [2, 4])
+        assert shares == pytest.approx([0.25, 1 / 6])
+
+    def test_no_unicast_users_is_inf(self):
+        balanced, _ = balanced_and_skewed()
+        assert max_min_unicast_shares(balanced, [0, 1])[0] == math.inf
+
+    def test_worst_share(self):
+        balanced, _ = balanced_and_skewed()
+        assert worst_unicast_share(balanced, [2, 4]) == pytest.approx(1 / 6)
+        assert worst_unicast_share(balanced, [0, 0]) == math.inf
+
+    def test_validation(self):
+        balanced, _ = balanced_and_skewed()
+        with pytest.raises(ModelError):
+            max_min_unicast_shares(balanced, [1])
+        with pytest.raises(ModelError):
+            max_min_unicast_shares(balanced, [-1, 1])
+
+
+class TestRevenueModels:
+    def test_pay_per_view_counts_served(self):
+        p = paper_example_problem(3.0, budget=1.0)
+        partial = solve_mnu(p).assignment
+        assert pay_per_view_revenue(partial, price_per_user=2.0) == pytest.approx(
+            2.0 * partial.n_served
+        )
+        with pytest.raises(ModelError):
+            pay_per_view_revenue(partial, price_per_user=-1)
+
+    def test_concave_revenue_prefers_balance_at_equal_total(self):
+        """The paper's BLA argument: *for a given total load*, a concave
+        utility of the residual prefers the balanced split. (Two sessions,
+        all links at 2 Mbps, 1 Mbps streams: each user costs 0.5 anywhere.)"""
+        from repro.core.problem import MulticastAssociationProblem, Session
+
+        p = MulticastAssociationProblem(
+            [[2.0, 2.0], [2.0, 2.0]],
+            [0, 1],
+            [Session(0, 1.0), Session(1, 1.0)],
+        )
+        spread = Assignment(p, [0, 1])  # loads (0.5, 0.5), total 1
+        piled = Assignment(p, [0, 0])  # loads (1.0, 0.0), total 1
+        counts = [1, 1]
+        assert spread.total_load() == pytest.approx(piled.total_load())
+        assert concave_unicast_revenue(
+            spread, counts
+        ) > concave_unicast_revenue(piled, counts)
+
+    def test_per_byte_revenue_prefers_low_total_load(self):
+        """The paper's MLA argument: per-byte billing rewards total residual
+        airtime, i.e. the skewed-but-cheaper cover."""
+        balanced, skewed = balanced_and_skewed()
+        # skewed total load 7/12 < balanced 5/6
+        assert per_byte_unicast_revenue(skewed) > per_byte_unicast_revenue(
+            balanced
+        )
+
+    def test_per_byte_validation(self):
+        balanced, _ = balanced_and_skewed()
+        with pytest.raises(ModelError):
+            per_byte_unicast_revenue(balanced, unicast_rate_mbps=0)
+
+    def test_custom_utility(self):
+        balanced, _ = balanced_and_skewed()
+        linear = concave_unicast_revenue(balanced, [1, 1], utility=lambda x: x)
+        assert linear == pytest.approx(0.5 + 2 / 3)
+
+
+class TestEndToEndConsistency:
+    """The objectives maximize their own revenue model vs SSA, on average."""
+
+    def test_mla_beats_ssa_on_per_byte_revenue_in_aggregate(self):
+        """The greedy is only an (ln n)-approximation, so SSA can edge it
+        out on individual instances; in aggregate MLA must earn more."""
+        rng = random.Random(227)
+        total_mla = total_ssa = 0.0
+        for _ in range(15):
+            p = random_problem(rng, n_aps=4, n_users=10)
+            mla = solve_mla(p).assignment
+            ssa = solve_ssa(p, rng=random.Random(0)).assignment
+            total_mla += per_byte_unicast_revenue(mla)
+            total_ssa += per_byte_unicast_revenue(ssa)
+        assert total_mla >= total_ssa
+
+    def test_bla_beats_ssa_on_concave_revenue_usually(self):
+        rng = random.Random(229)
+        wins = 0
+        for _ in range(15):
+            p = random_problem(rng, n_aps=4, n_users=10)
+            bla = solve_bla(p, n_guesses=6, refine_steps=4).assignment
+            ssa = solve_ssa(p, rng=random.Random(0)).assignment
+            counts = [1] * p.n_aps
+            if concave_unicast_revenue(bla, counts) >= concave_unicast_revenue(
+                ssa, counts
+            ):
+                wins += 1
+        assert wins >= 10  # heuristic, but the trend must be clear
+
+    def test_breakdown_and_compare(self):
+        balanced, skewed = balanced_and_skewed()
+        breakdown = revenue_breakdown(balanced)
+        assert breakdown.pay_per_view == 5
+        table = compare_revenues({"bal": balanced, "skew": skewed})
+        assert set(table) == {"bal", "skew"}
+        assert (
+            table["skew"].per_byte_unicast > table["bal"].per_byte_unicast
+        )

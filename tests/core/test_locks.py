@@ -1,0 +1,92 @@
+"""Tests for the lock-based coordination extension (Section 8)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.locks import LockTable, run_locked_simultaneous
+from repro.core.distributed import run_distributed
+from tests.conftest import random_problem
+from tests.core.test_distributed import fig4_problem
+
+
+class TestLockTable:
+    def test_acquire_and_release(self):
+        table = LockTable(n_aps=4)
+        assert table.try_acquire(user=1, aps=[0, 2])
+        assert table.locked_aps() == {0, 2}
+        table.release_all(1)
+        assert table.locked_aps() == set()
+
+    def test_all_or_nothing(self):
+        table = LockTable(n_aps=4)
+        assert table.try_acquire(1, [1, 2])
+        assert not table.try_acquire(2, [2, 3])
+        # the failed attempt must not leave 3 locked
+        assert table.locked_aps() == {1, 2}
+
+    def test_disjoint_users_coexist(self):
+        table = LockTable(n_aps=4)
+        assert table.try_acquire(1, [0])
+        assert table.try_acquire(2, [1, 2])
+        assert table.locked_aps() == {0, 1, 2}
+
+    def test_release_only_own(self):
+        table = LockTable(n_aps=4)
+        table.try_acquire(1, [0])
+        table.try_acquire(2, [1])
+        table.release_all(1)
+        assert table.locked_aps() == {1}
+
+
+class TestLockedSimultaneous:
+    def test_fig4_converges_under_locks(self):
+        """The Figure-4 instance oscillates under plain simultaneous
+        decisions but converges with neighbor-AP locks."""
+        p = fig4_problem()
+        plain = run_distributed(
+            p,
+            "mla",
+            mode="simultaneous",
+            initial=[0, 0, 1, 1],
+            shuffle_each_round=False,
+            max_rounds=50,
+        )
+        assert plain.oscillated
+        locked = run_locked_simultaneous(
+            p, "mla", initial=[0, 0, 1, 1], max_rounds=50
+        )
+        assert locked.converged
+        assert locked.assignment.total_load() <= 0.5
+
+    def test_converges_on_random_instances(self):
+        rng = random.Random(179)
+        for policy in ("mla", "bla", "mnu"):
+            for _ in range(8):
+                p = random_problem(rng, budget=0.9)
+                result = run_locked_simultaneous(
+                    p, policy, rng=random.Random(8)
+                )
+                assert result.converged
+
+    def test_quality_comparable_to_sequential(self):
+        rng = random.Random(181)
+        for _ in range(10):
+            p = random_problem(rng)
+            sequential = run_distributed(p, "mla", rng=random.Random(9))
+            locked = run_locked_simultaneous(p, "mla", rng=random.Random(9))
+            assert locked.assignment.n_served == p.n_users
+            # local optima differ, but should be within a small factor
+            assert (
+                locked.assignment.total_load()
+                <= 2 * sequential.assignment.total_load() + 1e-9
+            )
+
+    def test_budget_respected(self):
+        rng = random.Random(191)
+        for _ in range(10):
+            p = random_problem(rng, budget=0.3)
+            result = run_locked_simultaneous(p, "mnu", rng=random.Random(10))
+            assert result.assignment.violations(check_budgets=True) == []

@@ -1,0 +1,126 @@
+"""Tests for the exact ILP solvers."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.errors import CoverageError, SolverError
+from repro.core.optimal import (
+    optimal_value,
+    solve_bla_optimal,
+    solve_mla_optimal,
+    solve_mnu_optimal,
+)
+from repro.core.problem import MulticastAssociationProblem, Session
+from tests.conftest import paper_example_problem, random_problem
+
+
+def brute_force(problem, objective):
+    """Exhaustive search over all association maps (tiny instances only)."""
+    best = None
+    options = [
+        [None] + problem.aps_of_user(u) for u in range(problem.n_users)
+    ]
+    for combo in itertools.product(*options):
+        a = Assignment(problem, list(combo))
+        if objective == "mnu":
+            if a.violations(check_budgets=True):
+                continue
+            value = a.n_served
+            better = best is None or value > best
+        else:
+            if a.n_served < problem.n_users:
+                continue
+            value = a.total_load() if objective == "mla" else a.max_load()
+            better = best is None or value < best - 1e-12
+        if better:
+            best = value
+    return best
+
+
+class TestPaperExample:
+    def test_mnu_optimum_is_four(self, fig1_mnu):
+        assert solve_mnu_optimal(fig1_mnu).objective == 4
+
+    def test_mla_optimum(self, fig1_load):
+        assert solve_mla_optimal(fig1_load).objective == pytest.approx(7 / 12)
+
+    def test_bla_optimum(self, fig1_load):
+        assert solve_bla_optimal(fig1_load).objective == pytest.approx(0.5)
+
+
+class TestAgainstBruteForce:
+    def test_mla_matches(self):
+        rng = random.Random(151)
+        for _ in range(10):
+            p = random_problem(rng, n_aps=3, n_users=5)
+            assert solve_mla_optimal(p).objective == pytest.approx(
+                brute_force(p, "mla")
+            )
+
+    def test_bla_matches(self):
+        rng = random.Random(157)
+        for _ in range(10):
+            p = random_problem(rng, n_aps=3, n_users=5)
+            assert solve_bla_optimal(p).objective == pytest.approx(
+                brute_force(p, "bla")
+            )
+
+    def test_mnu_matches(self):
+        rng = random.Random(163)
+        for _ in range(10):
+            p = random_problem(rng, n_aps=3, n_users=5, budget=0.3)
+            assert solve_mnu_optimal(p).objective == pytest.approx(
+                brute_force(p, "mnu")
+            )
+
+
+class TestSolutionsAreFeasible:
+    def test_assignments_validate(self):
+        rng = random.Random(167)
+        for _ in range(10):
+            p = random_problem(rng, n_users=8, budget=0.4)
+            assert solve_mnu_optimal(p).assignment.violations() == []
+            unbudgeted = p.with_budgets(math.inf)
+            mla = solve_mla_optimal(unbudgeted)
+            bla = solve_bla_optimal(unbudgeted)
+            assert mla.assignment.n_served == p.n_users
+            assert bla.assignment.n_served == p.n_users
+
+    def test_objective_matches_assignment(self):
+        rng = random.Random(173)
+        for _ in range(10):
+            p = random_problem(rng, n_users=8)
+            mla = solve_mla_optimal(p)
+            assert mla.assignment.total_load() == pytest.approx(mla.objective)
+            bla = solve_bla_optimal(p)
+            assert bla.assignment.max_load() == pytest.approx(bla.objective)
+
+
+class TestErrors:
+    def test_isolated_user(self):
+        p = MulticastAssociationProblem(
+            [[1.0, 0.0]], [0, 0], [Session(0, 1.0)]
+        )
+        with pytest.raises(CoverageError):
+            solve_mla_optimal(p)
+        with pytest.raises(CoverageError):
+            solve_bla_optimal(p)
+
+    def test_mnu_requires_finite_budgets(self, fig1_load):
+        with pytest.raises(SolverError):
+            solve_mnu_optimal(fig1_load)  # budgets default to inf
+
+    def test_optimal_value_dispatch(self, fig1_load, fig1_mnu):
+        assert optimal_value(fig1_load, "mla") == pytest.approx(7 / 12)
+        assert optimal_value(fig1_load, "bla") == pytest.approx(0.5)
+        assert optimal_value(fig1_mnu, "mnu") == 4
+
+    def test_optimal_value_unknown(self, fig1_load):
+        with pytest.raises(ValueError):
+            optimal_value(fig1_load, "nope")

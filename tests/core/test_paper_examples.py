@@ -1,0 +1,145 @@
+"""End-to-end checks against every worked example in the paper.
+
+Each test reproduces a numbered trace from Sections 3–6 on the Figure-1
+WLAN (2 APs, 5 users, 2 sessions). These are the strongest fidelity tests
+in the suite: they pin the implementation to the authors' own arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.bla import solve_bla
+from repro.core.distributed import AssociationState, decide
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.optimal import (
+    solve_bla_optimal,
+    solve_mla_optimal,
+    solve_mnu_optimal,
+)
+from tests.conftest import paper_example_problem
+
+
+def run_users_in_order(problem, policy):
+    state = AssociationState(problem)
+    for user in range(problem.n_users):
+        state.move(user, decide(state, user, policy).target)
+    return state
+
+
+class TestSection3Examples:
+    """The three worked optima of Section 3.2."""
+
+    def test_mnu_optimum_serves_four(self):
+        """'One of the optimal solutions is that u2,u4,u5 are associated
+        with a1 and u3 is associated with a2' — 4 users, loads 3/4, 3/5."""
+        p = paper_example_problem(3.0, budget=1.0)
+        optimal = solve_mnu_optimal(p)
+        assert optimal.objective == 4
+        reference = Assignment(p, [None, 0, 1, 0, 0])
+        assert reference.load_of(0) == pytest.approx(3 / 4)
+        assert reference.load_of(1) == pytest.approx(3 / 5)
+        assert reference.violations() == []
+
+    def test_infeasibility_of_serving_all_five(self):
+        """u1 and u2 together on a1 need 3/3 + 3/6 > 1."""
+        p = paper_example_problem(3.0, budget=1.0)
+        both = Assignment(p, [0, 0, None, None, None])
+        assert both.load_of(0) == pytest.approx(1.5)
+        assert both.violations() != []
+
+    def test_bla_optimum_half(self):
+        """'The load of a1 will thus be 1/3+1/6=1/2 and the load of a2 will
+        be 1/3.'"""
+        p = paper_example_problem(1.0)
+        assert solve_bla_optimal(p).objective == pytest.approx(0.5)
+        reference = Assignment(p, [0, 0, 0, 1, 1])
+        assert reference.load_of(0) == pytest.approx(0.5)
+        assert reference.load_of(1) == pytest.approx(1 / 3)
+
+    def test_mla_optimum_7_12(self):
+        """'In the optimal solution all users are associated with a1, which
+        results in a total AP load of 1/3 + 1/4 = 7/12.'"""
+        p = paper_example_problem(1.0)
+        assert solve_mla_optimal(p).objective == pytest.approx(7 / 12)
+        reference = Assignment(p, [0, 0, 0, 0, 0])
+        assert reference.total_load() == pytest.approx(7 / 12)
+
+
+class TestSection4Examples:
+    def test_centralized_mnu_trace(self):
+        """'Therefore, u2,u4,u5 are associated with a1 and 3 users get
+        multicast streams.'"""
+        p = paper_example_problem(3.0, budget=1.0)
+        solution = solve_mnu(p)
+        assert solution.assignment.ap_of_user == (None, 0, None, 0, 0)
+
+    def test_ssa_comparison_two_users(self):
+        """'If we use strongest signal based approach ... only 2 users get
+        multicast service' (u1, u3 associating first)."""
+        from repro.core.ssa import solve_ssa
+
+        p = paper_example_problem(3.0, budget=1.0)
+        solution = solve_ssa(
+            p, enforce_budgets=True, arrival_order=[0, 2, 1, 3, 4]
+        )
+        assert solution.n_served == 2
+
+    def test_distributed_mnu_trace(self):
+        """'Eventually, 4 out of the 5 users receive their multicast
+        service' — u1, u3 on a1 and u4, u5 on a2."""
+        p = paper_example_problem(3.0, budget=1.0)
+        state = run_users_in_order(p, "mnu")
+        assert state.ap_of_user == [0, None, 0, 1, 1]
+
+
+class TestSection5Examples:
+    def test_centralized_bla_trace(self):
+        """'Therefore, all users are associated with a1' (B* = 1/2)."""
+        p = paper_example_problem(1.0)
+        solution = solve_bla(p, local_search=False)
+        assert solution.assignment.ap_of_user == (0, 0, 0, 0, 0)
+        assert solution.max_load == pytest.approx(7 / 12)
+
+    def test_distributed_bla_trace(self):
+        """'Eventually, the load of a1 is 1/2 and the load of a2 is 1/3,
+        which is also the optimal solution.'"""
+        p = paper_example_problem(1.0)
+        state = run_users_in_order(p, "bla")
+        assert state.ap_of_user == [0, 0, 0, 1, 1]
+        assert state.load_of(0) == pytest.approx(0.5)
+        assert state.load_of(1) == pytest.approx(1 / 3)
+
+    def test_distributed_bla_intermediate_vectors(self):
+        """The u4 step: joining a1 gives vector (7/12, 0); joining a2 gives
+        (1/2, 1/5); a2 wins."""
+        p = paper_example_problem(1.0)
+        state = AssociationState(p, [0, 0, 0, None, None])
+        assert state.load_if_joined(3, 0) == pytest.approx(7 / 12)
+        assert state.load_if_joined(3, 1) == pytest.approx(0.2)
+        assert decide(state, 3, "bla").target == 1
+
+
+class TestSection6Examples:
+    def test_centralized_mla_trace(self):
+        """'Therefore, all users are associated with AP a1, which is also
+        the optimal solution' — total 7/12."""
+        p = paper_example_problem(1.0)
+        solution = solve_mla(p)
+        assert solution.assignment.ap_of_user == (0, 0, 0, 0, 0)
+        assert solution.total_load == pytest.approx(7 / 12)
+
+    def test_distributed_mla_trace(self):
+        """u3's comparison: total 1/2 on a1 vs 7/10 on a2 -> a1; all users
+        end on a1."""
+        p = paper_example_problem(1.0)
+        state = AssociationState(p, [0, 0, None, None, None])
+        joined_a1 = state.load_if_joined(2, 0) + state.load_of(1)
+        joined_a2 = state.load_of(0) + state.load_if_joined(2, 1)
+        assert joined_a1 == pytest.approx(0.5)
+        assert joined_a2 == pytest.approx(0.7)
+        final = run_users_in_order(p, "mla")
+        assert final.ap_of_user == [0, 0, 0, 0, 0]
+        assert final.total_load() == pytest.approx(7 / 12)

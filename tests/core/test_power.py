@@ -1,0 +1,136 @@
+"""Tests for the adaptive power-control extension (Section 8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.mla import solve_mla
+from repro.core.power import (
+    DEFAULT_LEVELS,
+    PowerLevel,
+    expand_with_power_levels,
+    project_power_assignment,
+    scaled_link_rate,
+)
+from repro.core.problem import Session
+from repro.radio.geometry import Point
+from repro.radio.propagation import ThresholdPropagation
+
+MODEL = ThresholdPropagation()
+ORIGIN = Point(0, 0)
+
+
+class TestPowerLevel:
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ModelError):
+            PowerLevel("bad", 0.0)
+
+    def test_defaults_ordered(self):
+        factors = [lvl.range_factor for lvl in DEFAULT_LEVELS]
+        assert factors == sorted(factors)
+
+
+class TestScaledLinkRate:
+    def test_nominal_matches_model(self):
+        user = Point(100, 0)
+        assert scaled_link_rate(MODEL, ORIGIN, user, 1.0) == MODEL.link_rate(
+            ORIGIN, user
+        )
+
+    def test_high_power_extends_reach(self):
+        user = Point(250, 0)  # out of nominal range (200 m)
+        assert MODEL.link_rate(ORIGIN, user) is None
+        assert scaled_link_rate(MODEL, ORIGIN, user, 1.3) == 6
+
+    def test_low_power_shrinks_reach(self):
+        user = Point(180, 0)
+        assert MODEL.link_rate(ORIGIN, user) == 6
+        assert scaled_link_rate(MODEL, ORIGIN, user, 0.7) is None
+
+    def test_high_power_improves_rate(self):
+        user = Point(50, 0)  # nominal: 36 Mbps
+        assert MODEL.link_rate(ORIGIN, user) == 36
+        assert scaled_link_rate(MODEL, ORIGIN, user, 1.5) >= 48
+
+
+class TestExpansion:
+    def make(self):
+        aps = [Point(0, 0), Point(300, 0)]
+        users = [Point(100, 0), Point(210, 0)]
+        return expand_with_power_levels(
+            aps,
+            users,
+            MODEL,
+            sessions=[Session(0, 1.0)],
+            user_sessions=[0, 0],
+        )
+
+    def test_virtual_ap_count(self):
+        extended = self.make()
+        assert extended.problem.n_aps == 2 * len(DEFAULT_LEVELS)
+
+    def test_physical_mapping(self):
+        extended = self.make()
+        assert extended.physical_ap(0) == 0
+        assert extended.physical_ap(len(DEFAULT_LEVELS)) == 1
+        assert extended.level_of(1).name == "nominal"
+
+    def test_high_power_reaches_gap_user(self):
+        """User at 210 m is reachable only at high power from AP 0 (260 m)
+        or from AP 1 (90 m at nominal)."""
+        extended = self.make()
+        high_row = 2  # AP 0, level 'high'
+        assert extended.problem.link_rate(high_row, 1) > 0
+        nominal_row = 1
+        assert extended.problem.link_rate(nominal_row, 1) == 0
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ModelError):
+            expand_with_power_levels(
+                [ORIGIN], [ORIGIN], MODEL, [Session(0, 1.0)], [0], levels=[]
+            )
+
+
+class TestProjection:
+    def test_loads_collapse_to_physical(self):
+        extended = self.make_solved()
+        solution, projected = extended
+        assert projected.total_load == pytest.approx(
+            solution.assignment.total_load()
+        )
+        assert projected.max_load <= solution.assignment.total_load() + 1e-9
+
+    def make_solved(self):
+        aps = [Point(0, 0), Point(300, 0)]
+        users = [Point(100, 0), Point(210, 0), Point(310, 0)]
+        extended = expand_with_power_levels(
+            aps, users, MODEL, [Session(0, 1.0)], [0, 0, 0]
+        )
+        solution = solve_mla(extended.problem)
+        projected = project_power_assignment(extended, solution.assignment)
+        return solution, projected
+
+    def test_every_served_user_has_level(self):
+        solution, projected = self.make_solved()
+        for user, ap in enumerate(projected.ap_of_user):
+            if ap is not None:
+                assert projected.level_of_user[user] in DEFAULT_LEVELS
+
+    def test_power_control_can_reduce_total_load(self):
+        """A user only coverable at basic rate under nominal power can be
+        served at a higher rate with high power, cutting airtime."""
+        aps = [Point(0, 0)]
+        users = [Point(100, 0)]  # nominal 18 Mbps; high power: 100/1.3 ~ 77 -> 24
+        nominal_only = expand_with_power_levels(
+            aps, users, MODEL, [Session(0, 1.0)], [0],
+            levels=[PowerLevel("nominal", 1.0)],
+        )
+        with_power = expand_with_power_levels(
+            aps, users, MODEL, [Session(0, 1.0)], [0]
+        )
+        base = solve_mla(nominal_only.problem).total_load
+        improved = solve_mla(with_power.problem).total_load
+        assert improved <= base

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) on the core invariants (DESIGN.md §6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment, compare_load_vectors
+from repro.core.bla import solve_bla
+from repro.core.distributed import run_distributed
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.optimal import (
+    solve_bla_optimal,
+    solve_mla_optimal,
+    solve_mnu_optimal,
+)
+from repro.core.problem import MulticastAssociationProblem, Session
+from repro.core.ssa import solve_ssa
+
+RATES = (6.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+
+
+@st.composite
+def problems(draw, max_aps=4, max_users=8, budget=math.inf):
+    """Random covered instances with ladder link rates."""
+    n_aps = draw(st.integers(min_value=1, max_value=max_aps))
+    n_users = draw(st.integers(min_value=1, max_value=max_users))
+    n_sessions = draw(st.integers(min_value=1, max_value=3))
+    link = [[0.0] * n_users for _ in range(n_aps)]
+    for u in range(n_users):
+        n_links = draw(st.integers(min_value=1, max_value=n_aps))
+        aps = draw(
+            st.permutations(range(n_aps)).map(lambda p: list(p)[:n_links])
+        )
+        for a in aps:
+            link[a][u] = draw(st.sampled_from(RATES))
+    sessions = [Session(i, 1.0) for i in range(n_sessions)]
+    user_sessions = [
+        draw(st.integers(min_value=0, max_value=n_sessions - 1))
+        for _ in range(n_users)
+    ]
+    return MulticastAssociationProblem(link, user_sessions, sessions, budget)
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems())
+def test_mla_full_cover_and_feasible(problem):
+    solution = solve_mla(problem)
+    assert solution.assignment.n_served == problem.n_users
+    assert solution.assignment.violations(check_budgets=False) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems())
+def test_bla_full_cover_and_bounded_below(problem):
+    solution = solve_bla(problem, n_guesses=4, refine_steps=2)
+    assert solution.assignment.n_served == problem.n_users
+    lower = max(problem.min_cost_of_user(u) for u in range(problem.n_users))
+    assert solution.max_load >= lower - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems(budget=0.5))
+def test_mnu_budget_feasible(problem):
+    solution = solve_mnu(problem, augment=True)
+    assert solution.assignment.violations(check_budgets=True) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(max_users=6))
+def test_optimal_bounds_heuristics(problem):
+    assert (
+        solve_mla(problem).total_load
+        >= solve_mla_optimal(problem).objective - 1e-9
+    )
+    assert (
+        solve_bla(problem, n_guesses=4, refine_steps=2).max_load
+        >= solve_bla_optimal(problem).objective - 1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(max_users=6, budget=0.4))
+def test_optimal_mnu_bounds_heuristics(problem):
+    greedy = solve_mnu(problem, augment=True).n_served
+    assert greedy <= solve_mnu_optimal(problem).assignment.n_served
+
+
+@settings(max_examples=30, deadline=None)
+@given(problems())
+def test_distributed_converges_and_is_feasible(problem):
+    result = run_distributed(problem, "mla")
+    assert result.converged
+    assert result.assignment.n_served == problem.n_users
+    assert result.assignment.violations(check_budgets=False) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(problems())
+def test_ssa_unbudgeted_serves_all(problem):
+    solution = solve_ssa(problem)
+    assert solution.n_served == problem.n_users
+    # every user is on its strongest AP
+    for u in range(problem.n_users):
+        ap = solution.assignment.ap_of(u)
+        assert problem.link_rate(ap, u) == max(
+            problem.link_rate(a, u) for a in range(problem.n_aps)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=6),
+    st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=6),
+)
+def test_compare_load_vectors_antisymmetric(a, b):
+    if len(a) != len(b):
+        return
+    assert compare_load_vectors(a, b) == -compare_load_vectors(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems())
+def test_loads_recompute_consistently(problem):
+    """Assignment loads equal per-AP sums of session costs (Definition 1)."""
+    solution = solve_mla(problem)
+    a = solution.assignment
+    for ap in range(problem.n_aps):
+        expected = 0.0
+        for s in a.sessions_on(ap):
+            users = a.users_on(ap, s)
+            if users:
+                rate = min(problem.link_rate(ap, u) for u in users)
+                expected += problem.session_rate(s) / rate
+        assert a.load_of(ap) == pytest.approx(expected)

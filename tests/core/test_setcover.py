@@ -1,0 +1,86 @@
+"""Tests for the CostSC weighted greedy set cover."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.candidates import CandidateSet, build_candidates
+from repro.core.errors import CoverageError
+from repro.core.setcover import greedy_set_cover
+from tests.conftest import paper_example_problem, random_problem
+
+
+def cs(ap, session, rate, cost, users):
+    return CandidateSet(ap, session, rate, cost, frozenset(users))
+
+
+class TestPaperTrace:
+    def test_fig7_example(self):
+        """Paper Section 6.1 trace: S4 (eff 12) then S2 (eff 6)."""
+        p = paper_example_problem(1.0)
+        result = greedy_set_cover(build_candidates(p), set(range(5)))
+        picked = [(c.ap, c.session, c.tx_rate) for c in result.selected]
+        assert picked == [(0, 1, 4.0), (0, 0, 3.0)]
+        assert result.total_cost == pytest.approx(7 / 12)
+
+
+class TestMechanics:
+    def test_single_set_cover(self):
+        result = greedy_set_cover([cs(0, 0, 6, 1.0, {0, 1, 2})], {0, 1, 2})
+        assert len(result.selected) == 1
+
+    def test_prefers_cost_effective(self):
+        sets = [
+            cs(0, 0, 6, 1.0, {0, 1}),  # eff 2
+            cs(1, 0, 6, 0.1, {0}),  # eff 10
+            cs(2, 0, 6, 0.3, {1}),  # eff 3.33
+        ]
+        result = greedy_set_cover(sets, {0, 1})
+        assert [c.ap for c in result.selected] == [1, 2]
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(CoverageError) as info:
+            greedy_set_cover([cs(0, 0, 6, 1.0, {0})], {0, 1})
+        assert info.value.uncovered == [1]
+
+    def test_empty_ground_selects_nothing(self):
+        result = greedy_set_cover([cs(0, 0, 6, 1.0, {0})], set())
+        assert result.selected == ()
+        assert result.total_cost == 0.0
+
+    def test_covers_everything(self):
+        rng = random.Random(17)
+        for _ in range(25):
+            p = random_problem(rng)
+            ground = set(range(p.n_users))
+            result = greedy_set_cover(build_candidates(p), ground)
+            covered = set()
+            for c in result.selected:
+                covered |= c.users
+            assert covered >= ground
+
+    def test_total_cost_is_sum(self):
+        rng = random.Random(23)
+        p = random_problem(rng, n_users=8)
+        result = greedy_set_cover(build_candidates(p), set(range(8)))
+        assert result.total_cost == pytest.approx(
+            sum(c.cost for c in result.selected)
+        )
+
+    def test_ln_n_bound_vs_lp_lower_bound(self):
+        """The greedy never exceeds (ln n + 1) x a trivial lower bound
+        (the max over users of their cheapest covering cost)."""
+        rng = random.Random(31)
+        for _ in range(20):
+            p = random_problem(rng, n_users=10)
+            ground = set(range(p.n_users))
+            candidates = build_candidates(p)
+            result = greedy_set_cover(candidates, ground)
+            lower = max(
+                min(c.cost for c in candidates if u in c.users) for u in ground
+            )
+            n = len(ground)
+            assert result.total_cost <= (math.log(n) + 1) * lower * n + 1e-9

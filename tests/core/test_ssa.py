@@ -1,0 +1,94 @@
+"""Tests for the signal-strength association baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ssa import solve_ssa, strongest_ap_of
+from repro.core.problem import MulticastAssociationProblem, Session
+from tests.conftest import paper_example_problem, random_problem
+
+
+class TestStrongestAp:
+    def test_highest_rate_wins(self, fig1_load):
+        # u3: a1@4 vs a2@5 -> a2
+        assert strongest_ap_of(fig1_load, 2) == 1
+        # u5: a1@4 vs a2@3 -> a1
+        assert strongest_ap_of(fig1_load, 4) == 0
+
+    def test_isolated_user(self):
+        p = MulticastAssociationProblem(
+            [[1.0, 0.0]], [0, 0], [Session(0, 1.0)]
+        )
+        assert strongest_ap_of(p, 1) is None
+
+    def test_tie_breaks_to_lower_index(self):
+        p = MulticastAssociationProblem(
+            [[6.0], [6.0]], [0], [Session(0, 1.0)]
+        )
+        assert strongest_ap_of(p, 0) == 0
+
+
+class TestUnbudgeted:
+    def test_everyone_in_range_served(self):
+        rng = random.Random(109)
+        for _ in range(20):
+            p = random_problem(rng)
+            solution = solve_ssa(p, rng=random.Random(1))
+            assert solution.n_served == p.n_users
+
+    def test_paper_example_association(self, fig1_load):
+        """Under SSA: u1,u2,u5 -> a1 and u3,u4 -> a2 (paper Section 4.1)."""
+        solution = solve_ssa(fig1_load, rng=random.Random(0))
+        assert solution.assignment.ap_of_user == (0, 0, 1, 1, 0)
+
+    def test_deterministic_given_order(self, fig1_load):
+        a = solve_ssa(fig1_load, arrival_order=[4, 3, 2, 1, 0])
+        b = solve_ssa(fig1_load, arrival_order=[0, 1, 2, 3, 4])
+        # order is irrelevant without budgets
+        assert a.assignment == b.assignment
+
+
+class TestBudgeted:
+    def test_rejects_at_budget(self, fig1_mnu):
+        """With 3 Mbps streams and budget 1, SSA in arrival order
+        u1..u5 serves u1 then rejects u2 at a1 (Section 4.1: 'only 2 users
+        get multicast service' when u1, u3 associate first)."""
+        solution = solve_ssa(
+            fig1_mnu, enforce_budgets=True, arrival_order=[0, 2, 1, 3, 4]
+        )
+        # u1 -> a1 (load 1.0); u3 -> a2 (3/5); u2 rejected at a1;
+        # u4 -> a2 would raise a2 to 3/5+... u4 strongest is a2@5:
+        # session s2 at a2: 3/5 -> total 6/5 > 1 rejected; u5 strongest a1.
+        assert solution.assignment.ap_of(0) == 0
+        assert solution.assignment.ap_of(2) == 1
+        assert solution.assignment.ap_of(1) is None
+        assert solution.n_served == 2
+
+    def test_never_violates_budget(self):
+        rng = random.Random(113)
+        for _ in range(30):
+            p = random_problem(rng, budget=rng.choice([0.2, 0.5, 0.9]))
+            solution = solve_ssa(
+                p, enforce_budgets=True, rng=random.Random(2)
+            )
+            assert solution.assignment.violations(check_budgets=True) == []
+
+    def test_admission_is_order_dependent(self, fig1_mnu):
+        served = {
+            solve_ssa(
+                fig1_mnu, enforce_budgets=True, arrival_order=order
+            ).n_served
+            for order in ([0, 1, 2, 3, 4], [1, 3, 4, 0, 2], [4, 3, 2, 1, 0])
+        }
+        assert len(served) > 1  # different orders, different outcomes
+
+    def test_rejects_bad_order(self, fig1_load):
+        with pytest.raises(ValueError):
+            solve_ssa(fig1_load, arrival_order=[0, 0, 1, 2, 3])
+
+    def test_arrival_order_recorded(self, fig1_load):
+        solution = solve_ssa(fig1_load, arrival_order=[4, 3, 2, 1, 0])
+        assert solution.arrival_order == (4, 3, 2, 1, 0)

@@ -1,0 +1,147 @@
+"""Tests for the multi-session subscription extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.problem import Session
+from repro.core.subscriptions import (
+    expand_subscriptions,
+    map_back,
+    single_radio_conflicts,
+)
+
+#: The Fig-1 WLAN's link matrix.
+RATES = [[3, 6, 4, 4, 4], [0, 0, 5, 5, 3]]
+SESSIONS = [Session(0, 1.0), Session(1, 1.0)]
+
+
+class TestExpansion:
+    def test_virtual_user_count(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0, 1], [1], []], SESSIONS
+        )
+        assert expanded.problem.n_users == 5  # 1+1+2+1+0 subscriptions
+        assert expanded.n_physical_users == 5
+
+    def test_link_rates_copied_per_subscription(self):
+        expanded = expand_subscriptions(
+            RATES, [[0, 1], [], [], [], []], SESSIONS
+        )
+        # both of u1's virtual users carry u1's links (3 on a1, none on a2)
+        assert expanded.problem.link_rate(0, 0) == 3
+        assert expanded.problem.link_rate(0, 1) == 3
+        assert expanded.problem.link_rate(1, 0) == 0
+
+    def test_virtual_users_of(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0, 1], [], []], SESSIONS
+        )
+        assert expanded.virtual_users_of(2) == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            expand_subscriptions(RATES, [[0]], SESSIONS)  # wrong length
+        with pytest.raises(ModelError):
+            expand_subscriptions(
+                RATES, [[0, 0], [], [], [], []], SESSIONS
+            )  # duplicate
+        with pytest.raises(ModelError):
+            expand_subscriptions(
+                RATES, [[7], [], [], [], []], SESSIONS
+            )  # unknown session
+        with pytest.raises(ModelError):
+            expand_subscriptions(
+                RATES, [[], [], [], [], []], SESSIONS
+            )  # nothing to do
+
+
+class TestLoadEquivalence:
+    def test_single_subscription_matches_original_model(self):
+        """One subscription per user reproduces the paper's instance:
+        MLA total load 7/12 on the Fig-1 WLAN."""
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0], [1], [1]], SESSIONS
+        )
+        solution = solve_mla(expanded.problem)
+        assert solution.total_load == pytest.approx(7 / 12)
+
+    def test_dual_subscriber_pays_both_sessions(self):
+        """A user wanting both streams forces both transmissions; the AP's
+        load is the sum of the two session costs at its link rate."""
+        expanded = expand_subscriptions(
+            [[6.0]], [[0, 1]], SESSIONS
+        )
+        solution = solve_mla(expanded.problem)
+        assert solution.total_load == pytest.approx(2 / 6)
+
+
+class TestMapBack:
+    def test_subscription_counting(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0, 1], [1], [1]], SESSIONS
+        )
+        solution = solve_mla(expanded.problem)
+        outcome = map_back(expanded, solution.assignment)
+        assert outcome.total_subscriptions == 6
+        assert outcome.served_subscriptions == 6
+        assert outcome.subscription_fraction == 1.0
+        assert outcome.satisfied_users == 5
+
+    def test_all_or_nothing_is_stricter(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0, 1], [1], [1]], SESSIONS,
+            budgets=0.5,
+        )
+        solution = solve_mnu(expanded.problem, augment=True)
+        loose = map_back(
+            expanded, solution.assignment, satisfaction="subscriptions"
+        )
+        strict = map_back(
+            expanded, solution.assignment, satisfaction="all-or-nothing"
+        )
+        assert strict.satisfied_users <= loose.satisfied_users
+
+    def test_wrong_assignment_rejected(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0], [1], [1]], SESSIONS
+        )
+        other = expand_subscriptions(
+            RATES, [[0], [1], [0], [1], [1]], SESSIONS
+        )
+        solution = solve_mla(other.problem)
+        with pytest.raises(ModelError):
+            map_back(expanded, solution.assignment)
+
+    def test_unknown_satisfaction_mode(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0], [1], [1]], SESSIONS
+        )
+        solution = solve_mla(expanded.problem)
+        with pytest.raises(ModelError):
+            map_back(expanded, solution.assignment, satisfaction="maybe")
+
+
+class TestSingleRadioConflicts:
+    def test_split_user_detected(self):
+        """u3 subscribing to both sessions can end up split across a1/a2."""
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0, 1], [], []], SESSIONS
+        )
+        # force the split: session 0's virtual on a1, session 1's on a2
+        from repro.core.assignment import Assignment
+
+        assignment = Assignment(expanded.problem, [0, 0, 0, 1])
+        conflicts = single_radio_conflicts(expanded, assignment)
+        assert conflicts == [2]
+
+    def test_no_conflicts_when_colocated(self):
+        expanded = expand_subscriptions(
+            RATES, [[0], [1], [0, 1], [], []], SESSIONS
+        )
+        solution = solve_mla(expanded.problem)
+        # MLA puts everything on a1 here: no user is split
+        assert single_radio_conflicts(expanded, solution.assignment) == []

@@ -1,0 +1,46 @@
+"""Tests for aggregation statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.eval.aggregate import (
+    SeriesStats,
+    aggregate,
+    relative_improvement,
+    relative_increase,
+)
+
+
+class TestSeriesStats:
+    def test_of(self):
+        stats = SeriesStats.of([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.n == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeriesStats.of([])
+
+    def test_str_contains_mean(self):
+        assert "2.0000" in str(SeriesStats.of([2.0]))
+
+    def test_aggregate_with_extractor(self):
+        stats = aggregate([{"v": 1.0}, {"v": 3.0}], lambda d: d["v"])
+        assert stats.mean == 2.0
+
+
+class TestRelativeMetrics:
+    def test_improvement(self):
+        assert relative_improvement(10.0, 7.0) == pytest.approx(0.3)
+        assert relative_improvement(10.0, 12.0) == pytest.approx(-0.2)
+        assert relative_improvement(0.0, 5.0) == 0.0
+
+    def test_increase(self):
+        assert relative_increase(100.0, 136.9) == pytest.approx(0.369)
+        assert relative_increase(0.0, 5.0) == math.inf
+        assert relative_increase(0.0, 0.0) == 0.0

@@ -1,0 +1,46 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+class TestList:
+    def test_lists_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9a" in out and "fig12c" in out
+
+
+class TestRun:
+    def test_runs_one_figure(self, capsys):
+        assert main(["run", "fig12a", "--scenarios", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12a" in out
+        assert "opt-mla" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_csv_output(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        assert (
+            main(["run", "fig12a", "--scenarios", "1", "--csv", str(path)])
+            == 0
+        )
+        content = path.read_text()
+        assert "fig12a" in content
+        assert "opt-mla" in content
+
+
+class TestHeadline:
+    def test_headline_smoke(self, capsys):
+        # n=1 keeps it quick; we only check the report structure here
+        assert main(["headline", "--scenarios", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MLA total-load reduction" in out
+        assert "BLA max-load reduction" in out
+        assert "MNU satisfied-user increase" in out
+        assert "paper C +31.1%" in out

@@ -1,0 +1,115 @@
+"""Tests for the generic sweep machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.eval.experiments import METRICS, run_sweep
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+from repro.scenarios.presets import SweepPoint
+
+
+def tiny_points():
+    return [
+        SweepPoint(
+            x=n,
+            scenarios=tuple(
+                generate(
+                    n_aps=4,
+                    n_users=n,
+                    n_sessions=2,
+                    seed=seed,
+                    area=Area.square(400),
+                    budget=math.inf,
+                )
+                for seed in range(2)
+            ),
+        )
+        for n in (4, 8)
+    ]
+
+
+class TestRunSweep:
+    def test_structure(self):
+        result = run_sweep(
+            "tiny",
+            "users",
+            "total_load",
+            ("c-mla", "ssa"),
+            tiny_points(),
+        )
+        assert result.name == "tiny"
+        assert result.xs() == [4, 8]
+        assert result.algorithms == ("c-mla", "ssa")
+        for point in result.points:
+            assert set(point.stats) == {"c-mla", "ssa"}
+            assert point.stats["c-mla"].n == 2
+
+    def test_series_extraction(self):
+        result = run_sweep(
+            "tiny", "users", "total_load", ("c-mla",), tiny_points()
+        )
+        series = result.series("c-mla")
+        assert len(series) == 2
+        assert all(v > 0 for v in series)
+
+    def test_mla_never_worse_than_ssa(self):
+        result = run_sweep(
+            "tiny", "users", "total_load", ("c-mla", "ssa"), tiny_points()
+        )
+        for point in result.points:
+            assert (
+                point.stats["c-mla"].mean <= point.stats["ssa"].mean + 1e-9
+            )
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            run_sweep("t", "x", "nope", ("ssa",), tiny_points())
+
+    def test_problem_transform_applied(self):
+        result = run_sweep(
+            "tiny",
+            "users",
+            "n_served",
+            ("ssa-budget",),
+            tiny_points(),
+            problem_transform=lambda p: p.with_budgets(0.0),
+        )
+        # zero budget: nobody is admitted
+        for point in result.points:
+            assert point.stats["ssa-budget"].mean == 0.0
+
+    def test_keep_raw(self):
+        result = run_sweep(
+            "tiny",
+            "users",
+            "total_load",
+            ("ssa",),
+            tiny_points(),
+            keep_raw=True,
+        )
+        assert len(result.points[0].raw["ssa"]) == 2
+
+    def test_progress_callback(self):
+        messages = []
+        run_sweep(
+            "tiny",
+            "users",
+            "total_load",
+            ("ssa",),
+            tiny_points(),
+            progress=messages.append,
+        )
+        assert len(messages) == 2
+
+    def test_metric_registry(self):
+        assert set(METRICS) == {
+            "total_load",
+            "max_load",
+            "n_served",
+            "n_unsatisfied",
+            "runtime_s",
+        }

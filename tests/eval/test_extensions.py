@@ -1,0 +1,75 @@
+"""Structural tests for the extension experiments (tiny sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.extensions import (
+    EXTENSIONS,
+    ext_baselines,
+    ext_basic_rate,
+    ext_certificates,
+    ext_hotspot,
+)
+
+
+class TestRegistry:
+    def test_all_extensions_registered(self):
+        assert set(EXTENSIONS) == {
+            "ext-baselines",
+            "ext-hotspot",
+            "ext-basic-rate",
+            "ext-certificates",
+        }
+
+    def test_cli_lists_extensions(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ext-baselines" in out
+
+
+class TestExtBaselines:
+    def test_structure_and_ordering(self):
+        result = ext_baselines(n_scenarios=1, users=(60,))
+        point = result.points[0]
+        assert set(point.stats) == {
+            "c-mla", "d-mla", "ssa", "least-load", "least-users", "random",
+        }
+        # the paper's algorithm beats every naive baseline
+        for baseline in ("ssa", "least-load", "least-users", "random"):
+            assert point.stats["c-mla"].mean <= point.stats[baseline].mean + 1e-9
+
+
+class TestExtHotspot:
+    def test_bla_beats_ssa_on_hotspots(self):
+        result = ext_hotspot(n_scenarios=1, users=(60,))
+        point = result.points[0]
+        assert point.stats["c-bla"].mean <= point.stats["ssa"].mean + 1e-9
+        assert point.stats["d-bla"].mean <= point.stats["ssa"].mean + 1e-9
+
+
+class TestExtBasicRate:
+    def test_algorithms_still_win_at_basic_rate(self):
+        result = ext_basic_rate(n_scenarios=1, users=(60,))
+        point = result.points[0]
+        assert point.stats["c-mla"].mean <= point.stats["ssa"].mean + 1e-9
+
+    def test_basic_rate_costs_more_than_multirate(self):
+        from repro.eval.extensions import ext_baselines as multi
+
+        basic = ext_basic_rate(n_scenarios=1, users=(60,))
+        multirate = multi(n_scenarios=1, users=(60,))
+        assert (
+            basic.points[0].stats["c-mla"].mean
+            > multirate.points[0].stats["c-mla"].mean
+        )
+
+
+class TestExtCertificates:
+    def test_gaps_are_finite_and_reasonable(self):
+        result = ext_certificates(n_scenarios=1, users=(60,))
+        point = result.points[0]
+        assert 0 <= point.stats["c-mla gap"].mean < 1.0
+        assert 0 <= point.stats["c-bla gap"].mean < 3.0

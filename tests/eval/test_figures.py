@@ -1,0 +1,100 @@
+"""Structural tests for the figure runners (tiny sweeps for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import (
+    FIGURES,
+    fig9a,
+    fig9b,
+    fig9c,
+    fig10a,
+    fig11,
+    fig12a,
+    fig12b,
+    fig12c,
+)
+
+
+class TestRegistry:
+    def test_all_ten_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig9a",
+            "fig9b",
+            "fig9c",
+            "fig10a",
+            "fig10b",
+            "fig10c",
+            "fig11",
+            "fig12a",
+            "fig12b",
+            "fig12c",
+        }
+
+
+class TestFig9Family:
+    def test_fig9a_small(self):
+        result = fig9a(n_scenarios=1, users=(30,))
+        assert result.metric == "total_load"
+        assert result.algorithms == ("c-mla", "d-mla", "ssa")
+        point = result.points[0]
+        assert point.stats["c-mla"].mean <= point.stats["ssa"].mean + 1e-9
+
+    def test_fig9b_small(self):
+        result = fig9b(n_scenarios=1, aps=(50,))
+        assert result.x_label == "number of APs"
+        assert result.xs() == [50]
+
+    def test_fig9c_small(self):
+        result = fig9c(n_scenarios=1, sessions=(2,))
+        assert result.xs() == [2]
+
+
+class TestFig10Family:
+    def test_fig10a_small(self):
+        result = fig10a(n_scenarios=1, users=(30,))
+        assert result.metric == "max_load"
+        point = result.points[0]
+        assert point.stats["c-bla"].mean <= point.stats["ssa"].mean + 1e-9
+
+
+class TestFig11:
+    def test_budget_sweep_monotone(self):
+        result = fig11(n_scenarios=1, budgets=(0.02, 0.2))
+        served_low = result.points[0].stats["c-mnu"].mean
+        served_high = result.points[1].stats["c-mnu"].mean
+        assert served_high >= served_low
+
+    def test_uses_budgeted_ssa(self):
+        result = fig11(n_scenarios=1, budgets=(0.04,))
+        assert "ssa-budget" in result.algorithms
+
+
+class TestFig12Family:
+    def test_fig12a_optimal_is_lower_bound(self):
+        result = fig12a(n_scenarios=2, users=(10,))
+        point = result.points[0]
+        for algorithm in ("c-mla", "d-mla", "ssa"):
+            assert (
+                point.stats[algorithm].mean
+                >= point.stats["opt-mla"].mean - 1e-9
+            )
+
+    def test_fig12b_optimal_is_lower_bound(self):
+        result = fig12b(n_scenarios=2, users=(10,))
+        point = result.points[0]
+        for algorithm in ("c-bla", "d-bla", "ssa"):
+            assert (
+                point.stats[algorithm].mean
+                >= point.stats["opt-bla"].mean - 1e-9
+            )
+
+    def test_fig12c_optimal_has_fewest_unsatisfied(self):
+        result = fig12c(n_scenarios=2, users=(15,))
+        point = result.points[0]
+        for algorithm in ("c-mnu", "d-mnu", "ssa-budget"):
+            assert (
+                point.stats[algorithm].mean
+                >= point.stats["opt-mnu"].mean - 1e-9
+            )

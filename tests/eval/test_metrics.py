@@ -1,0 +1,81 @@
+"""Tests for the algorithm registry and metric extraction."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.eval.metrics import ALGORITHMS, AlgorithmResult, run_algorithm
+from tests.conftest import paper_example_problem, random_problem
+
+EXPECTED_ALGORITHMS = {
+    "ssa",
+    "ssa-budget",
+    "c-mla",
+    "c-bla",
+    "c-mnu",
+    "c-mnu+aug",
+    "d-mla",
+    "d-bla",
+    "d-mnu",
+    "opt-mla",
+    "opt-bla",
+    "opt-mnu",
+    "random",
+    "least-users",
+    "least-load",
+}
+
+
+class TestRegistry:
+    def test_expected_algorithms_present(self):
+        assert set(ALGORITHMS) == EXPECTED_ALGORITHMS
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            run_algorithm("nope", paper_example_problem(1.0))
+
+    def test_all_algorithms_run_on_small_instance(self):
+        p = paper_example_problem(1.0, budget=0.9)
+        for name in sorted(EXPECTED_ALGORITHMS):
+            result = run_algorithm(name, p, seed=0)
+            assert isinstance(result, AlgorithmResult)
+            assert 0 <= result.n_served <= p.n_users
+
+
+class TestMetrics:
+    def test_fields_consistent(self):
+        p = paper_example_problem(1.0)
+        result = run_algorithm("c-mla", p)
+        assert result.algorithm == "c-mla"
+        assert result.n_users == 5
+        assert result.n_served == 5
+        assert result.n_unsatisfied == 0
+        assert result.satisfied_fraction == 1.0
+        assert result.total_load == pytest.approx(7 / 12)
+        assert result.max_load == pytest.approx(7 / 12)
+        assert result.runtime_s >= 0
+
+    def test_deterministic_given_seed(self):
+        rng = random.Random(211)
+        p = random_problem(rng, budget=0.4)
+        a = run_algorithm("d-mnu", p, seed=9)
+        b = run_algorithm("d-mnu", p, seed=9)
+        assert a.n_served == b.n_served
+        assert a.total_load == pytest.approx(b.total_load)
+
+    def test_optimal_bounds_hold_across_registry(self):
+        rng = random.Random(223)
+        p = random_problem(rng, n_users=7, budget=0.5)
+        opt_served = run_algorithm("opt-mnu", p).n_served
+        for name in ("c-mnu", "d-mnu", "ssa-budget", "c-mnu+aug"):
+            assert run_algorithm(name, p, seed=1).n_served <= opt_served
+        unbudgeted = p.with_budgets(math.inf)
+        opt_total = run_algorithm("opt-mla", unbudgeted).total_load
+        for name in ("c-mla", "d-mla", "ssa"):
+            assert (
+                run_algorithm(name, unbudgeted, seed=1).total_load
+                >= opt_total - 1e-9
+            )

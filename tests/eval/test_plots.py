@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.aggregate import SeriesStats
+from repro.eval.experiments import ExperimentPoint, ExperimentResult
+from repro.eval.plots import PlotGeometry, plot_experiment, render_series
+
+
+class TestRenderSeries:
+    def test_contains_glyphs_and_legend(self):
+        text = render_series(
+            [0, 1, 2],
+            {"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]},
+            x_label="users",
+            y_label="load",
+        )
+        assert "o a" in text and "x b" in text
+        assert "load vs users" in text
+
+    def test_monotone_series_renders_monotone(self):
+        text = render_series([0, 1, 2, 3], {"up": [0.0, 1.0, 2.0, 3.0]})
+        rows = [
+            line.split("|", 1)[1] for line in text.splitlines() if "|" in line
+        ]
+        cols = [row.index("o") for row in rows if "o" in row]
+        # higher values plot on higher rows; scanning top-to-bottom, the
+        # 'o' marks move left
+        assert cols == sorted(cols, reverse=True)
+
+    def test_axis_labels_present(self):
+        text = render_series([10, 50], {"a": [1.0, 5.0]})
+        assert "10" in text and "50" in text
+        assert "5" in text  # y max
+
+    def test_flat_series_ok(self):
+        text = render_series([0, 1], {"a": [1.0, 1.0]})
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series([], {})
+        with pytest.raises(ValueError):
+            render_series([0, 1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            PlotGeometry(width=3, height=3)
+
+
+class TestPlotExperiment:
+    def test_plots_all_algorithms(self):
+        def stats(v):
+            return SeriesStats(mean=v, minimum=v, maximum=v, n=1)
+
+        result = ExperimentResult(
+            name="figX",
+            x_label="users",
+            metric="total_load",
+            algorithms=("c-mla", "ssa"),
+            points=(
+                ExperimentPoint(x=1, stats={"c-mla": stats(1.0), "ssa": stats(2.0)}),
+                ExperimentPoint(x=2, stats={"c-mla": stats(2.0), "ssa": stats(4.0)}),
+            ),
+        )
+        text = plot_experiment(result)
+        assert "figX" in text
+        assert "c-mla" in text and "ssa" in text

@@ -1,0 +1,79 @@
+"""Tests for table / CSV rendering."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.eval.aggregate import SeriesStats
+from repro.eval.experiments import ExperimentPoint, ExperimentResult
+from repro.eval.reporting import (
+    format_comparison,
+    format_table,
+    to_csv_string,
+    write_csv,
+)
+
+
+def sample_result() -> ExperimentResult:
+    def stats(value):
+        return SeriesStats(mean=value, minimum=value - 1, maximum=value + 1, n=3)
+
+    points = (
+        ExperimentPoint(x=50, stats={"c-mla": stats(4.0), "ssa": stats(6.0)}),
+        ExperimentPoint(x=100, stats={"c-mla": stats(8.0), "ssa": stats(12.0)}),
+    )
+    return ExperimentResult(
+        name="fig9a",
+        x_label="number of users",
+        metric="total_load",
+        algorithms=("c-mla", "ssa"),
+        points=points,
+    )
+
+
+class TestFormatTable:
+    def test_contains_header_and_rows(self):
+        text = format_table(sample_result())
+        assert "fig9a" in text
+        assert "number of users" in text
+        assert "c-mla" in text
+        assert "50" in text and "100" in text
+        assert "4.0000" in text
+
+    def test_precision(self):
+        text = format_table(sample_result(), precision=1)
+        assert "4.0 " in text
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        buffer = io.StringIO()
+        write_csv(sample_result(), buffer)
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(rows) == 4  # 2 points x 2 algorithms
+        assert rows[0]["figure"] == "fig9a"
+        assert float(rows[0]["mean"]) == 4.0
+        assert rows[0]["algorithm"] == "c-mla"
+
+    def test_to_csv_string(self):
+        assert "figure,metric" in to_csv_string(sample_result())
+
+
+class TestComparison:
+    def test_improvement_vs_baseline(self):
+        text = format_comparison(sample_result(), baseline="ssa")
+        assert "c-mla" in text
+        assert "+33.3%" in text  # (6-4)/6
+
+    def test_larger_is_better(self):
+        text = format_comparison(
+            sample_result(), baseline="c-mla", larger_is_better=True
+        )
+        assert "+50.0%" in text  # ssa 6 vs 4
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            format_comparison(sample_result(), baseline="nope")

@@ -1,0 +1,139 @@
+"""Tests for the statistical helpers."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.eval.stats import (
+    format_win_matrix,
+    mean_confidence_interval,
+    paired_comparison,
+    win_matrix,
+)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.mean == 2.5
+        assert ci.n == 4
+
+    def test_single_sample_degenerates(self):
+        ci = mean_confidence_interval([7.0])
+        assert ci.lower == ci.mean == ci.upper == 7.0
+
+    def test_interval_narrows_with_samples(self):
+        rng = random.Random(0)
+        small = mean_confidence_interval([rng.gauss(0, 1) for _ in range(5)])
+        big = mean_confidence_interval([rng.gauss(0, 1) for _ in range(100)])
+        assert (big.upper - big.lower) < (small.upper - small.lower)
+
+    def test_higher_confidence_widens(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = mean_confidence_interval(values, confidence=0.8)
+        wide = mean_confidence_interval(values, confidence=0.99)
+        assert (wide.upper - wide.lower) > (narrow.upper - narrow.lower)
+
+    def test_coverage_property(self):
+        """~95% of 95% CIs on a known mean must contain it."""
+        rng = random.Random(1)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = [rng.gauss(10.0, 2.0) for _ in range(15)]
+            ci = mean_confidence_interval(sample, 0.95)
+            if ci.lower <= 10.0 <= ci.upper:
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=1.0)
+
+    def test_str(self):
+        assert "@ 95%" in str(mean_confidence_interval([1.0, 2.0]))
+
+
+class TestPairedComparison:
+    def test_detects_consistent_improvement(self):
+        rng = random.Random(2)
+        base = [rng.uniform(5, 10) for _ in range(30)]
+        better = [b - rng.uniform(0.5, 1.0) for b in base]
+        comparison = paired_comparison(better, base)
+        assert comparison.mean_difference < 0
+        assert comparison.significant()
+
+    def test_no_signal_on_identical(self):
+        comparison = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert comparison.mean_difference == 0
+        assert not comparison.significant()
+
+    def test_constant_nonzero_difference(self):
+        comparison = paired_comparison([2.0, 3.0, 4.0], [1.0, 2.0, 3.0])
+        assert comparison.mean_difference == 1.0
+        assert comparison.significant()
+        assert comparison.t_statistic == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0])
+
+
+class TestWinMatrix:
+    def test_clear_dominance(self):
+        matrix = win_matrix(
+            {"good": [1.0, 1.0, 2.0], "bad": [2.0, 3.0, 4.0]}
+        )
+        assert matrix["good"]["bad"] == 1.0
+        assert matrix["bad"]["good"] == 0.0
+
+    def test_ties_count_for_nobody(self):
+        matrix = win_matrix({"a": [1.0, 2.0], "b": [1.0, 3.0]})
+        assert matrix["a"]["b"] == 0.5
+        assert matrix["b"]["a"] == 0.0
+
+    def test_larger_is_better_mode(self):
+        matrix = win_matrix(
+            {"a": [5.0], "b": [3.0]}, smaller_is_better=False
+        )
+        assert matrix["a"]["b"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            win_matrix({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            win_matrix({"a": [], "b": []})
+
+    def test_format(self):
+        matrix = win_matrix({"a": [1.0], "b": [2.0]})
+        text = format_win_matrix(matrix)
+        assert "a" in text and "b" in text and "100%" in text and "--" in text
+
+
+class TestOnRealExperiment:
+    def test_mla_vs_ssa_significant(self):
+        """On seed-matched scenarios, MLA's total-load advantage over SSA
+        is statistically significant even with few seeds."""
+        from repro.eval.metrics import run_algorithm
+        from repro.scenarios.generator import generate
+
+        mla, ssa = [], []
+        for seed in range(8):
+            problem = generate(
+                n_aps=50, n_users=100, n_sessions=5, seed=seed
+            ).problem()
+            mla.append(run_algorithm("c-mla", problem, seed=seed).total_load)
+            ssa.append(run_algorithm("ssa", problem, seed=seed).total_load)
+        comparison = paired_comparison(mla, ssa)
+        assert comparison.mean_difference < 0
+        assert comparison.significant(alpha=0.01)
+        matrix = win_matrix({"c-mla": mla, "ssa": ssa})
+        assert matrix["c-mla"]["ssa"] == 1.0

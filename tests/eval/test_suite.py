@@ -1,0 +1,82 @@
+"""Tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.suite import generate_report, write_report
+
+#: Small sweep grids so report tests stay fast.
+TINY = {
+    "fig12a": {"users": (10,)},
+    "fig12b": {"users": (10,)},
+    "ext-certificates": {"users": (30,)},
+}
+
+
+class TestGenerateReport:
+    def test_selected_figures_render(self):
+        text = generate_report(
+            n_scenarios=1, figures=["fig12a"], overrides=TINY
+        )
+        assert "# Evaluation report" in text
+        assert "## fig12a" in text
+        assert "opt-mla" in text
+
+    def test_plots_included_when_asked(self):
+        text = generate_report(
+            n_scenarios=1,
+            figures=["fig12a"],
+            overrides=TINY,
+            include_plots=True,
+        )
+        assert "total_load vs number of users]" in text
+
+    def test_extensions_opt_in(self):
+        with pytest.raises(KeyError):
+            generate_report(
+                n_scenarios=1, figures=["ext-certificates"], overrides=TINY
+            )
+        text = generate_report(
+            n_scenarios=1,
+            figures=["ext-certificates"],
+            overrides=TINY,
+            include_extensions=True,
+        )
+        assert "ext-certificates" in text
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            generate_report(figures=["nope"])
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(
+            n_scenarios=1,
+            figures=["fig12a"],
+            overrides=TINY,
+            progress=seen.append,
+        )
+        assert seen == ["report: fig12a done"]
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(
+            str(path), n_scenarios=1, figures=["fig12b"], overrides=TINY
+        )
+        assert path.read_text() == text
+        assert "fig12b" in text
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+
+        out = tmp_path / "r.md"
+        # full default report is slow; drive the suite directly above —
+        # here we only check the CLI wiring with one tiny figure via run
+        assert main(["run", "fig12b", "--scenarios", "1"]) == 0
+        assert "fig12b" in capsys.readouterr().out
+        del out

@@ -1,0 +1,92 @@
+"""Tests for the generic parameter-study tool."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+
+import pytest
+
+from repro.eval.sweeps import (
+    ParameterStudy,
+    render_study,
+    study_to_csv,
+)
+
+
+def tiny_study(**overrides) -> ParameterStudy:
+    defaults = dict(
+        factors={"n_aps": [4, 8]},
+        fixed={
+            "n_users": 10,
+            "n_sessions": 2,
+            "budget": math.inf,
+        },
+        algorithms=("c-mla", "ssa"),
+        metric="total_load",
+    )
+    defaults.update(overrides)
+    return ParameterStudy(**defaults)
+
+
+class TestDefinition:
+    def test_combinations_are_cartesian(self):
+        study = tiny_study(
+            factors={"n_aps": [4, 8], "n_sessions": [1, 2, 3]},
+            fixed={"n_users": 10, "budget": math.inf},
+        )
+        combos = study.combinations()
+        assert len(combos) == 6
+        assert {"n_aps": 8, "n_sessions": 3} in combos
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_study(factors={})
+        with pytest.raises(ValueError):
+            tiny_study(algorithms=())
+        with pytest.raises(ValueError):
+            tiny_study(metric="nope")
+        with pytest.raises(ValueError):
+            tiny_study(
+                factors={"n_users": [5]},
+                fixed={"n_users": 10, "budget": math.inf},
+            )
+
+
+class TestRun:
+    def test_cells_and_lookup(self):
+        result = tiny_study().run(n_scenarios=2, base_seed=5)
+        assert len(result.cells) == 2
+        cell = result.cell(n_aps=8)
+        assert cell.stats["c-mla"].n == 2
+        with pytest.raises(KeyError):
+            result.cell(n_aps=99)
+
+    def test_density_trend_visible(self):
+        """More APs -> lower total load (the Fig-9b effect, via the study
+        tool)."""
+        result = tiny_study(factors={"n_aps": [4, 16]}).run(n_scenarios=2)
+        sparse = result.cell(n_aps=4).stats["c-mla"].mean
+        dense = result.cell(n_aps=16).stats["c-mla"].mean
+        assert dense <= sparse + 1e-9
+
+    def test_progress(self):
+        seen = []
+        tiny_study().run(n_scenarios=1, progress=seen.append)
+        assert len(seen) == 2
+
+
+class TestRendering:
+    def test_render_contains_all_cells(self):
+        result = tiny_study().run(n_scenarios=1)
+        text = render_study(result)
+        assert "n_aps" in text and "c-mla" in text
+        assert "4" in text and "8" in text
+
+    def test_csv_round_trip(self):
+        result = tiny_study().run(n_scenarios=1)
+        rows = list(csv.DictReader(io.StringIO(study_to_csv(result))))
+        assert len(rows) == 4  # 2 cells x 2 algorithms
+        assert rows[0]["metric"] == "total_load"
+        assert float(rows[0]["mean"]) > 0

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.events import Simulator
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(4.0, fired.append, "x")
+        sim.run()
+        assert sim.now == 4.0 and fired == ["x"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "no")
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+        assert not handle.active
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, lambda: sim.cancel(later))
+        sim.run()
+        assert fired == []
+
+
+class TestRunBounds:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.events_processed == 2
+        assert sim.pending == 0

@@ -1,0 +1,91 @@
+"""Tests for AP failure injection and protocol recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.failures import (
+    CrashReport,
+    FailureEvent,
+    FailureInjector,
+    crash_and_measure,
+)
+from repro.net.wlan import WlanConfig, WlanSimulation
+from repro.radio.geometry import Area, Point
+from repro.scenarios.generator import generate
+
+SMALL = dict(n_aps=6, n_users=12, n_sessions=2, seed=9, area=Area.square(420))
+
+
+def make_sim(**config_kwargs) -> WlanSimulation:
+    defaults = dict(policy="mla", max_time_s=600.0)
+    defaults.update(config_kwargs)
+    return WlanSimulation(generate(**SMALL), WlanConfig(**defaults))
+
+
+class TestFailureEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(ap=0, fail_at_s=-1)
+        with pytest.raises(ValueError):
+            FailureEvent(ap=0, fail_at_s=5, recover_at_s=5)
+
+    def test_injector_rejects_unknown_ap(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            FailureInjector(sim, [FailureEvent(ap=99, fail_at_s=1)])
+
+
+class TestApDownBehaviour:
+    def test_down_ap_ignores_frames_and_forgets_members(self):
+        sim = make_sim()
+        sim.run()
+        target = next(
+            ap for ap in sim.aps if any(ap.members.values())
+        )
+        target.fail()
+        assert target.members == {}
+        assert target.load() == 0.0
+
+    def test_recovery_restores_service(self):
+        sim = make_sim()
+        sim.run()
+        ap = sim.aps[0]
+        ap.fail()
+        ap.recover()
+        assert not ap.is_down
+
+
+class TestCrashAndMeasure:
+    def test_displaced_users_are_recovered(self):
+        """With plenty of surviving overlap, every displaced user re-homes."""
+        sim = make_sim()
+        # find the most loaded AP after convergence to make the crash count
+        report = crash_and_measure(sim, failed_aps=[0, 1])
+        assert isinstance(report, CrashReport)
+        assert report.log.failures and not report.log.recoveries
+        # nobody remains on the failed APs
+        for user, ap in enumerate(report.after.assignment.ap_of_user):
+            assert ap not in (0, 1)
+        # users who can hear a surviving AP get re-served
+        problem = sim.scenario.problem()
+        for user in range(problem.n_users):
+            survivors = [a for a in problem.aps_of_user(user) if a not in (0, 1)]
+            if survivors:
+                assert report.after.assignment.ap_of(user) is not None
+
+    def test_recovered_count_bounded_by_displaced(self):
+        report = crash_and_measure(make_sim(), failed_aps=[2])
+        assert 0 <= report.recovered_users <= report.displaced_users
+
+    def test_scheduled_recovery_fires(self):
+        sim = make_sim()
+        sim.run()
+        now = sim.sim.now
+        injector = FailureInjector(
+            sim,
+            [FailureEvent(ap=0, fail_at_s=now + 1, recover_at_s=now + 2)],
+        )
+        sim.sim.run(until=now + 5)
+        assert injector.log.failures and injector.log.recoveries
+        assert not sim.aps[0].is_down

@@ -1,0 +1,115 @@
+"""Tests for handoff / service-continuity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.handoff import (
+    HandoffReport,
+    StationContinuity,
+    analyze_handoffs,
+    report_from_simulation,
+)
+from repro.net.wlan import WlanConfig, WlanSimulation
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+
+
+class TestAnalyzeHandoffs:
+    def test_single_association_full_tail(self):
+        log = [(2.0, 10, None, 0)]
+        report = analyze_handoffs(log, stations=[10], window_s=10.0)
+        (s,) = report.stations
+        assert s.associated_time_s == pytest.approx(8.0)
+        assert s.continuity == pytest.approx(0.8)
+        assert s.handoffs == 0
+        assert s.longest_outage_s == pytest.approx(2.0)
+
+    def test_handoff_counted(self):
+        log = [(1.0, 10, None, 0), (5.0, 10, 0, 1)]
+        report = analyze_handoffs(log, stations=[10], window_s=10.0)
+        (s,) = report.stations
+        assert s.handoffs == 1
+        assert s.continuity == pytest.approx(0.9)
+
+    def test_break_before_make_gap(self):
+        log = [
+            (1.0, 10, None, 0),
+            (4.0, 10, 0, None),
+            (6.0, 10, None, 1),
+        ]
+        report = analyze_handoffs(log, stations=[10], window_s=10.0)
+        (s,) = report.stations
+        assert s.associated_time_s == pytest.approx(3.0 + 4.0)
+        assert s.longest_outage_s == pytest.approx(2.0)
+
+    def test_never_associated(self):
+        report = analyze_handoffs([], stations=[10], window_s=5.0)
+        (s,) = report.stations
+        assert s.continuity == 0.0
+        assert s.longest_outage_s == pytest.approx(5.0)
+
+    def test_events_beyond_window_ignored(self):
+        log = [(1.0, 10, None, 0), (50.0, 10, 0, 1)]
+        report = analyze_handoffs(log, stations=[10], window_s=10.0)
+        assert report.total_handoffs == 0
+
+    def test_final_association_checked(self):
+        log = [(1.0, 10, None, 0)]
+        with pytest.raises(ValueError):
+            analyze_handoffs(
+                log,
+                stations=[10],
+                window_s=5.0,
+                final_association={10: 3},
+            )
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            analyze_handoffs([], stations=[], window_s=0)
+
+
+class TestReportAggregates:
+    def make(self, continuities):
+        stations = tuple(
+            StationContinuity(
+                station=i,
+                associated_time_s=c * 10,
+                window_s=10,
+                handoffs=i,
+                longest_outage_s=(1 - c) * 10,
+            )
+            for i, c in enumerate(continuities)
+        )
+        return HandoffReport(stations=stations)
+
+    def test_aggregates(self):
+        report = self.make([1.0, 0.5])
+        assert report.mean_continuity == pytest.approx(0.75)
+        assert report.worst_continuity == pytest.approx(0.5)
+        assert report.total_handoffs == 1
+        assert report.longest_outage_s == pytest.approx(5.0)
+
+    def test_empty(self):
+        report = HandoffReport(stations=())
+        assert report.mean_continuity == 1.0
+        assert report.worst_continuity == 1.0
+
+    def test_format(self):
+        assert "continuity" in self.make([1.0]).format()
+
+
+class TestFromSimulation:
+    def test_protocol_run_has_high_continuity(self):
+        scenario = generate(
+            n_aps=8, n_users=16, n_sessions=3, seed=2, area=Area.square(500)
+        )
+        sim = WlanSimulation(
+            scenario, WlanConfig(policy="mla", max_time_s=600.0)
+        )
+        result = sim.run()
+        report = report_from_simulation(sim)
+        assert len(report.stations) == 16
+        # each station misses at most its pre-association ramp-up
+        assert report.mean_continuity > 0.8
+        assert report.total_handoffs == result.handoffs

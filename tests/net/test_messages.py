@@ -1,0 +1,83 @@
+"""Tests for the frame vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.messages import (
+    BROADCAST,
+    AssociationRequest,
+    AssociationResponse,
+    Beacon,
+    Directive,
+    Disassociation,
+    LoadQuery,
+    LoadReport,
+    MulticastData,
+    ProbeRequest,
+    ProbeResponse,
+    ScanReport,
+    SessionInfo,
+)
+
+ALL_FRAME_TYPES = (
+    AssociationRequest,
+    AssociationResponse,
+    Beacon,
+    Directive,
+    Disassociation,
+    LoadQuery,
+    LoadReport,
+    MulticastData,
+    ProbeRequest,
+    ProbeResponse,
+    ScanReport,
+)
+
+
+class TestFrames:
+    @pytest.mark.parametrize("frame_type", ALL_FRAME_TYPES)
+    def test_src_dst_always_first(self, frame_type):
+        frame = frame_type(src=1, dst=2)
+        assert frame.src == 1
+        assert frame.dst == 2
+
+    @pytest.mark.parametrize("frame_type", ALL_FRAME_TYPES)
+    def test_frozen(self, frame_type):
+        frame = frame_type(src=1, dst=2)
+        with pytest.raises(AttributeError):
+            frame.src = 9
+
+    def test_broadcast_sentinel(self):
+        assert BROADCAST == -1
+
+    def test_load_report_defaults(self):
+        report = LoadReport(src=0, dst=1)
+        assert report.load == 0.0
+        assert report.sessions == {}
+        assert report.load_without_querier is None
+
+    def test_session_info_fields(self):
+        info = SessionInfo(session=3, tx_rate_mbps=24.0, n_members=2)
+        assert (info.session, info.tx_rate_mbps, info.n_members) == (3, 24.0, 2)
+
+    def test_scan_report_measurements(self):
+        report = ScanReport(
+            src=9, dst=0, session=2, measurements={0: 54.0, 1: 6.0}
+        )
+        assert report.measurements[0] == 54.0
+
+    def test_directive_target(self):
+        assert Directive(src=0, dst=9, target_ap=4).target_ap == 4
+
+    def test_association_response_reason(self):
+        refused = AssociationResponse(
+            src=0, dst=9, accepted=False, reason="budget"
+        )
+        assert not refused.accepted
+        assert refused.reason == "budget"
+
+    def test_equality(self):
+        a = LoadQuery(src=1, dst=2)
+        b = LoadQuery(src=1, dst=2)
+        assert a == b

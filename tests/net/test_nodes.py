@@ -1,0 +1,243 @@
+"""Tests for AP / station node behaviour on the medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import Session
+from repro.net.events import Simulator
+from repro.net.mac import AirtimeMeter
+from repro.net.messages import (
+    AssociationRequest,
+    Disassociation,
+    LoadQuery,
+    ProbeRequest,
+)
+from repro.net.nodes import AccessPoint, Medium, UserStation
+from repro.radio.geometry import Point
+from repro.radio.propagation import ThresholdPropagation
+
+
+def make_medium():
+    sim = Simulator()
+    return sim, Medium(sim, ThresholdPropagation())
+
+
+def make_ap(medium, node_id=0, pos=Point(0, 0), **kwargs):
+    # The periodic multicast service loop reschedules itself forever, which
+    # would make an unbounded sim.run() spin; protocol-only tests disable it.
+    kwargs.setdefault("service_period_s", None)
+    return AccessPoint(
+        node_id,
+        pos,
+        medium,
+        sessions=[Session(0, 1.0), Session(1, 1.0)],
+        **kwargs,
+    )
+
+
+class StubStation:
+    """Bare node that records everything it receives."""
+
+    def __init__(self, node_id, position, medium):
+        self.node_id = node_id
+        self.position = position
+        self.received = []
+        medium.register(self)
+
+    def handle(self, frame):
+        self.received.append(frame)
+
+
+class TestMedium:
+    def test_unicast_delivery_in_range(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium)
+        station = StubStation(10, Point(50, 0), medium)
+        medium.send(ProbeRequest(src=10, dst=0))
+        sim.run()
+        # AP answers the probe
+        assert any(type(f).__name__ == "ProbeResponse" for f in station.received)
+
+    def test_out_of_range_dropped(self):
+        sim, medium = make_medium()
+        make_ap(medium)
+        station = StubStation(10, Point(500, 0), medium)
+        medium.send(ProbeRequest(src=10, dst=0))
+        sim.run()
+        assert station.received == []
+
+    def test_broadcast_reaches_all_in_range(self):
+        sim, medium = make_medium()
+        ap_near = make_ap(medium, node_id=0, pos=Point(10, 0))
+        ap_far = make_ap(medium, node_id=1, pos=Point(900, 0))
+        station = StubStation(10, Point(0, 0), medium)
+        from repro.net.messages import BROADCAST
+
+        medium.send(ProbeRequest(src=10, dst=BROADCAST))
+        sim.run()
+        responders = {f.src for f in station.received}
+        assert responders == {0}
+
+    def test_duplicate_node_id_rejected(self):
+        sim, medium = make_medium()
+        make_ap(medium, node_id=0)
+        with pytest.raises(ValueError):
+            make_ap(medium, node_id=0)
+
+    def test_unknown_destination_ignored(self):
+        sim, medium = make_medium()
+        make_ap(medium)
+        medium.send(ProbeRequest(src=0, dst=77))  # no such node
+        sim.run()  # must not raise
+
+
+class TestAccessPoint:
+    def test_association_updates_members_and_load(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium)
+        station = StubStation(10, Point(100, 0), medium)  # 18 Mbps link
+        medium.send(AssociationRequest(src=10, dst=0, session=0))
+        sim.run()
+        assert ap.members[0] == {10: 18.0}
+        assert ap.load() == pytest.approx(1 / 18)
+        assert ap.tx_rate(0) == 18.0
+        accepted = [f for f in station.received if hasattr(f, "accepted")]
+        assert accepted and accepted[0].accepted
+
+    def test_tx_rate_is_min_of_members(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium)
+        near = StubStation(10, Point(20, 0), medium)  # 54 Mbps
+        far = StubStation(11, Point(140, 0), medium)  # 12 Mbps
+        medium.send(AssociationRequest(src=10, dst=0, session=0))
+        medium.send(AssociationRequest(src=11, dst=0, session=0))
+        sim.run()
+        assert ap.tx_rate(0) == 12.0
+
+    def test_budget_rejection(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium, budget=0.05, enforce_budget=True)
+        station = StubStation(10, Point(190, 0), medium)  # 6 Mbps: cost 1/6
+        medium.send(AssociationRequest(src=10, dst=0, session=0))
+        sim.run()
+        assert ap.members == {}
+        assert ap.rejections == 1
+        refused = [f for f in station.received if hasattr(f, "accepted")]
+        assert refused and not refused[0].accepted
+
+    def test_disassociation_removes_member(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium)
+        StubStation(10, Point(50, 0), medium)
+        medium.send(AssociationRequest(src=10, dst=0, session=1))
+        sim.run()
+        medium.send(Disassociation(src=10, dst=0, session=1))
+        sim.run()
+        assert ap.members == {}
+        assert ap.load() == 0.0
+
+    def test_load_report_contents(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium)
+        member = StubStation(10, Point(100, 0), medium)
+        medium.send(AssociationRequest(src=10, dst=0, session=0))
+        sim.run()
+        medium.send(LoadQuery(src=10, dst=0))
+        sim.run()
+        reports = [f for f in member.received if hasattr(f, "sessions")]
+        assert reports
+        report = reports[-1]
+        assert report.load == pytest.approx(1 / 18)
+        assert report.sessions[0].tx_rate_mbps == 18.0
+        assert report.load_without_querier == pytest.approx(0.0)
+
+    def test_load_report_for_foreign_station(self):
+        sim, medium = make_medium()
+        make_ap(medium)
+        outsider = StubStation(11, Point(60, 0), medium)
+        medium.send(LoadQuery(src=11, dst=0))
+        sim.run()
+        report = [f for f in outsider.received if hasattr(f, "sessions")][-1]
+        assert report.load_without_querier is None
+
+    def test_multicast_bursts_metered(self):
+        sim, medium = make_medium()
+        meter = AirtimeMeter(1)
+        ap = make_ap(medium, meter=meter, service_period_s=1.0)
+        member = StubStation(10, Point(100, 0), medium)
+        medium.send(AssociationRequest(src=10, dst=0, session=0))
+        sim.run(until=5.4)
+        # 5 service periods fired with a member present for ~5 of them
+        assert meter.busy_seconds(0) > 0
+        bursts = [f for f in member.received if hasattr(f, "airtime_s")]
+        assert bursts
+        assert bursts[0].tx_rate_mbps == 18.0
+
+
+class TestUserStation:
+    def test_station_associates_on_first_cycle(self):
+        sim, medium = make_medium()
+        ap = make_ap(medium)
+        station = UserStation(
+            node_id=10,
+            position=Point(50, 0),
+            medium=medium,
+            session=0,
+            stream_rate_mbps=1.0,
+            policy="mla",
+            decision_period_s=5.0,
+        )
+        sim.run(until=2.0)
+        assert station.current_ap == 0
+        assert ap.members[0] == {10: 36.0}
+
+    def test_station_tracks_changes_via_callback(self):
+        sim, medium = make_medium()
+        make_ap(medium)
+        changes = []
+        UserStation(
+            node_id=10,
+            position=Point(50, 0),
+            medium=medium,
+            session=0,
+            stream_rate_mbps=1.0,
+            policy="mla",
+            decision_period_s=5.0,
+            on_association_change=lambda *a: changes.append(a),
+        )
+        sim.run(until=2.0)
+        assert len(changes) == 1
+        station_id, old, new, _ = changes[0]
+        assert (station_id, old, new) == (10, None, 0)
+
+    def test_isolated_station_stays_unassociated(self):
+        sim, medium = make_medium()
+        make_ap(medium, pos=Point(1000, 0))
+        station = UserStation(
+            node_id=10,
+            position=Point(0, 0),
+            medium=medium,
+            session=0,
+            stream_rate_mbps=1.0,
+            policy="mla",
+            decision_period_s=5.0,
+        )
+        sim.run(until=12.0)
+        assert station.current_ap is None
+
+    def test_station_receives_multicast_bytes(self):
+        sim, medium = make_medium()
+        make_ap(medium, service_period_s=1.0)
+        station = UserStation(
+            node_id=10,
+            position=Point(50, 0),
+            medium=medium,
+            session=0,
+            stream_rate_mbps=1.0,
+            policy="mla",
+            decision_period_s=50.0,
+        )
+        sim.run(until=10.0)
+        assert station.bursts_received > 0
+        assert station.bytes_received > 0

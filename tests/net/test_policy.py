@@ -1,0 +1,131 @@
+"""Tests for report-based local decisions.
+
+The central invariant: given *truthful* LoadReports, the station-side
+``decide_local`` picks exactly the AP that the global-state ``decide``
+(repro.core.distributed) would — the protocol loses nothing relative to
+the abstract algorithm when reports are fresh.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.distributed import AssociationState, decide
+from repro.net.messages import SessionInfo
+from repro.net.policy import NeighborInfo, decide_local, load_if_joined
+from tests.conftest import paper_example_problem, random_problem
+
+
+def truthful_neighbors(problem, state, user):
+    """Build the NeighborInfo list a perfectly-informed station would hold."""
+    current = state.ap_of_user[user]
+    infos = []
+    for ap in problem.aps_of_user(user):
+        sessions = {}
+        for s in range(problem.n_sessions):
+            members = [
+                u
+                for u, a in enumerate(state.ap_of_user)
+                if a == ap and problem.session_of(u) == s
+            ]
+            if members:
+                rate = min(problem.link_rate(ap, u) for u in members)
+                sessions[s] = SessionInfo(s, rate, len(members))
+        infos.append(
+            NeighborInfo(
+                ap_id=ap,
+                link_rate_mbps=problem.link_rate(ap, user),
+                load=state.load_of(ap),
+                sessions=sessions,
+                budget=problem.budget_of(ap),
+                load_without_me=(
+                    state.load_if_left(user) if current == ap else None
+                ),
+            )
+        )
+    return infos
+
+
+class TestEquivalenceWithGlobalDecide:
+    @pytest.mark.parametrize("policy", ["mnu", "mla", "bla"])
+    def test_matches_core_decide(self, policy):
+        rng = random.Random(199)
+        for _ in range(30):
+            budget = 0.5 if policy == "mnu" else math.inf
+            p = random_problem(rng, budget=budget)
+            state = AssociationState(p)
+            walk = random.Random(12)
+            # random warm-up associations
+            for _ in range(p.n_users):
+                u = walk.randrange(p.n_users)
+                aps = p.aps_of_user(u)
+                if aps:
+                    choice = walk.choice(aps)
+                    candidate = state.load_if_joined(u, choice)
+                    if candidate <= p.budget_of(choice) + 1e-12:
+                        state.move(u, choice)
+            for user in range(p.n_users):
+                expected = decide(state, user, policy).target
+                got = decide_local(
+                    policy,
+                    p.session_of(user),
+                    p.session_rate(p.session_of(user)),
+                    truthful_neighbors(p, state, user),
+                    state.ap_of_user[user],
+                )
+                assert got == expected, (policy, user)
+
+
+class TestLoadIfJoined:
+    def test_new_session(self):
+        info = NeighborInfo(ap_id=0, link_rate_mbps=6.0, load=0.5)
+        assert load_if_joined(info, 0, 1.0) == pytest.approx(0.5 + 1 / 6)
+
+    def test_existing_session_faster_link(self):
+        info = NeighborInfo(
+            ap_id=0,
+            link_rate_mbps=54.0,
+            load=1 / 6,
+            sessions={0: SessionInfo(0, 6.0, 2)},
+        )
+        # joining at a faster link doesn't change the session's min rate
+        assert load_if_joined(info, 0, 1.0) == pytest.approx(1 / 6)
+
+    def test_existing_session_slower_link(self):
+        info = NeighborInfo(
+            ap_id=0,
+            link_rate_mbps=6.0,
+            load=1 / 54,
+            sessions={0: SessionInfo(0, 54.0, 1)},
+        )
+        assert load_if_joined(info, 0, 1.0) == pytest.approx(1 / 6)
+
+
+class TestEdgeCases:
+    def test_no_neighbors_keeps_current(self):
+        assert decide_local("mla", 0, 1.0, [], current_ap=None) is None
+        assert decide_local("mla", 0, 1.0, [], current_ap=3) == 3
+
+    def test_budget_excludes_all(self):
+        info = NeighborInfo(
+            ap_id=0, link_rate_mbps=6.0, load=0.0, budget=0.1
+        )
+        assert (
+            decide_local("mnu", 0, 1.0, [info], current_ap=None) is None
+        )
+
+    def test_unbudgeted_mla_accepts(self):
+        info = NeighborInfo(
+            ap_id=0, link_rate_mbps=6.0, load=0.0, budget=0.1
+        )
+        assert decide_local("mla", 0, 1.0, [info], current_ap=None) == 0
+
+    def test_paper_distributed_bla_step(self):
+        """The u4 step of the Section-5.2 example via reports."""
+        p = paper_example_problem(1.0)
+        state = AssociationState(p, [0, 0, 0, None, None])
+        neighbors = truthful_neighbors(p, state, 3)
+        assert decide_local("bla", 1, 1.0, neighbors, None) == 1

@@ -1,0 +1,46 @@
+"""Tests for the trace buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.trace import Trace
+
+
+class TestTrace:
+    def test_records_and_filters(self):
+        trace = Trace()
+        trace.record(1.0, "assoc", 3, "joined AP 1")
+        trace.record(2.0, "probe", 3, "scan")
+        trace.record(3.0, "assoc", 4, "joined AP 2")
+        assert len(trace) == 3
+        assert [r.node for r in trace.records(category="assoc")] == [3, 4]
+        assert [r.category for r in trace.records(node=3)] == ["assoc", "probe"]
+        assert (
+            len(trace.records(predicate=lambda r: r.time > 1.5)) == 2
+        )
+
+    def test_counts_survive_disabled_buffering(self):
+        trace = Trace(enabled=False)
+        trace.record(1.0, "assoc", 0, "x")
+        assert len(trace) == 0
+        assert trace.count("assoc") == 1
+        assert trace.categories == ["assoc"]
+
+    def test_capacity_bounds_buffer(self):
+        trace = Trace(capacity=2)
+        for i in range(5):
+            trace.record(float(i), "e", i, "")
+        assert len(trace) == 2
+        assert [r.node for r in trace.records()] == [3, 4]
+        assert trace.count("e") == 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Trace(capacity=0)
+
+    def test_format_tail(self):
+        trace = Trace()
+        trace.record(1.5, "assoc", 7, "joined")
+        text = trace.format()
+        assert "assoc" in text and "7" in text and "joined" in text

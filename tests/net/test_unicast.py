@@ -1,0 +1,120 @@
+"""Tests for unicast coexistence in the protocol simulator."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.net.unicast import (
+    attach_unicast_users,
+    unicast_throughputs_mbps,
+)
+from repro.net.wlan import WlanConfig, WlanSimulation
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+
+SMALL = dict(n_aps=6, n_users=14, n_sessions=3, seed=6, area=Area.square(420))
+
+
+def make_sim(**config_kwargs) -> WlanSimulation:
+    defaults = dict(policy="mla", max_time_s=400.0)
+    defaults.update(config_kwargs)
+    return WlanSimulation(generate(**SMALL), WlanConfig(**defaults))
+
+
+class TestAttachment:
+    def test_station_counts(self):
+        sim = make_sim()
+        deployment = attach_unicast_users(sim, per_ap=2, seed=1)
+        assert len(deployment.stations) == 12
+        assert len(deployment.schedulers) == 6
+
+    def test_zero_per_ap(self):
+        sim = make_sim()
+        deployment = attach_unicast_users(sim, per_ap=0)
+        assert deployment.stations == []
+        with pytest.raises(ValueError):
+            attach_unicast_users(make_sim(), per_ap=-1)
+
+    def test_stations_are_in_their_aps_cell(self):
+        sim = make_sim()
+        deployment = attach_unicast_users(sim, per_ap=1, seed=2)
+        for station in deployment.stations:
+            assert sim.medium.in_range(station.ap_id, station.node_id)
+
+
+class TestThroughput:
+    def test_everyone_gets_service(self):
+        sim = make_sim()
+        deployment = attach_unicast_users(sim, per_ap=1, seed=3)
+        sim.run()
+        throughputs = unicast_throughputs_mbps(deployment, sim.sim.now)
+        assert all(t > 0 for t in throughputs)
+
+    def test_multicast_load_reduces_unicast_throughput(self):
+        """An AP carrying multicast sells less residual airtime than an
+        idle one."""
+        sim = make_sim()
+        deployment = attach_unicast_users(sim, per_ap=1, seed=4)
+        sim.run()
+        loads = sim.current_assignment().loads()
+        throughputs = unicast_throughputs_mbps(deployment, sim.sim.now)
+        by_ap = {
+            station.ap_id: throughput
+            for station, throughput in zip(deployment.stations, throughputs)
+        }
+        # airtime sold tracks 1 - multicast load; compare the most and
+        # least loaded APs via sold airtime (rate differences cancel there)
+        sold = {
+            scheduler.ap.node_id: scheduler.airtime_sold_s
+            for scheduler in deployment.schedulers
+        }
+        busiest = max(range(len(loads)), key=lambda a: loads[a])
+        idlest = min(range(len(loads)), key=lambda a: loads[a])
+        if loads[busiest] > loads[idlest]:
+            assert sold[busiest] < sold[idlest] + 1e-9
+        del by_ap
+
+    def test_elapsed_validation(self):
+        sim = make_sim()
+        deployment = attach_unicast_users(sim, per_ap=1)
+        with pytest.raises(ValueError):
+            unicast_throughputs_mbps(deployment, 0)
+
+
+class TestPolicyComparison:
+    def test_mla_leaves_more_unicast_airtime_than_random_piling(self):
+        """Under the MLA association the total airtime sold to unicast is
+        at least what the same network sells when every multicast user
+        just piles on its strongest AP (the SSA regime).
+
+        Run the identical scenario twice with different policies and
+        compare the summed sold airtime over the same horizon.
+        """
+
+        def sold_airtime(policy: str) -> float:
+            sim = WlanSimulation(
+                generate(**SMALL),
+                WlanConfig(policy=policy, max_time_s=300.0),
+            )
+            deployment = attach_unicast_users(sim, per_ap=1, seed=5)
+            sim.run()
+            horizon = sim.sim.now
+            # normalize per second to compare runs of unequal length
+            return sum(s.airtime_sold_s for s in deployment.schedulers) / horizon
+
+        # 'mla' runs the distributed MLA policy; 'bla' balances; both are
+        # association control. A pure SSA protocol station does not exist
+        # in the simulator (SSA is the no-protocol default), so compare
+        # against the analytic residual of the SSA assignment instead.
+        import random as _random
+
+        from repro.core.ssa import solve_ssa
+
+        problem = generate(**SMALL).problem()
+        ssa_assignment = solve_ssa(problem, rng=_random.Random(0)).assignment
+        ssa_residual_rate = sum(
+            max(0.0, 1.0 - load) for load in ssa_assignment.loads()
+        )
+        assert sold_airtime("mla") >= ssa_residual_rate * 0.9

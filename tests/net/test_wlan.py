@@ -1,0 +1,106 @@
+"""Integration tests: the full protocol simulation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.distributed import run_distributed
+from repro.net.wlan import WlanConfig, WlanSimulation, simulate
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+
+SMALL = dict(n_aps=8, n_users=16, n_sessions=3, seed=2, area=Area.square(500))
+
+
+class TestConvergence:
+    def test_converges_and_serves_everyone(self):
+        scenario = generate(**SMALL)
+        result = simulate(scenario, "mla", max_time_s=600.0)
+        assert result.converged
+        assert result.n_served == scenario.n_users
+        assert result.assignment.violations(check_budgets=False) == []
+
+    def test_matches_abstract_distributed_quality(self):
+        """The protocol result's total load is close to the pure
+        sequential dynamics' (different decision orders, same family of
+        local optima)."""
+        scenario = generate(**SMALL)
+        problem = scenario.problem()
+        protocol = simulate(scenario, "mla", max_time_s=600.0)
+        abstract = run_distributed(problem, "mla")
+        assert protocol.assignment.total_load() <= (
+            1.25 * abstract.assignment.total_load() + 1e-9
+        )
+
+    def test_bla_policy_runs(self):
+        scenario = generate(**SMALL)
+        result = simulate(scenario, "bla", max_time_s=600.0)
+        assert result.converged
+        assert result.n_served == scenario.n_users
+
+    def test_time_cap_reported_as_not_converged(self):
+        scenario = generate(**SMALL)
+        result = simulate(scenario, "mla", max_time_s=5.0)
+        assert result.sim_time_s <= 5.0
+        assert not result.converged
+
+
+class TestBudgets:
+    def test_mnu_never_violates_budgets(self):
+        scenario = generate(
+            n_aps=6, n_users=20, n_sessions=4, seed=3,
+            area=Area.square(400), budget=0.2,
+        )
+        result = simulate(scenario, "mnu", max_time_s=600.0)
+        assert result.assignment.violations(check_budgets=True) == []
+
+    def test_tight_budget_leaves_users_unserved(self):
+        scenario = generate(
+            n_aps=2, n_users=20, n_sessions=4, seed=4,
+            area=Area.square(300), budget=0.1,
+        )
+        result = simulate(scenario, "mnu", max_time_s=600.0)
+        assert result.n_served < scenario.n_users
+        assert result.rejections >= 0
+
+
+class TestAirtimeMeasurement:
+    def test_measured_loads_approximate_analytic(self):
+        """Post-convergence measured airtime fractions equal Definition 1."""
+        scenario = generate(**SMALL)
+        sim = WlanSimulation(
+            scenario,
+            WlanConfig(policy="mla", max_time_s=400.0, service_period_s=1.0),
+        )
+        result = sim.run()
+        assert result.converged
+        # measure a clean window after the association pattern settles
+        sim.meter.reset()
+        window = 100.0
+        sim.sim.run(until=sim.sim.now + window)
+        measured = sim.meter.measured_loads(window)
+        analytic = sim.current_assignment().loads()
+        for ap in range(scenario.n_aps):
+            assert measured[ap] == pytest.approx(analytic[ap], rel=0.05, abs=1e-9)
+
+    def test_frames_counted(self):
+        scenario = generate(**SMALL)
+        result = simulate(scenario, "mla", max_time_s=100.0)
+        assert result.frames_sent > scenario.n_users  # probes at minimum
+
+
+class TestModes:
+    def test_simultaneous_mode_runs(self):
+        scenario = generate(**SMALL)
+        result = simulate(
+            scenario, "mla", mode="simultaneous", max_time_s=400.0
+        )
+        assert result.n_served == scenario.n_users
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WlanConfig(decision_period_s=0)
+        with pytest.raises(ValueError):
+            WlanConfig(quiescence_periods=0)

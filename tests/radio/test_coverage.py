@@ -1,0 +1,113 @@
+"""Tests for deployment coverage analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.radio.coverage import (
+    CoverageReport,
+    analyze_coverage,
+    coverage_holes,
+    recommend_ap_count,
+)
+from repro.radio.geometry import Area, Point
+from repro.radio.propagation import ThresholdPropagation
+
+MODEL = ThresholdPropagation()  # 200 m range
+
+
+class TestAnalyzeCoverage:
+    def test_empty_deployment(self):
+        report = analyze_coverage(Area.square(500), [], MODEL, resolution=10)
+        assert report.covered_fraction == 0.0
+        assert report.mean_coverage_depth == 0.0
+        assert report.mean_best_rate_mbps == 0.0
+
+    def test_single_central_ap_covers_center(self):
+        area = Area.square(400)
+        report = analyze_coverage(
+            area, [area.center()], MODEL, resolution=21
+        )
+        assert 0 < report.covered_fraction < 1
+        assert report.depth_histogram[1] > 0
+
+    def test_blanket_deployment_covers_everything(self):
+        area = Area.square(300)
+        aps = [Point(x, y) for x in (0, 150, 300) for y in (0, 150, 300)]
+        report = analyze_coverage(area, aps, MODEL, resolution=15)
+        assert report.covered_fraction == 1.0
+        assert report.mean_coverage_depth > 1.0
+
+    def test_density_increases_depth_and_rate(self):
+        area = Area.square(600)
+        sparse = [area.center()]
+        dense = sparse + [Point(100, 100), Point(500, 500), Point(300, 100)]
+        sparse_report = analyze_coverage(area, sparse, MODEL, resolution=15)
+        dense_report = analyze_coverage(area, dense, MODEL, resolution=15)
+        assert dense_report.mean_coverage_depth > sparse_report.mean_coverage_depth
+        assert dense_report.mean_best_rate_mbps >= sparse_report.mean_best_rate_mbps
+
+    def test_depth_fraction(self):
+        report = CoverageReport(
+            covered_fraction=0.75,
+            mean_coverage_depth=1.0,
+            depth_histogram=(1, 2, 1),
+            mean_best_rate_mbps=12.0,
+            samples=4,
+        )
+        assert report.depth_fraction(0) == 1.0
+        assert report.depth_fraction(1) == 0.75
+        assert report.depth_fraction(2) == 0.25
+        with pytest.raises(ValueError):
+            report.depth_fraction(-1)
+
+    def test_resolution_validated(self):
+        with pytest.raises(ValueError):
+            analyze_coverage(Area.square(100), [], MODEL, resolution=1)
+
+
+class TestCoverageHoles:
+    def test_holes_found_far_from_ap(self):
+        area = Area.square(1000)
+        holes = coverage_holes(
+            area, [Point(0, 0)], MODEL, resolution=11
+        )
+        assert holes
+        assert all(Point(0, 0).distance_to(h) > 200 for h in holes)
+
+    def test_no_holes_under_blanket(self):
+        area = Area.square(200)
+        assert (
+            coverage_holes(area, [area.center()], MODEL, resolution=11) == []
+        )
+
+
+class TestRecommendApCount:
+    def test_scales_with_area_and_depth(self):
+        small = recommend_ap_count(Area.square(500), MODEL)
+        large = recommend_ap_count(Area.square(1500), MODEL)
+        assert large > small
+        deeper = recommend_ap_count(Area.square(500), MODEL, target_depth=4)
+        assert deeper >= 2 * small - 1
+
+    def test_recommendation_actually_covers(self):
+        """Place the recommended count on a grid: coverage should be
+        (near-)total with mean depth around the target."""
+        from repro.scenarios.hotspots import grid_aps
+
+        area = Area.square(800)
+        n = recommend_ap_count(area, MODEL, target_depth=2)
+        report = analyze_coverage(
+            area, grid_aps(area, n), MODEL, resolution=15
+        )
+        # grid truncation can leave slivers at the far corners uncovered
+        assert report.covered_fraction >= 0.9
+        assert report.mean_coverage_depth >= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_ap_count(Area.square(100), MODEL, target_depth=0)
+        with pytest.raises(ValueError):
+            recommend_ap_count(Area.square(100), MODEL, utilization=0)

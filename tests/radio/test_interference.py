@@ -1,0 +1,91 @@
+"""Tests for the explicit interference model (Section-8 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.geometry import Point
+from repro.radio.interference import (
+    InterferenceMap,
+    assign_channels,
+    build_conflict_graph,
+)
+
+#: Four APs on a line, 100 m apart.
+LINE = [Point(0, 0), Point(100, 0), Point(200, 0), Point(300, 0)]
+
+
+class TestConflictGraph:
+    def test_edges_within_range(self):
+        graph = build_conflict_graph(LINE, interference_range_m=150)
+        assert set(graph.edges) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_no_edges_when_far(self):
+        graph = build_conflict_graph(LINE, interference_range_m=50)
+        assert graph.number_of_edges() == 0
+
+    def test_channels_cut_edges(self):
+        graph = build_conflict_graph(
+            LINE, interference_range_m=150, channels=[0, 1, 0, 1]
+        )
+        assert graph.number_of_edges() == 0
+
+    def test_co_channel_edges_kept(self):
+        graph = build_conflict_graph(
+            LINE, interference_range_m=250, channels=[0, 1, 0, 1]
+        )
+        assert set(graph.edges) == {(0, 2), (1, 3)}
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            build_conflict_graph(LINE, interference_range_m=0)
+
+    def test_rejects_mismatched_channels(self):
+        with pytest.raises(ValueError):
+            build_conflict_graph(LINE, 100, channels=[0])
+
+
+class TestChannelAssignment:
+    def test_enough_channels_means_no_conflicts(self):
+        channels = assign_channels(LINE, interference_range_m=150, n_channels=12)
+        graph = build_conflict_graph(LINE, 150, channels=channels)
+        assert graph.number_of_edges() == 0
+
+    def test_channels_within_range(self):
+        channels = assign_channels(LINE, 150, n_channels=3)
+        assert all(0 <= c < 3 for c in channels)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            assign_channels(LINE, 150, 0)
+
+
+class TestInterferenceMap:
+    def make(self) -> InterferenceMap:
+        return InterferenceMap(build_conflict_graph(LINE, 150))
+
+    def test_conflicting_aps(self):
+        imap = self.make()
+        assert imap.conflicting_aps(1) == [0, 2]
+        assert imap.conflicting_aps(0) == [1]
+
+    def test_pressure_sums_neighbor_loads(self):
+        imap = self.make()
+        loads = {0: 0.5, 1: 0.2, 2: 0.1, 3: 0.4}
+        assert imap.pressure(1, loads) == pytest.approx(0.6)
+
+    def test_effective_budget_floors_at_zero(self):
+        imap = self.make()
+        loads = {0: 0.8, 2: 0.8}
+        assert imap.effective_budget(1, 0.9, loads) == 0.0
+        assert imap.effective_budget(3, 0.9, {2: 0.1}) == pytest.approx(0.8)
+
+    def test_total_interference(self):
+        imap = self.make()
+        loads = {0: 1.0, 1: 1.0, 2: 0.0, 3: 2.0}
+        # edges (0,1)=1, (1,2)=0, (2,3)=0
+        assert imap.total_interference(loads) == pytest.approx(1.0)
+
+    def test_missing_loads_default_zero(self):
+        imap = self.make()
+        assert imap.pressure(0, {}) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the propagation models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.geometry import Point
+from repro.radio.propagation import LogDistancePropagation, ThresholdPropagation
+from repro.radio.rates import dot11a_table
+
+ORIGIN = Point(0, 0)
+
+
+def at(distance: float) -> Point:
+    return Point(distance, 0)
+
+
+class TestThresholdPropagation:
+    def test_link_rate_matches_table(self):
+        model = ThresholdPropagation()
+        table = dot11a_table()
+        for distance in (0, 10, 35, 36, 85, 120, 200, 201):
+            assert model.link_rate(ORIGIN, at(distance)) == table.rate_at(distance)
+
+    def test_in_range(self):
+        model = ThresholdPropagation()
+        assert model.in_range(ORIGIN, at(200))
+        assert not model.in_range(ORIGIN, at(200.5))
+
+    def test_max_range(self):
+        assert ThresholdPropagation().max_range == 200
+
+    def test_signal_strength_decreases_with_distance(self):
+        model = ThresholdPropagation()
+        strengths = [model.signal_strength(ORIGIN, at(d)) for d in (1, 10, 50, 150)]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_signal_strength_close_range_clamped(self):
+        model = ThresholdPropagation()
+        # below 1 m the strength saturates rather than diverging
+        assert model.signal_strength(ORIGIN, at(0.1)) == model.signal_strength(
+            ORIGIN, at(0.5)
+        )
+
+
+class TestLogDistancePropagation:
+    def test_zero_shadowing_reproduces_thresholds(self):
+        model = LogDistancePropagation(shadowing_sigma_db=0.0)
+        table = dot11a_table()
+        for step in table:
+            # exactly at the threshold the rate must be granted ...
+            assert model.link_rate(ORIGIN, at(step.max_distance_m)) >= step.rate_mbps
+            # ... and just beyond it the next rate down applies
+            beyond = model.link_rate(ORIGIN, at(step.max_distance_m * 1.01))
+            if beyond is not None:
+                assert beyond < step.rate_mbps or step.rate_mbps == table.basic_rate
+
+    def test_matches_threshold_model_without_shadowing(self):
+        ideal = ThresholdPropagation()
+        logd = LogDistancePropagation(shadowing_sigma_db=0.0)
+        for distance in (5, 34, 36, 59, 61, 84, 86, 104, 106, 144, 146, 199):
+            assert logd.link_rate(ORIGIN, at(distance)) == ideal.link_rate(
+                ORIGIN, at(distance)
+            )
+
+    def test_shadowing_is_deterministic_per_link(self):
+        model = LogDistancePropagation(shadowing_sigma_db=6.0, seed=42)
+        a, b = Point(10, 20), Point(110, 20)
+        assert model.link_rate(a, b) == model.link_rate(a, b)
+        assert model.signal_strength(a, b) == model.signal_strength(a, b)
+
+    def test_shadowing_varies_across_links(self):
+        model = LogDistancePropagation(shadowing_sigma_db=8.0, seed=1)
+        base = ThresholdPropagation()
+        diffs = 0
+        for i in range(30):
+            user = Point(100 + i, 7 * i % 50)
+            if model.link_rate(ORIGIN, user) != base.link_rate(ORIGIN, user):
+                diffs += 1
+        assert diffs > 0
+
+    def test_seed_changes_shadowing(self):
+        a, b = Point(0, 0), Point(120, 0)
+        strengths = {
+            LogDistancePropagation(shadowing_sigma_db=8.0, seed=s).signal_strength(
+                a, b
+            )
+            for s in range(5)
+        }
+        assert len(strengths) > 1
+
+    def test_snr_decreases_with_distance(self):
+        model = LogDistancePropagation(shadowing_sigma_db=0.0)
+        snrs = [model.snr_db(ORIGIN, at(d)) for d in (10, 50, 100, 200)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogDistancePropagation(reference_distance_m=0)
+        with pytest.raises(ValueError):
+            LogDistancePropagation(shadowing_sigma_db=-1)
+
+    def test_rate_table_property(self):
+        table = dot11a_table()
+        assert LogDistancePropagation(table).rate_table == table

@@ -1,0 +1,138 @@
+"""Tests for PHY rate ladders, including the paper's Table 1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.radio.rates import (
+    PAPER_TABLE_1,
+    RateStep,
+    RateTable,
+    dot11a_table,
+    dot11b_table,
+    dot11g_table,
+)
+
+#: Paper Table 1, verbatim.
+TABLE_1_ROWS = {
+    6: 200,
+    12: 145,
+    18: 105,
+    24: 85,
+    36: 60,
+    48: 40,
+    54: 35,
+}
+
+
+class TestTable1:
+    def test_exact_rows(self):
+        table = dot11a_table()
+        assert {s.rate_mbps: s.max_distance_m for s in table} == TABLE_1_ROWS
+
+    def test_paper_constant_is_table1(self):
+        assert PAPER_TABLE_1 == dot11a_table()
+
+    def test_basic_rate_and_range(self):
+        assert dot11a_table().basic_rate == 6
+        assert dot11a_table().max_range == 200
+
+    @pytest.mark.parametrize(
+        "distance, expected",
+        [
+            (0, 54),
+            (35, 54),
+            (35.01, 48),
+            (40, 48),
+            (50, 36),
+            (60, 36),
+            (84, 24),
+            (100, 18),
+            (105, 18),
+            (144, 12),
+            (145, 12),
+            (199, 6),
+            (200, 6),
+            (200.01, None),
+            (1000, None),
+        ],
+    )
+    def test_rate_at_thresholds(self, distance, expected):
+        assert dot11a_table().rate_at(distance) == expected
+
+
+class TestRateTable:
+    def test_rates_sorted_ascending(self):
+        assert dot11a_table().rates == (6, 12, 18, 24, 36, 48, 54)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RateTable([])
+
+    def test_rejects_duplicate_rates(self):
+        with pytest.raises(ValueError):
+            RateTable([RateStep(6, 100), RateStep(6, 50)])
+
+    def test_rejects_non_monotone_reach(self):
+        with pytest.raises(ValueError):
+            RateTable([RateStep(6, 100), RateStep(12, 150)])
+
+    def test_rejects_negative_distance_query(self):
+        with pytest.raises(ValueError):
+            dot11a_table().rate_at(-1)
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            RateStep(0, 100)
+        with pytest.raises(ValueError):
+            RateStep(6, 0)
+
+    def test_reach_of(self):
+        assert dot11a_table().reach_of(24) == 85
+        with pytest.raises(KeyError):
+            dot11a_table().reach_of(7)
+
+    def test_floor_rate(self):
+        table = dot11a_table()
+        assert table.floor_rate(20) == 18
+        assert table.floor_rate(54) == 54
+        assert table.floor_rate(5) is None
+
+    def test_restricted_to_basic(self):
+        basic = dot11a_table().restricted_to_basic()
+        assert len(basic) == 1
+        assert basic.basic_rate == 6
+        assert basic.rate_at(100) == 6
+        assert basic.rate_at(201) is None
+
+    def test_scaled_reach(self):
+        doubled = dot11a_table().scaled_reach(2.0)
+        assert doubled.max_range == 400
+        assert doubled.rate_at(70) == 54
+        with pytest.raises(ValueError):
+            dot11a_table().scaled_reach(0)
+
+    def test_equality_and_hash(self):
+        assert dot11a_table() == dot11a_table()
+        assert hash(dot11a_table()) == hash(dot11a_table())
+        assert dot11a_table() != dot11b_table()
+
+    def test_repr_mentions_rates(self):
+        assert "54" in repr(dot11a_table())
+
+    @given(st.floats(min_value=0, max_value=500))
+    def test_rate_at_non_increasing_in_distance(self, distance):
+        table = dot11a_table()
+        here = table.rate_at(distance)
+        farther = table.rate_at(distance + 10)
+        if here is None:
+            assert farther is None
+        elif farther is not None:
+            assert farther <= here
+
+    def test_other_standards_valid(self):
+        for table in (dot11b_table(), dot11g_table()):
+            assert len(table) >= 4
+            assert table.basic_rate == min(table.rates)

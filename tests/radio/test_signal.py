@@ -1,0 +1,47 @@
+"""Tests for scanning / strongest-signal helpers."""
+
+from __future__ import annotations
+
+from repro.radio.geometry import Point
+from repro.radio.propagation import ThresholdPropagation
+from repro.radio.signal import scan, strongest_ap
+
+MODEL = ThresholdPropagation()
+
+
+class TestScan:
+    def test_orders_strongest_first(self):
+        aps = [Point(150, 0), Point(30, 0), Point(90, 0)]
+        results = scan(Point(0, 0), aps, MODEL)
+        assert [m.ap_index for m in results] == [1, 2, 0]
+
+    def test_excludes_out_of_range(self):
+        aps = [Point(30, 0), Point(500, 0)]
+        results = scan(Point(0, 0), aps, MODEL)
+        assert [m.ap_index for m in results] == [0]
+
+    def test_candidates_restriction(self):
+        aps = [Point(30, 0), Point(60, 0), Point(90, 0)]
+        results = scan(Point(0, 0), aps, MODEL, candidates=[1, 2])
+        assert [m.ap_index for m in results] == [1, 2]
+
+    def test_reports_link_rate(self):
+        aps = [Point(30, 0)]
+        (m,) = scan(Point(0, 0), aps, MODEL)
+        assert m.link_rate_mbps == 54
+
+    def test_empty_when_isolated(self):
+        assert scan(Point(0, 0), [Point(1000, 0)], MODEL) == []
+
+
+class TestStrongestAp:
+    def test_picks_nearest(self):
+        aps = [Point(100, 0), Point(20, 0)]
+        assert strongest_ap(Point(0, 0), aps, MODEL) == 1
+
+    def test_tie_breaks_low_index(self):
+        aps = [Point(50, 0), Point(-50, 0)]
+        assert strongest_ap(Point(0, 0), aps, MODEL) == 0
+
+    def test_none_when_isolated(self):
+        assert strongest_ap(Point(0, 0), [Point(999, 0)], MODEL) is None

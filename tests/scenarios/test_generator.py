@@ -1,0 +1,120 @@
+"""Tests for scenario generation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.radio.geometry import Area, Point
+from repro.scenarios.generator import (
+    PAPER_AREA,
+    SMALL_AREA,
+    generate,
+    generate_batch,
+    random_points,
+)
+
+
+class TestConstants:
+    def test_paper_area_surface(self):
+        assert PAPER_AREA.surface == pytest.approx(1.2e6)
+
+    def test_small_area_is_600m_square(self):
+        assert SMALL_AREA.width == 600
+        assert SMALL_AREA.height == 600
+
+
+class TestRandomPoints:
+    def test_count_and_containment(self):
+        area = Area.square(50)
+        pts = random_points(area, 100, random.Random(0))
+        assert len(pts) == 100
+        assert all(area.contains(p) for p in pts)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_points(Area.square(1), -1, random.Random(0))
+
+
+class TestGenerate:
+    def test_dimensions(self):
+        s = generate(n_aps=20, n_users=30, n_sessions=4, seed=0)
+        assert s.n_aps == 20
+        assert s.n_users == 30
+        assert len(s.sessions) == 4
+        assert len(s.user_sessions) == 30
+
+    def test_deterministic_in_seed(self):
+        a = generate(n_aps=10, n_users=10, seed=3)
+        b = generate(n_aps=10, n_users=10, seed=3)
+        assert a.ap_positions == b.ap_positions
+        assert a.user_positions == b.user_positions
+        assert a.user_sessions == b.user_sessions
+
+    def test_different_seeds_differ(self):
+        a = generate(n_aps=10, n_users=10, seed=3)
+        b = generate(n_aps=10, n_users=10, seed=4)
+        assert a.user_positions != b.user_positions
+
+    def test_coverage_guaranteed(self):
+        for seed in range(5):
+            s = generate(
+                n_aps=3, n_users=25, seed=seed, area=Area.square(800)
+            )
+            assert not s.problem().isolated_users()
+
+    def test_ensure_coverage_off_can_isolate(self):
+        isolated_somewhere = False
+        for seed in range(20):
+            s = generate(
+                n_aps=1,
+                n_users=30,
+                seed=seed,
+                area=Area.square(1000),
+                ensure_coverage=False,
+            )
+            if s.problem().isolated_users():
+                isolated_somewhere = True
+                break
+        assert isolated_somewhere
+
+    def test_budget_applied(self):
+        s = generate(n_aps=5, n_users=5, seed=0, budget=0.42)
+        assert s.problem().budget_of(0) == 0.42
+
+    def test_with_budget(self):
+        s = generate(n_aps=5, n_users=5, seed=0)
+        assert s.with_budget(0.1).problem().budget_of(0) == 0.1
+
+    def test_with_user_positions(self):
+        s = generate(n_aps=5, n_users=2, seed=0, area=Area.square(300))
+        moved = s.with_user_positions([Point(1, 1), Point(2, 2)])
+        assert moved.user_positions == (Point(1, 1), Point(2, 2))
+        with pytest.raises(ValueError):
+            s.with_user_positions([Point(0, 0)])
+
+    def test_stream_rate_respected(self):
+        s = generate(n_aps=5, n_users=5, seed=0, stream_rate_mbps=2.5)
+        assert all(sess.rate_mbps == 2.5 for sess in s.sessions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate(n_aps=0, n_users=5, seed=0)
+
+    def test_problem_dimensions(self):
+        s = generate(n_aps=8, n_users=12, n_sessions=2, seed=1)
+        p = s.problem()
+        assert (p.n_aps, p.n_users, p.n_sessions) == (8, 12, 2)
+
+
+class TestGenerateBatch:
+    def test_distinct_seeds(self):
+        batch = generate_batch(3, base_seed=10, n_aps=5, n_users=5)
+        assert [s.seed for s in batch] == [10, 11, 12]
+        assert batch[0].user_positions != batch[1].user_positions
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_batch(0, n_aps=1, n_users=1)

@@ -1,0 +1,153 @@
+"""Tests for hotspot user placement and grid AP deployments."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.radio.geometry import Area, Point
+from repro.scenarios.hotspots import (
+    clustered_users,
+    generate_hotspot,
+    grid_aps,
+)
+
+AREA = Area.square(1000)
+
+
+class TestClusteredUsers:
+    def test_count_and_containment(self):
+        users = clustered_users(AREA, 100, rng=random.Random(0))
+        assert len(users) == 100
+        assert all(AREA.contains(u) for u in users)
+
+    def test_clustering_is_tighter_than_uniform(self):
+        """Mean nearest-neighbor distance is far smaller for clustered
+        placement than for uniform placement."""
+        rng = random.Random(1)
+        clustered = clustered_users(
+            AREA, 80, n_hotspots=3, spread_m=20.0,
+            background_fraction=0.0, rng=rng,
+        )
+        from repro.scenarios.generator import random_points
+
+        uniform = random_points(AREA, 80, random.Random(1))
+
+        def mean_nn(points):
+            return statistics.mean(
+                min(p.distance_to(q) for q in points if q is not p)
+                for p in points
+            )
+
+        assert mean_nn(clustered) < 0.5 * mean_nn(uniform)
+
+    def test_background_fraction_one_is_uniform_spread(self):
+        users = clustered_users(
+            AREA, 60, background_fraction=1.0, rng=random.Random(2)
+        )
+        xs = [u.x for u in users]
+        assert max(xs) - min(xs) > 400  # spans the area
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            clustered_users(AREA, -1, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_users(AREA, 5, n_hotspots=0, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_users(AREA, 5, spread_m=0, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_users(AREA, 5, background_fraction=2.0, rng=rng)
+
+
+class TestGridAps:
+    def test_exact_count(self):
+        for n in (1, 4, 7, 16, 30):
+            assert len(grid_aps(AREA, n)) == n
+
+    def test_positions_inside_area(self):
+        assert all(AREA.contains(p) for p in grid_aps(AREA, 25))
+
+    def test_grid_is_spread_out(self):
+        aps = grid_aps(AREA, 16)
+        min_pairwise = min(
+            a.distance_to(b) for i, a in enumerate(aps) for b in aps[i + 1:]
+        )
+        assert min_pairwise > 100  # 4x4 grid on 1 km: 250 m pitch
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            grid_aps(AREA, 0)
+
+
+class TestGenerateHotspot:
+    def test_scenario_valid_and_covered(self):
+        scenario = generate_hotspot(
+            n_aps=25, n_users=60, seed=3, area=AREA
+        )
+        problem = scenario.problem()
+        assert problem.n_users == 60
+        assert not problem.isolated_users()
+
+    def test_deterministic(self):
+        a = generate_hotspot(n_aps=16, n_users=30, seed=4, area=AREA)
+        b = generate_hotspot(n_aps=16, n_users=30, seed=4, area=AREA)
+        assert a.user_positions == b.user_positions
+
+    def test_random_ap_mode(self):
+        planned = generate_hotspot(
+            n_aps=16, n_users=20, seed=5, area=AREA, planned_aps=True
+        )
+        unplanned = generate_hotspot(
+            n_aps=16, n_users=20, seed=5, area=AREA, planned_aps=False
+        )
+        assert planned.ap_positions != unplanned.ap_positions
+
+    def test_ssa_concentrates_on_hotspots(self):
+        """Clustered users share a strongest AP: SSA's most popular AP
+        carries far more users on hotspot scenarios than on uniform ones
+        (same seeds, same AP count)."""
+        import random as _random
+        from collections import Counter
+
+        from repro.core.ssa import solve_ssa
+        from repro.scenarios.generator import generate
+
+        def peak_users(problem):
+            a = solve_ssa(problem, rng=_random.Random(0)).assignment
+            return max(Counter(x for x in a.ap_of_user if x is not None).values())
+
+        peak_hot = peak_uni = 0
+        for seed in range(3):
+            hot = generate_hotspot(
+                n_aps=25, n_users=60, seed=seed, area=AREA,
+                n_hotspots=2, spread_m=30.0, background_fraction=0.1,
+            ).problem()
+            uni = generate(
+                n_aps=25, n_users=60, seed=seed, area=AREA, budget=math.inf
+            ).problem()
+            peak_hot += peak_users(hot)
+            peak_uni += peak_users(uni)
+        assert peak_hot > 1.5 * peak_uni
+
+    def test_bla_still_wins_on_hotspots(self):
+        """Association control keeps its edge on clustered demand."""
+        import random as _random
+
+        from repro.core.bla import solve_bla
+        from repro.core.ssa import solve_ssa
+
+        total_gain = 0.0
+        for seed in range(3):
+            problem = generate_hotspot(
+                n_aps=25, n_users=60, seed=seed, area=AREA,
+                n_hotspots=2, spread_m=30.0, background_fraction=0.1,
+            ).problem()
+            ssa = solve_ssa(problem, rng=_random.Random(0)).assignment
+            bla = solve_bla(problem, n_guesses=6, refine_steps=4).assignment
+            assert bla.max_load() <= ssa.max_load() + 1e-9
+            total_gain += ssa.max_load() - bla.max_load()
+        assert total_gain > 0

@@ -1,0 +1,90 @@
+"""Tests for quasi-static mobility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.geometry import Area, Point
+from repro.scenarios.generator import generate
+from repro.scenarios.mobility import QuasiStaticMobility, scenario_epochs
+
+AREA = Area.square(100)
+INITIAL = [Point(10, 10), Point(50, 50), Point(90, 90)]
+
+
+class TestQuasiStaticMobility:
+    def test_epoch_zero_is_initial(self):
+        mobility = QuasiStaticMobility(AREA, p_move=1.0, seed=0)
+        first = next(mobility.epochs(INITIAL, 3))
+        assert first.index == 0
+        assert first.user_positions == tuple(INITIAL)
+        assert first.moved_users == ()
+
+    def test_epoch_count(self):
+        mobility = QuasiStaticMobility(AREA, p_move=0.5, seed=0)
+        epochs = list(mobility.epochs(INITIAL, 5))
+        assert [e.index for e in epochs] == [0, 1, 2, 3, 4]
+
+    def test_zero_probability_never_moves(self):
+        mobility = QuasiStaticMobility(AREA, p_move=0.0, seed=0)
+        for epoch in mobility.epochs(INITIAL, 5):
+            assert epoch.user_positions == tuple(INITIAL)
+            assert epoch.moved_users == ()
+
+    def test_probability_one_moves_everyone(self):
+        mobility = QuasiStaticMobility(AREA, p_move=1.0, seed=0)
+        epochs = list(mobility.epochs(INITIAL, 2))
+        assert epochs[1].moved_users == (0, 1, 2)
+
+    def test_positions_stay_in_area(self):
+        mobility = QuasiStaticMobility(AREA, p_move=1.0, seed=1)
+        for epoch in mobility.epochs(INITIAL, 10):
+            assert all(AREA.contains(p) for p in epoch.user_positions)
+
+    def test_local_radius_bounds_steps(self):
+        mobility = QuasiStaticMobility(
+            AREA, p_move=1.0, local_radius=5.0, seed=2
+        )
+        previous = tuple(INITIAL)
+        for epoch in mobility.epochs(INITIAL, 5):
+            for old, new in zip(previous, epoch.user_positions):
+                # an L-inf step of <= 5 in each axis, then clamped
+                assert abs(old.x - new.x) <= 5 + 1e-9
+                assert abs(old.y - new.y) <= 5 + 1e-9
+            previous = epoch.user_positions
+
+    def test_deterministic_in_seed(self):
+        runs = [
+            [
+                e.user_positions
+                for e in QuasiStaticMobility(AREA, p_move=0.5, seed=9).epochs(
+                    INITIAL, 4
+                )
+            ]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuasiStaticMobility(AREA, p_move=1.5)
+        with pytest.raises(ValueError):
+            QuasiStaticMobility(AREA, local_radius=0)
+        mobility = QuasiStaticMobility(AREA)
+        with pytest.raises(ValueError):
+            list(mobility.epochs(INITIAL, 0))
+
+
+class TestScenarioEpochs:
+    def test_variants_share_everything_but_positions(self):
+        base = generate(n_aps=10, n_users=8, seed=0, area=Area.square(500))
+        variants = list(
+            scenario_epochs(base, n_epochs=3, p_move=1.0, seed=0)
+        )
+        assert len(variants) == 3
+        for v in variants:
+            assert v.ap_positions == base.ap_positions
+            assert v.user_sessions == base.user_sessions
+            assert v.sessions == base.sessions
+        assert variants[0].user_positions == base.user_positions
+        assert variants[1].user_positions != base.user_positions

@@ -1,0 +1,76 @@
+"""Tests for the figure-specific scenario presets."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.scenarios.presets import (
+    FIG11_BUDGETS,
+    FIG12C_BUDGET,
+    fig9a_users_sweep,
+    fig9b_aps_sweep,
+    fig9c_sessions_sweep,
+    fig11_budget_scenarios,
+    fig12_users_sweep,
+)
+
+
+class TestFig9Sweeps:
+    def test_fig9a_structure(self):
+        points = fig9a_users_sweep(n_scenarios=2, users=(50, 100))
+        assert [p.x for p in points] == [50, 100]
+        for point in points:
+            assert len(point.scenarios) == 2
+            for s in point.scenarios:
+                assert s.n_aps == 200
+                assert s.n_users == point.x
+                assert len(s.sessions) == 5
+                assert s.budget == math.inf
+
+    def test_fig9b_varies_aps(self):
+        points = fig9b_aps_sweep(n_scenarios=1, aps=(50, 75))
+        assert [p.scenarios[0].n_aps for p in points] == [50, 75]
+        assert all(p.scenarios[0].n_users == 100 for p in points)
+
+    def test_fig9c_varies_sessions(self):
+        points = fig9c_sessions_sweep(n_scenarios=1, sessions=(1, 4))
+        assert [len(p.scenarios[0].sessions) for p in points] == [1, 4]
+        assert all(p.scenarios[0].n_users == 200 for p in points)
+
+    def test_seeds_distinct_across_scenarios(self):
+        (point,) = fig9a_users_sweep(n_scenarios=3, users=(50,))
+        seeds = [s.seed for s in point.scenarios]
+        assert len(set(seeds)) == 3
+
+
+class TestFig11:
+    def test_paper_parameters(self):
+        scenarios = fig11_budget_scenarios(n_scenarios=2)
+        assert len(scenarios) == 2
+        for s in scenarios:
+            assert s.n_aps == 100
+            assert s.n_users == 400
+            assert len(s.sessions) == 18
+
+    def test_budget_grid_contains_headline_point(self):
+        assert 0.04 in FIG11_BUDGETS
+
+
+class TestFig12:
+    def test_small_network_parameters(self):
+        points = fig12_users_sweep(n_scenarios=1, users=(10, 50))
+        for point in points:
+            s = point.scenarios[0]
+            assert s.n_aps == 30
+            assert s.area.width == 600
+
+    def test_budget_override(self):
+        points = fig12_users_sweep(
+            n_scenarios=1, users=(10,), budget=FIG12C_BUDGET
+        )
+        assert points[0].scenarios[0].budget == pytest.approx(0.042)
+
+    def test_fig12c_budget_constant(self):
+        assert FIG12C_BUDGET == 0.042

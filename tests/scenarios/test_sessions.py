@@ -1,0 +1,80 @@
+"""Tests for session catalogs and request assignment."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.scenarios.sessions import (
+    assign_sessions,
+    mixed_catalog,
+    tv_lineup,
+    uniform_catalog,
+    zipf_weights,
+)
+
+
+class TestCatalogs:
+    def test_uniform_catalog(self):
+        sessions = uniform_catalog(5, 2.0)
+        assert len(sessions) == 5
+        assert all(s.rate_mbps == 2.0 for s in sessions)
+        assert [s.session_id for s in sessions] == [0, 1, 2, 3, 4]
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_catalog(0)
+
+    def test_mixed_catalog(self):
+        sessions = mixed_catalog([0.5, 2.0], names=["sd", "hd"])
+        assert sessions[1].rate_mbps == 2.0
+        assert sessions[0].name == "sd"
+
+    def test_mixed_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mixed_catalog([])
+
+    def test_mixed_rejects_name_mismatch(self):
+        with pytest.raises(ValueError):
+            mixed_catalog([1.0], names=["a", "b"])
+
+    def test_tv_lineup_cycles_rates(self):
+        lineup = tv_lineup(6)
+        assert [s.rate_mbps for s in lineup] == [0.5, 1.0, 2.0, 0.5, 1.0, 2.0]
+
+
+class TestAssignment:
+    def test_uniform_covers_all_sessions_eventually(self):
+        rng = random.Random(0)
+        choices = assign_sessions(1000, 5, rng)
+        assert set(choices) == {0, 1, 2, 3, 4}
+
+    def test_deterministic_with_seed(self):
+        assert assign_sessions(50, 5, random.Random(7)) == assign_sessions(
+            50, 5, random.Random(7)
+        )
+
+    def test_weighted_prefers_popular(self):
+        rng = random.Random(1)
+        choices = assign_sessions(
+            2000, 3, rng, weights=zipf_weights(3, exponent=2.0)
+        )
+        counts = Counter(choices)
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            assign_sessions(-1, 5, rng)
+        with pytest.raises(ValueError):
+            assign_sessions(5, 0, rng)
+        with pytest.raises(ValueError):
+            assign_sessions(5, 2, rng, weights=[1.0])
+
+    def test_zipf_weights(self):
+        weights = zipf_weights(4, exponent=1.0)
+        assert weights == pytest.approx([1, 0.5, 1 / 3, 0.25])
+        with pytest.raises(ValueError):
+            zipf_weights(4, exponent=-1)

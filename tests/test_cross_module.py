@@ -1,0 +1,180 @@
+"""Cross-module integration: full pipelines through several subsystems."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import io
+from repro.core.bla import solve_bla
+from repro.core.bounds import quality_certificate
+from repro.core.distributed import run_distributed
+from repro.core.fairness import revenue_breakdown
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.online import OnlineController, generate_churn_trace
+from repro.core.power import expand_with_power_levels, project_power_assignment
+from repro.core.ssa import solve_ssa
+from repro.eval.stats import paired_comparison
+from repro.radio.coverage import analyze_coverage
+from repro.radio.geometry import Area
+from repro.scenarios.generator import generate
+from repro.scenarios.hotspots import generate_hotspot
+from repro.scenarios.mobility import scenario_epochs
+
+
+class TestSaveSolveCertifyPipeline:
+    def test_round_trip_then_solve_then_certify(self, tmp_path):
+        scenario = generate(n_aps=20, n_users=40, n_sessions=4, seed=8)
+        path = tmp_path / "scenario.json"
+        io.save(scenario, str(path))
+        restored = io.load(str(path))
+        problem = restored.problem()
+
+        solution = solve_mla(problem)
+        certificate = quality_certificate(solution.assignment, "mla")
+        assert certificate.gap < 1.0
+
+        assignment_path = tmp_path / "assignment.json"
+        io.save(solution.assignment, str(assignment_path))
+        loaded = io.load(str(assignment_path), problem=problem)
+        assert loaded.total_load() == pytest.approx(solution.total_load)
+
+
+class TestMobilityReoptimizationPipeline:
+    def test_distributed_warm_start_across_epochs(self):
+        base = generate(
+            n_aps=15, n_users=30, n_sessions=3, seed=9, area=Area.square(700)
+        )
+        previous = None
+        for epoch in scenario_epochs(base, n_epochs=4, p_move=0.3, seed=3):
+            problem = epoch.problem()
+            initial = None
+            if previous is not None:
+                # carry forward still-valid associations as a warm start
+                initial = [
+                    ap if ap is not None and problem.in_range(ap, u) else None
+                    for u, ap in enumerate(previous)
+                ]
+            result = run_distributed(
+                problem, "mla", initial=initial, rng=random.Random(4)
+            )
+            assert result.converged
+            # mobility can carry a user out of everyone's range; everyone
+            # still coverable must be served
+            coverable = problem.n_users - len(problem.isolated_users())
+            assert result.assignment.n_served == coverable
+            previous = result.assignment.ap_of_user
+
+
+class TestHotspotPowerPipeline:
+    def test_power_control_on_hotspot_scenario(self):
+        scenario = generate_hotspot(
+            n_aps=16, n_users=30, n_sessions=3, seed=10,
+            area=Area.square(800),
+        )
+        extended = expand_with_power_levels(
+            scenario.ap_positions,
+            scenario.user_positions,
+            scenario.model,
+            scenario.sessions,
+            scenario.user_sessions,
+        )
+        solution = solve_mla(extended.problem)
+        projected = project_power_assignment(extended, solution.assignment)
+        assert projected.total_load <= solve_mla(
+            scenario.problem()
+        ).total_load + 1e-9
+
+
+class TestChurnRevenuePipeline:
+    def test_revenue_tracks_served_users_under_churn(self):
+        problem = generate(
+            n_aps=20, n_users=40, n_sessions=4, seed=11, budget=0.1
+        ).problem()
+        controller = OnlineController(
+            problem, "mnu", repair="local", rng=random.Random(5)
+        )
+        trace = generate_churn_trace(problem, 60, rng=random.Random(6))
+        result = controller.run(trace)
+        breakdown = revenue_breakdown(controller.state.to_assignment())
+        assert breakdown.pay_per_view == result.final.n_served
+
+
+class TestCoverageExplainsAlgorithmGains:
+    def test_more_overlap_more_gain(self):
+        """Where coverage depth is ~1 there is nothing to control; the
+        MLA-vs-SSA gain (paired over seeds) is significant only in the
+        overlapping deployment."""
+        area = Area.square(900)
+        sparse_gains, dense_gains = [], []
+        for seed in range(6):
+            sparse = generate(
+                n_aps=8, n_users=30, n_sessions=3,
+                seed=seed, area=area, budget=math.inf,
+            )
+            dense = generate(
+                n_aps=60, n_users=30, n_sessions=3,
+                seed=seed, area=area, budget=math.inf,
+            )
+            for scenario, bucket in ((sparse, sparse_gains), (dense, dense_gains)):
+                problem = scenario.problem()
+                ssa = solve_ssa(problem, rng=random.Random(0)).assignment
+                mla = solve_mla(problem).assignment
+                bucket.append(ssa.total_load() - mla.total_load())
+        depth_sparse = analyze_coverage(
+            area, generate(n_aps=8, n_users=1, seed=0, area=area).ap_positions,
+            generate(n_aps=8, n_users=1, seed=0, area=area).model,
+            resolution=12,
+        ).mean_coverage_depth
+        depth_dense = analyze_coverage(
+            area, generate(n_aps=60, n_users=1, seed=0, area=area).ap_positions,
+            generate(n_aps=60, n_users=1, seed=0, area=area).model,
+            resolution=12,
+        ).mean_coverage_depth
+        assert depth_dense > depth_sparse
+        assert sum(dense_gains) > sum(sparse_gains)
+
+
+class TestStatsOnRealPipelines:
+    def test_mnu_gain_is_paired_significant(self):
+        mnu_counts, ssa_counts = [], []
+        for seed in range(8):
+            problem = generate(
+                n_aps=30, n_users=80, n_sessions=8, seed=seed, budget=0.08
+            ).problem()
+            mnu_counts.append(
+                float(solve_mnu(problem, augment=True).n_served)
+            )
+            ssa_counts.append(
+                float(
+                    solve_ssa(
+                        problem, enforce_budgets=True, rng=random.Random(seed)
+                    ).n_served
+                )
+            )
+        comparison = paired_comparison(mnu_counts, ssa_counts)
+        assert comparison.mean_difference > 0
+        assert comparison.significant()
+
+
+class TestBlaFairnessPipeline:
+    def test_bla_improves_worst_unicast_share(self):
+        from repro.core.fairness import worst_unicast_share
+
+        improvements = 0
+        for seed in range(5):
+            problem = generate(
+                n_aps=40, n_users=100, n_sessions=6, seed=seed,
+                budget=math.inf,
+            ).problem()
+            counts = [1] * problem.n_aps
+            ssa = solve_ssa(problem, rng=random.Random(seed)).assignment
+            bla = solve_bla(problem, n_guesses=6, refine_steps=4).assignment
+            if worst_unicast_share(bla, counts) >= worst_unicast_share(
+                ssa, counts
+            ):
+                improvements += 1
+        assert improvements >= 4

@@ -1,0 +1,137 @@
+"""Tests for JSON serialization round-trips."""
+
+from __future__ import annotations
+
+import io as stdlib_io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.core.assignment import Assignment
+from repro.core.errors import ModelError
+from repro.core.mla import solve_mla
+from repro.radio.propagation import LogDistancePropagation, ThresholdPropagation
+from repro.radio.rates import dot11a_table, dot11b_table
+from repro.scenarios.generator import generate
+from tests.conftest import paper_example_problem
+
+
+class TestRateTableAndModels:
+    def test_rate_table_round_trip(self):
+        table = dot11a_table()
+        assert io.rate_table_from_dict(io.rate_table_to_dict(table)) == table
+
+    def test_threshold_model_round_trip(self):
+        model = ThresholdPropagation(
+            table=dot11b_table(), tx_power_dbm=17.0, path_loss_exponent=2.7
+        )
+        restored = io.model_from_dict(io.model_to_dict(model))
+        assert isinstance(restored, ThresholdPropagation)
+        assert restored.table == dot11b_table()
+        assert restored.tx_power_dbm == 17.0
+
+    def test_log_distance_round_trip_preserves_links(self):
+        model = LogDistancePropagation(shadowing_sigma_db=6.0, seed=9)
+        restored = io.model_from_dict(io.model_to_dict(model))
+        from repro.radio.geometry import Point
+
+        for d in (30, 90, 150, 190):
+            a, b = Point(0, 0), Point(d, d / 2)
+            assert restored.link_rate(a, b) == model.link_rate(a, b)
+
+    def test_unknown_model_type(self):
+        with pytest.raises(ModelError):
+            io.model_from_dict({"type": "alien", "table": {"steps": []}})
+
+
+class TestProblemRoundTrip:
+    def test_round_trip(self):
+        problem = paper_example_problem(3.0, budget=1.0)
+        restored = io.problem_from_dict(io.problem_to_dict(problem))
+        assert np.array_equal(restored.link_rates, problem.link_rates)
+        assert restored.user_sessions == problem.user_sessions
+        assert restored.budget_of(0) == 1.0
+
+    def test_infinite_budgets_encode_as_null(self):
+        problem = paper_example_problem(1.0)
+        document = io.problem_to_dict(problem)
+        assert document["budgets"] == [None, None]
+        assert io.problem_from_dict(document).budget_of(0) == math.inf
+
+    def test_document_is_plain_json(self):
+        document = io.problem_to_dict(paper_example_problem(1.0))
+        json.dumps(document)  # must not raise
+
+    def test_kind_validation(self):
+        problem_doc = io.problem_to_dict(paper_example_problem(1.0))
+        with pytest.raises(ModelError):
+            io.scenario_from_dict(problem_doc)
+        with pytest.raises(ModelError):
+            io.problem_from_dict({"format": "repro/0", "kind": "problem"})
+
+
+class TestScenarioRoundTrip:
+    def test_round_trip_reproduces_problem(self):
+        scenario = generate(n_aps=10, n_users=15, n_sessions=3, seed=4)
+        restored = io.scenario_from_dict(io.scenario_to_dict(scenario))
+        original = scenario.problem()
+        rebuilt = restored.problem()
+        assert np.array_equal(rebuilt.link_rates, original.link_rates)
+        assert rebuilt.user_sessions == original.user_sessions
+        assert restored.area.surface == pytest.approx(scenario.area.surface)
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip(self):
+        problem = paper_example_problem(1.0)
+        assignment = solve_mla(problem).assignment
+        restored = io.assignment_from_dict(
+            io.assignment_to_dict(assignment), problem
+        )
+        assert restored == assignment
+
+    def test_mismatched_problem_detected(self):
+        light = paper_example_problem(1.0)
+        heavy = paper_example_problem(3.0)
+        document = io.assignment_to_dict(solve_mla(light).assignment)
+        with pytest.raises(ModelError):
+            io.assignment_from_dict(document, heavy)
+
+
+class TestFileHelpers:
+    def test_save_and_load_problem(self, tmp_path):
+        problem = paper_example_problem(1.0, budget=0.9)
+        path = tmp_path / "problem.json"
+        io.save(problem, str(path))
+        restored = io.load(str(path))
+        assert np.array_equal(restored.link_rates, problem.link_rates)
+
+    def test_save_and_load_scenario(self, tmp_path):
+        scenario = generate(n_aps=5, n_users=8, seed=1)
+        path = tmp_path / "scenario.json"
+        io.save(scenario, str(path))
+        restored = io.load(str(path))
+        assert restored.n_aps == 5
+
+    def test_save_and_load_assignment(self, tmp_path):
+        problem = paper_example_problem(1.0)
+        assignment = solve_mla(problem).assignment
+        path = tmp_path / "assignment.json"
+        io.save(assignment, str(path))
+        with pytest.raises(ModelError):
+            io.load(str(path))  # problem required
+        restored = io.load(str(path), problem=problem)
+        assert restored == assignment
+
+    def test_dump_rejects_unknown(self):
+        with pytest.raises(ModelError):
+            io.dump(42, stdlib_io.StringIO())
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"format": "repro/1", "kind": "weird"}))
+        with pytest.raises(ModelError):
+            io.load(str(path))

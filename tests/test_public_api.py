@@ -1,0 +1,54 @@
+"""Public-API integrity: every exported name exists and is importable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.radio",
+    "repro.net",
+    "repro.scenarios",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert names == sorted(names), f"{package_name}.__all__ not sorted"
+    assert len(names) == len(set(names)), f"{package_name}.__all__ has dupes"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_functions_have_docstrings():
+    """Every public callable and class in the top-level API is documented."""
+    import repro
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_submodules_have_docstrings():
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        assert module.__doc__, f"{package_name} lacks a module docstring"

@@ -1,0 +1,12 @@
+"""The ``python -m repro`` self-check must pass on a healthy install."""
+
+from __future__ import annotations
+
+
+def test_selfcheck_passes(capsys):
+    from repro.__main__ import main
+
+    assert main() == 0
+    out = capsys.readouterr().out
+    assert "all checks passed" in out
+    assert "FAILED" not in out
