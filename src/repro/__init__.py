@@ -43,6 +43,7 @@ from repro.core.bounds import (
     mnu_lp_bound,
     quality_certificate,
 )
+from repro.engine import EngineSolution, ShardedEngine, plan_shards
 from repro.net import WlanConfig, WlanSimulation, simulate
 from repro.radio import (
     Area,
@@ -59,6 +60,7 @@ __all__ = [
     "Area",
     "Assignment",
     "CoverageError",
+    "EngineSolution",
     "InfeasibleAssignmentError",
     "ModelError",
     "MulticastAssociationProblem",
@@ -68,6 +70,7 @@ __all__ = [
     "ReproError",
     "Scenario",
     "Session",
+    "ShardedEngine",
     "SolverError",
     "ThresholdPropagation",
     "WlanConfig",
@@ -80,6 +83,7 @@ __all__ = [
     "io",
     "mla_lp_bound",
     "mnu_lp_bound",
+    "plan_shards",
     "quality_certificate",
     "run_distributed",
     "run_locked_simultaneous",

@@ -97,7 +97,7 @@ def _iterated_mnu(
     return picked, iterations
 
 
-def _assignment_from(
+def assignment_from_cover(
     problem: MulticastAssociationProblem, picked: Sequence[CandidateSet]
 ) -> Assignment:
     """First-cover-wins mapping: each user joins the AP of the earliest
@@ -150,7 +150,7 @@ def solve_bla(
     # feasible (if poor) value of the objective.
     unconstrained = _iterated_mnu(candidates, problem.n_aps, math.inf, ground, cap)
     assert unconstrained is not None  # guaranteed: no isolated users
-    best_assignment = _assignment_from(problem, unconstrained[0])
+    best_assignment = assignment_from_cover(problem, unconstrained[0])
     best_iterations = unconstrained[1]
     best_b_star = math.inf
     best_value = best_assignment.max_load()
@@ -164,7 +164,7 @@ def solve_bla(
         outcome = _iterated_mnu(candidates, problem.n_aps, b_star, ground, cap)
         if outcome is None:
             return False
-        assignment = _assignment_from(problem, outcome[0])
+        assignment = assignment_from_cover(problem, outcome[0])
         value = assignment.max_load()
         if value < best_value - 1e-15:
             best_assignment = assignment
@@ -198,7 +198,7 @@ def solve_bla(
                 low = mid
 
     if local_search:
-        best_assignment = _rebalance(best_assignment)
+        best_assignment = rebalance_cover(best_assignment)
 
     best_assignment.validate(check_budgets=False)
     return BlaSolution(
@@ -208,7 +208,7 @@ def solve_bla(
     )
 
 
-def _rebalance(assignment: Assignment) -> Assignment:
+def rebalance_cover(assignment: Assignment) -> Assignment:
     """Sequential BLA best-response dynamics from a full cover.
 
     Converges (Lemma 2's argument) and never unserves a user, so the

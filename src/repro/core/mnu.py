@@ -15,6 +15,7 @@ increase the number of served users and never violates budgets. The
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.candidates import build_candidates
@@ -34,16 +35,23 @@ class MnuSolution:
         return self.assignment.n_served
 
 
-def _augment(assignment: Assignment) -> Assignment:
+def augment_assignment(
+    assignment: Assignment, eligible: Iterable[int] | None = None
+) -> Assignment:
     """Greedily serve unserved users where the derived loads still allow it.
 
     Users are tried in increasing order of their cheapest insertion cost so
-    that cheap users (which consume the least budget) go first.
+    that cheap users (which consume the least budget) go first. ``eligible``
+    restricts the pass to a subset of users (the sharded engine passes the
+    currently active set); ``None`` considers every unserved user.
     """
     problem = assignment.problem
     current = assignment
+    allowed = None if eligible is None else set(eligible)
     insertions: list[tuple[float, int, int]] = []
     for user in current.unserved_users():
+        if allowed is not None and user not in allowed:
+            continue
         for ap in problem.aps_of_user(user):
             candidate = current.replace(user, ap)
             delta = candidate.load_of(ap) - current.load_of(ap)
@@ -94,7 +102,7 @@ def solve_mnu(
         ((c.ap, c.session, c.tx_rate, c.users) for c in result.chosen),
     )
     if augment:
-        assignment = _augment(assignment)
+        assignment = augment_assignment(assignment)
     if split:
         assignment.validate(check_budgets=True)
     return MnuSolution(assignment=assignment, mcg=result)

@@ -92,8 +92,26 @@ class OnlineController:
         self.rng = rng or random.Random(0)
         self.state = AssociationState(problem)
         self.active: set[int] = set()
+        self._changed_aps: set[int] = set()
+
+    @property
+    def last_changed_aps(self) -> frozenset[int]:
+        """APs whose load changed while processing the last event.
+
+        Every (dis)association performed by the event itself or by its
+        repair pass contributes the user's old and new AP. Incremental
+        consumers (e.g. the sharded engine's dirty-shard invalidation)
+        subscribe to this to re-solve only the regions an event touched.
+        """
+        return frozenset(self._changed_aps)
 
     # -- event handling --------------------------------------------------
+
+    def _record_move(self, old_ap: int | None, new_ap: int | None) -> None:
+        if old_ap is not None:
+            self._changed_aps.add(old_ap)
+        if new_ap is not None:
+            self._changed_aps.add(new_ap)
 
     def _decide_and_move(self, user: int) -> bool:
         """Run the user's local rule; True if its association changed."""
@@ -101,6 +119,7 @@ class OnlineController:
             self.state, user, self.policy, enforce_budgets=self.enforce_budgets
         )
         if decision.target != self.state.ap_of_user[user]:
+            self._record_move(self.state.ap_of_user[user], decision.target)
             self.state.move(user, decision.target)
             return True
         return False
@@ -139,6 +158,7 @@ class OnlineController:
         user = event.user
         if not 0 <= user < self.problem.n_users:
             raise ModelError(f"unknown user {user}")
+        self._changed_aps = set()
         handoffs = 0
         if event.kind == "join":
             if user in self.active:
@@ -151,6 +171,7 @@ class OnlineController:
                 raise ModelError(f"user {user} is not active")
             self.active.discard(user)
             if self.state.ap_of_user[user] is not None:
+                self._record_move(self.state.ap_of_user[user], None)
                 self.state.move(user, None)
         else:  # pragma: no cover - guarded by the dataclass literal
             raise ModelError(f"unknown event kind {event.kind!r}")

@@ -1,0 +1,137 @@
+"""Incremental re-solve: shard fingerprints and the dirty-shard cache.
+
+Under churn, most events touch one coverage region; re-solving every shard
+from scratch wastes the decomposition the engine worked for. This module
+makes re-solves proportional to the *blast radius* of a change:
+
+* :func:`shard_fingerprint` hashes everything a shard's sub-problem depends
+  on — its AP set, its active users, the rate sub-matrix, the budgets, the
+  users' sessions and the session catalog. Content addressing makes
+  invalidation automatic: any membership or parameter change lands a
+  different fingerprint and the stale entry simply misses.
+* :class:`ShardCache` stores per-shard solver outputs keyed by
+  ``(objective, shard index)`` and guarded by the fingerprint, with
+  hit/miss/invalidation counters (:class:`CacheStats`) so callers — and the
+  acceptance tests — can assert that an event re-solved only the shards it
+  touched. Explicit eviction (:meth:`ShardCache.invalidate_shards`) covers
+  out-of-band signals such as
+  :attr:`repro.core.online.OnlineController.last_changed_aps`.
+
+Cache entries are whatever the engine chose to store — raw H1/H2 set picks
+for MNU, cover picks for MLA, per-shard assignments for federated BLA. The
+cache never interprets them; it only guarantees they were produced from a
+sub-problem identical to the current one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.problem import MulticastAssociationProblem
+from repro.engine.shard import Shard
+
+
+def shard_fingerprint(
+    problem: MulticastAssociationProblem,
+    shard: Shard,
+    active_users: Sequence[int],
+) -> str:
+    """Content hash of the sub-problem ``shard`` induces over ``active_users``.
+
+    Two equal fingerprints guarantee byte-identical sub-problems, hence —
+    the solvers being deterministic — identical per-shard solutions.
+    """
+    digest = sha256()
+    aps = list(shard.aps)
+    users = list(active_users)
+    digest.update(np.asarray(aps, dtype=np.int64).tobytes())
+    digest.update(np.asarray(users, dtype=np.int64).tobytes())
+    rates = problem.link_rates[np.ix_(aps, users)] if users else np.empty(0)
+    digest.update(np.ascontiguousarray(rates, dtype=np.float64).tobytes())
+    digest.update(
+        np.ascontiguousarray(problem.budgets[aps], dtype=np.float64).tobytes()
+    )
+    digest.update(
+        np.asarray(
+            [problem.session_of(u) for u in users], dtype=np.int64
+        ).tobytes()
+    )
+    for session in problem.sessions:
+        digest.update(
+            f"{session.session_id}:{session.rate_mbps!r};".encode("ascii")
+        )
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache lifetime (or since the last ``reset``)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when none made)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ShardCache:
+    """Fingerprint-guarded store of per-shard solver outputs."""
+
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: dict[tuple[str, int], tuple[str, Any]] = field(
+        default_factory=dict
+    )
+
+    def get(self, objective: str, shard_index: int, fingerprint: str) -> Any:
+        """The cached entry, or ``None`` on a miss (stale or absent).
+
+        A stale entry (fingerprint mismatch) is evicted on the spot.
+        """
+        key = (objective, shard_index)
+        stored = self._entries.get(key)
+        if stored is not None and stored[0] == fingerprint:
+            self.stats.hits += 1
+            return stored[1]
+        if stored is not None:
+            del self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(
+        self, objective: str, shard_index: int, fingerprint: str, entry: Any
+    ) -> None:
+        """Store ``entry`` for the shard under its fingerprint."""
+        self._entries[(objective, shard_index)] = (fingerprint, entry)
+
+    def invalidate_shards(self, shard_indices: Iterable[int]) -> int:
+        """Drop every objective's entry for the given shards; count drops."""
+        doomed = set(shard_indices)
+        victims = [key for key in self._entries if key[1] in doomed]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries evicted."""
+        n = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += n
+        return n
+
+    def __len__(self) -> int:
+        return len(self._entries)

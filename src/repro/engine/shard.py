@@ -1,0 +1,147 @@
+"""Shard slicing — per-shard sub-problems with stable index remapping.
+
+A :class:`Shard` freezes one entry of a :class:`~repro.engine.partition.
+ShardPlan` and can slice the parent problem into a self-contained
+:class:`~repro.core.problem.MulticastAssociationProblem` over the shard's
+APs and (a subset of) its users. Index maps run both ways:
+
+* global -> local: ``shard.local_user(u)`` / ``shard.local_ap(a)``;
+* local -> global: positional — local index ``i`` is ``aps[i]`` /
+  the ``i``-th kept user.
+
+Both slicings sort indices ascending, so the sub-problem's candidate-set
+enumeration order, tie-breaks and floating-point costs coincide exactly
+with the monolithic solver's restriction to the shard — the invariant the
+engine's equivalence guarantee rests on. The full session catalog is kept
+(unused sessions simply produce no candidate sets), so session ids and
+stream rates need no remapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.errors import ModelError
+from repro.core.problem import MulticastAssociationProblem
+from repro.engine.partition import Component, ShardPlan
+
+
+@dataclass(frozen=True)
+class ShardProblem:
+    """A sliced sub-instance plus its local -> global maps."""
+
+    problem: MulticastAssociationProblem
+    users: tuple[int, ...]  # local user i  ->  global user users[i]
+    aps: tuple[int, ...]  # local AP j    ->  global AP aps[j]
+
+    def global_user(self, local: int) -> int:
+        return self.users[local]
+
+    def global_ap(self, local: int) -> int:
+        return self.aps[local]
+
+    def map_assignment(self, local_map: Sequence[int | None]) -> list[tuple[int, int]]:
+        """Translate a local ``ap_of_user`` into global (user, ap) pairs."""
+        if len(local_map) != len(self.users):
+            raise ModelError(
+                f"shard has {len(self.users)} users, map covers {len(local_map)}"
+            )
+        return [
+            (self.users[u], self.aps[a])
+            for u, a in enumerate(local_map)
+            if a is not None
+        ]
+
+
+class Shard:
+    """One shard of the partition, bound to its parent problem."""
+
+    def __init__(
+        self,
+        index: int,
+        problem: MulticastAssociationProblem,
+        component: Component,
+    ) -> None:
+        self.index = index
+        self.problem = problem
+        self.aps = component.aps
+        self.users = component.users
+        self.user_set = frozenset(component.users)
+        self.ap_set = frozenset(component.aps)
+        self._ap_local = {ap: j for j, ap in enumerate(component.aps)}
+        self._user_local = {u: i for i, u in enumerate(component.users)}
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_aps(self) -> int:
+        return len(self.aps)
+
+    def local_user(self, global_user: int) -> int:
+        return self._user_local[global_user]
+
+    def local_ap(self, global_ap: int) -> int:
+        return self._ap_local[global_ap]
+
+    def active_users(self, active: Iterable[int] | None) -> tuple[int, ...]:
+        """The shard's users intersected with ``active``, ascending."""
+        if active is None:
+            return self.users
+        return tuple(sorted(self.user_set.intersection(active)))
+
+    def slice(self, active: Iterable[int] | None = None) -> ShardProblem:
+        """The sub-problem over this shard's APs and active users.
+
+        Keeps every session (ids stay stable), slices the rate matrix with
+        sorted index vectors (orders stay stable), and carries the per-AP
+        budgets over verbatim.
+        """
+        users = self.active_users(active)
+        rates = self.problem.link_rates[np.ix_(self.aps, users)]
+        sub = MulticastAssociationProblem(
+            rates,
+            [self.problem.session_of(u) for u in users],
+            self.problem.sessions,
+            self.problem.budgets[list(self.aps)],
+        )
+        return ShardProblem(problem=sub, users=users, aps=self.aps)
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard(index={self.index}, aps={self.n_aps}, users={self.n_users})"
+        )
+
+
+def build_shards(
+    problem: MulticastAssociationProblem, plan: ShardPlan
+) -> list[Shard]:
+    """Materialize every shard of ``plan`` against ``problem``."""
+    return [
+        Shard(index, problem, component)
+        for index, component in enumerate(plan.shards)
+    ]
+
+
+def stitch_assignment(
+    problem: MulticastAssociationProblem,
+    pairs: Iterable[tuple[int, int]],
+) -> Assignment:
+    """Global assignment from per-shard (user, AP) pairs.
+
+    Users appearing in no pair stay unserved. Shards are user-disjoint, so
+    a duplicate user indicates a bug in the caller's shard bookkeeping.
+    """
+    ap_of_user: list[int | None] = [None] * problem.n_users
+    for user, ap in pairs:
+        if ap_of_user[user] is not None and ap_of_user[user] != ap:
+            raise ModelError(
+                f"user {user} assigned by two shards ({ap_of_user[user]}, {ap})"
+            )
+        ap_of_user[user] = ap
+    return Assignment(problem, ap_of_user)

@@ -30,6 +30,7 @@ from repro.core.optimal import (
 )
 from repro.core.problem import MulticastAssociationProblem
 from repro.core.ssa import solve_ssa
+from repro.engine import ShardedEngine
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,24 @@ def _least_load(problem, rng):
     return solve_least_load(problem, rng=rng).assignment
 
 
+def _engine(problem, objective):
+    # One-shot solves: the fingerprint cache only pays off across calls.
+    with ShardedEngine(problem, cache=False) as engine:
+        return engine.solve(objective).assignment
+
+
+def _e_mla(problem, rng):
+    return _engine(problem, "mla")
+
+
+def _e_bla(problem, rng):
+    return _engine(problem, "bla")
+
+
+def _e_mnu(problem, rng):
+    return _engine(problem, "mnu")
+
+
 def _opt_mla(problem, rng):
     return solve_mla_optimal(problem).assignment
 
@@ -139,6 +158,9 @@ ALGORITHMS: dict[str, Solver] = {
     "d-mla": _d_mla,
     "d-bla": _d_bla,
     "d-mnu": _d_mnu,
+    "e-mla": _e_mla,
+    "e-bla": _e_bla,
+    "e-mnu": _e_mnu,
     "opt-mla": _opt_mla,
     "opt-bla": _opt_bla,
     "opt-mnu": _opt_mnu,

@@ -63,6 +63,17 @@ class ParameterStudy:
     metric: str = "total_load"
     fixed: Mapping[str, object] = field(default_factory=dict)
     scenario_factory: Callable = generate
+    #: Route the centralized solvers through the sharded engine
+    #: (``c-mnu`` -> ``e-mnu`` etc.). Objective values are identical by the
+    #: engine's exactness contract; large multi-cluster sweeps just run
+    #: faster. Cells stay keyed by the requested algorithm name.
+    sharded: bool = False
+
+    _SHARDED_EQUIVALENT = {
+        "c-mla": "e-mla",
+        "c-bla": "e-bla",
+        "c-mnu": "e-mnu",
+    }
 
     def __post_init__(self) -> None:
         if not self.factors:
@@ -103,8 +114,13 @@ class ParameterStudy:
             ]
             stats = {}
             for algorithm in self.algorithms:
+                runner = (
+                    self._SHARDED_EQUIVALENT.get(algorithm, algorithm)
+                    if self.sharded
+                    else algorithm
+                )
                 values = [
-                    extract(run_algorithm(algorithm, problem, seed=base_seed + i))
+                    extract(run_algorithm(runner, problem, seed=base_seed + i))
                     for i, problem in enumerate(problems)
                 ]
                 stats[algorithm] = SeriesStats.of(values)

@@ -1,5 +1,9 @@
 """Workload and deployment generation for the paper's experiments."""
 
+from repro.scenarios.federation import (
+    cluster_centers,
+    generate_federation,
+)
 from repro.scenarios.generator import (
     PAPER_AREA,
     PAPER_BUDGET,
@@ -52,6 +56,7 @@ __all__ = [
     "Scenario",
     "SweepPoint",
     "assign_sessions",
+    "cluster_centers",
     "clustered_users",
     "fig11_budget_scenarios",
     "fig12_users_sweep",
@@ -60,6 +65,7 @@ __all__ = [
     "fig9c_sessions_sweep",
     "generate",
     "generate_batch",
+    "generate_federation",
     "generate_hotspot",
     "grid_aps",
     "mixed_catalog",

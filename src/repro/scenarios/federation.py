@@ -1,0 +1,110 @@
+"""Federated (multi-cluster) deployments — the sharded engine's home turf.
+
+Real large-scale WLANs are rarely one contiguous radio domain: a campus is
+buildings, a city is hotspots, an operator is venues. This module generates
+such deployments as well-separated clusters of APs and users. Cluster
+centers sit on a grid whose spacing exceeds every possible AP–user link
+distance, so each cluster is — by construction — (at least) one connected
+component of the coverage graph. That gives the engine's partitioner a
+guaranteed multi-shard instance and the equivalence tests a scenario family
+where ``n_components >= n_clusters`` provably holds.
+
+Users are placed within radio range of an AP of their own cluster, so the
+generated instances are fully coverable (BLA/MLA-ready) without rejection
+sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.radio.geometry import Area, Point
+from repro.radio.propagation import PropagationModel, ThresholdPropagation
+from repro.scenarios.generator import PAPER_BUDGET, Scenario
+from repro.scenarios.sessions import assign_sessions, uniform_catalog
+
+
+def cluster_centers(
+    n_clusters: int, spacing: float
+) -> list[Point]:
+    """Cluster centers on a near-square grid with the given spacing."""
+    if n_clusters <= 0:
+        raise ValueError("need at least one cluster")
+    cols = int(math.ceil(math.sqrt(n_clusters)))
+    return [
+        Point(spacing * (i % cols), spacing * (i // cols))
+        for i in range(n_clusters)
+    ]
+
+
+def generate_federation(
+    *,
+    n_clusters: int,
+    aps_per_cluster: int,
+    users_per_cluster: int,
+    n_sessions: int = 5,
+    seed: int = 0,
+    cluster_radius: float = 150.0,
+    model: PropagationModel | None = None,
+    stream_rate_mbps: float = 1.0,
+    budget: float = PAPER_BUDGET,
+) -> Scenario:
+    """A deployment of ``n_clusters`` mutually-unreachable WLAN clusters.
+
+    Each cluster scatters ``aps_per_cluster`` APs within
+    ``cluster_radius`` of its center and drops ``users_per_cluster`` users
+    within radio range of one of those APs (coverage guaranteed, no
+    resampling loop). Grid spacing is chosen as
+    ``2 * (cluster_radius + max_range)`` plus a margin, which makes
+    cross-cluster links geometrically impossible — the coverage graph has
+    at least ``n_clusters`` connected components.
+    """
+    if aps_per_cluster <= 0 or users_per_cluster < 0:
+        raise ValueError("need APs in every cluster and >= 0 users")
+    if cluster_radius <= 0:
+        raise ValueError("cluster_radius must be positive")
+    rng = random.Random(seed)
+    model = model if model is not None else ThresholdPropagation()
+    reach = model.max_range
+    spacing = 2.0 * (cluster_radius + reach) + 1.0
+    centers = cluster_centers(n_clusters, spacing)
+
+    def _near(center: Point, radius: float) -> Point:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        distance = radius * math.sqrt(rng.random())
+        return Point(
+            center.x + distance * math.cos(angle),
+            center.y + distance * math.sin(angle),
+        )
+
+    ap_positions: list[Point] = []
+    user_positions: list[Point] = []
+    for center in centers:
+        cluster_aps = [_near(center, cluster_radius) for _ in range(aps_per_cluster)]
+        ap_positions.extend(cluster_aps)
+        for _ in range(users_per_cluster):
+            anchor = rng.choice(cluster_aps)
+            # Strictly inside the range disc so the link always exists.
+            user_positions.append(_near(anchor, reach * 0.95))
+
+    n_users = n_clusters * users_per_cluster
+    sessions = uniform_catalog(n_sessions, stream_rate_mbps)
+    requests = assign_sessions(n_users, n_sessions, rng)
+    half = spacing * max(1, int(math.ceil(math.sqrt(n_clusters))))
+    area = Area(
+        -cluster_radius - reach,
+        -cluster_radius - reach,
+        half + cluster_radius + reach,
+        half + cluster_radius + reach,
+    )
+    return Scenario(
+        ap_positions=tuple(ap_positions),
+        user_positions=tuple(user_positions),
+        model=model,
+        sessions=tuple(sessions),
+        user_sessions=tuple(requests),
+        budget=budget,
+        seed=seed,
+        area=area,
+    )

@@ -1,0 +1,73 @@
+"""Shared instance builders for the engine tests.
+
+``block_problem`` composes block-diagonal rate matrices — each block is one
+coverage component by construction — which is the deterministic way to get
+multi-shard instances without geometry. The federation fixtures go through
+the real generator (:func:`repro.scenarios.generate_federation`) instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import MulticastAssociationProblem, Session
+from repro.scenarios.federation import generate_federation
+
+RATE_CHOICES = (6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+
+
+def block_problem(
+    seed: int,
+    *,
+    n_blocks: int = 5,
+    aps_per: int = 3,
+    users_per: int = 8,
+    n_sessions: int = 2,
+    density: float = 0.7,
+    budget: float = 0.9,
+) -> MulticastAssociationProblem:
+    """A block-diagonal instance with exactly ``n_blocks`` coverage blocks.
+
+    Every user is guaranteed at least one in-range AP *within its block*,
+    so the instance is fully coverable and has at least ``n_blocks``
+    components (a sparse block can split into more — fine for the tests,
+    which compare against the monolithic solvers either way).
+    """
+    rng = np.random.default_rng(seed)
+    n_aps = n_blocks * aps_per
+    n_users = n_blocks * users_per
+    rates = np.zeros((n_aps, n_users))
+    for block in range(n_blocks):
+        for a in range(aps_per):
+            for u in range(users_per):
+                if rng.random() < density:
+                    rates[block * aps_per + a, block * users_per + u] = (
+                        rng.choice(RATE_CHOICES)
+                    )
+    for block in range(n_blocks):
+        for u in range(users_per):
+            column = block * users_per + u
+            rows = slice(block * aps_per, (block + 1) * aps_per)
+            if not rates[rows, column].any():
+                ap = block * aps_per + int(rng.integers(aps_per))
+                rates[ap, column] = 12.0
+    sessions = [
+        Session(s, float(rng.choice([0.5, 1.0, 2.0]))) for s in range(n_sessions)
+    ]
+    user_sessions = [int(rng.integers(n_sessions)) for _ in range(n_users)]
+    return MulticastAssociationProblem(
+        rates, user_sessions, sessions, np.full(n_aps, budget)
+    )
+
+
+@pytest.fixture
+def federation_problem() -> MulticastAssociationProblem:
+    """A 6-cluster federated deployment (>= 6 coverage components)."""
+    return generate_federation(
+        n_clusters=6,
+        aps_per_cluster=3,
+        users_per_cluster=10,
+        n_sessions=3,
+        seed=42,
+    ).problem()

@@ -1,0 +1,45 @@
+"""Parallel (process-pool) shard execution must equal the serial path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ShardedEngine
+from tests.engine.conftest import block_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return block_problem(21, n_blocks=4, aps_per=3, users_per=8)
+
+
+@pytest.fixture(scope="module")
+def parallel_engine(problem):
+    # One pool for the whole module: process startup dominates otherwise.
+    with ShardedEngine(problem, parallel=True, max_workers=2) as engine:
+        yield engine
+
+
+@pytest.mark.parametrize("objective", ["mnu", "bla", "mla"])
+def test_parallel_equals_serial(problem, parallel_engine, objective):
+    with ShardedEngine(problem) as serial:
+        reference = serial.solve(objective)
+    solution = parallel_engine.solve(objective)
+    assert solution.assignment.ap_of_user == reference.assignment.ap_of_user
+
+
+def test_parallel_federated_bla_equals_serial(problem, parallel_engine):
+    with ShardedEngine(problem, bla_mode="federated") as serial:
+        reference = serial.solve("bla")
+    with ShardedEngine(
+        problem, bla_mode="federated", parallel=True, max_workers=2
+    ) as parallel:
+        solution = parallel.solve("bla")
+    assert solution.assignment.ap_of_user == reference.assignment.ap_of_user
+    assert solution.b_star == reference.b_star
+
+
+def test_backend_flag_reported(problem, parallel_engine):
+    assert parallel_engine.parallel is True
+    with ShardedEngine(problem) as serial:
+        assert serial.parallel is False

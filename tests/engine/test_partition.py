@@ -1,0 +1,149 @@
+"""Tests for coverage-graph partitioning (union-find, components, packing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import MulticastAssociationProblem, Session
+from repro.engine.partition import (
+    Component,
+    UnionFind,
+    coverage_components,
+    plan_shards,
+)
+from tests.engine.conftest import block_problem
+
+
+def _problem(rates):
+    rates = np.asarray(rates, dtype=float)
+    n_users = rates.shape[1]
+    return MulticastAssociationProblem(
+        rates, [0] * n_users, [Session(0, 1.0)], np.full(rates.shape[0], 0.9)
+    )
+
+
+class TestUnionFind:
+    def test_singletons_are_distinct(self):
+        finder = UnionFind(4)
+        assert len({finder.find(i) for i in range(4)}) == 4
+
+    def test_union_merges_and_reports(self):
+        finder = UnionFind(4)
+        assert finder.union(0, 1) is True
+        assert finder.union(0, 1) is False
+        assert finder.find(0) == finder.find(1)
+        assert finder.find(2) != finder.find(0)
+
+    def test_transitive_merge(self):
+        finder = UnionFind(6)
+        finder.union(0, 1)
+        finder.union(1, 2)
+        finder.union(4, 5)
+        assert finder.find(0) == finder.find(2)
+        assert finder.find(4) == finder.find(5)
+        assert finder.find(3) not in {finder.find(0), finder.find(4)}
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+class TestCoverageComponents:
+    def test_two_blocks_split(self):
+        problem = _problem(
+            [
+                [6.0, 12.0, 0.0, 0.0],
+                [0.0, 6.0, 0.0, 0.0],
+                [0.0, 0.0, 24.0, 6.0],
+            ]
+        )
+        components, isolated, idle = coverage_components(problem)
+        assert components == [
+            Component(aps=(0, 1), users=(0, 1)),
+            Component(aps=(2,), users=(2, 3)),
+        ]
+        assert isolated == []
+        assert idle == []
+
+    def test_isolated_user_and_idle_ap_reported(self):
+        problem = _problem(
+            [
+                [6.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],  # idle AP: hears nobody
+            ]
+        )
+        components, isolated, idle = coverage_components(problem)
+        assert components == [Component(aps=(0,), users=(0,))]
+        assert isolated == [1, 2]
+        assert idle == [1]
+
+    def test_bridging_user_joins_blocks(self):
+        # User 1 hears both APs, welding them into one component.
+        problem = _problem(
+            [
+                [6.0, 12.0, 0.0],
+                [0.0, 6.0, 24.0],
+            ]
+        )
+        components, _, _ = coverage_components(problem)
+        assert components == [Component(aps=(0, 1), users=(0, 1, 2))]
+
+    def test_components_ordered_by_first_ap(self):
+        problem = block_problem(3, n_blocks=4)
+        components, _, _ = coverage_components(problem)
+        firsts = [c.aps[0] for c in components]
+        assert firsts == sorted(firsts)
+        for component in components:
+            assert list(component.aps) == sorted(component.aps)
+            assert list(component.users) == sorted(component.users)
+
+
+class TestPlanShards:
+    def test_block_problem_has_block_components(self):
+        problem = block_problem(0, n_blocks=5, users_per=6)
+        plan = plan_shards(problem)
+        assert plan.n_components >= 5
+        assert plan.n_shards == plan.n_components
+        # Every non-isolated user appears in exactly one shard.
+        seen = [u for shard in plan.shards for u in shard.users]
+        assert sorted(seen + list(plan.isolated_users)) == list(
+            range(problem.n_users)
+        )
+
+    def test_merging_respects_cap_and_keeps_everyone(self):
+        problem = block_problem(1, n_blocks=6, users_per=4)
+        unmerged = plan_shards(problem)
+        merged = plan_shards(problem, max_shard_users=8)
+        assert merged.n_shards < unmerged.n_shards
+        assert merged.n_components == unmerged.n_components
+        biggest = max(c.n_users for c in unmerged.shards)
+        for shard in merged.shards:
+            assert shard.n_users <= max(8, biggest)
+        merged_users = sorted(
+            u for shard in merged.shards for u in shard.users
+        )
+        unmerged_users = sorted(
+            u for shard in unmerged.shards for u in shard.users
+        )
+        assert merged_users == unmerged_users
+
+    def test_oversized_component_stays_alone(self):
+        problem = block_problem(2, n_blocks=3, users_per=10)
+        plan = plan_shards(problem, max_shard_users=1)
+        # Nothing fits the cap, so every component stays its own shard.
+        assert plan.n_shards == plan.n_components
+
+    def test_lookup_maps(self):
+        problem = block_problem(4, n_blocks=3)
+        plan = plan_shards(problem)
+        user_map = plan.shard_of_user()
+        ap_map = plan.shard_of_ap()
+        for index, shard in enumerate(plan.shards):
+            assert all(user_map[u] == index for u in shard.users)
+            assert all(ap_map[a] == index for a in shard.aps)
+
+    def test_bad_cap_rejected(self):
+        problem = block_problem(5, n_blocks=2)
+        with pytest.raises(ValueError):
+            plan_shards(problem, max_shard_users=0)

@@ -20,6 +20,9 @@ EXPECTED_ALGORITHMS = {
     "d-mla",
     "d-bla",
     "d-mnu",
+    "e-mla",
+    "e-bla",
+    "e-mnu",
     "opt-mla",
     "opt-bla",
     "opt-mnu",

@@ -76,6 +76,16 @@ class TestRun:
         tiny_study().run(n_scenarios=1, progress=seen.append)
         assert len(seen) == 2
 
+    def test_sharded_flag_preserves_values_and_labels(self):
+        """Routing through the engine changes nothing but the runner."""
+        plain = tiny_study().run(n_scenarios=2)
+        sharded = tiny_study(sharded=True).run(n_scenarios=2)
+        for cell, sharded_cell in zip(plain.cells, sharded.cells):
+            assert set(sharded_cell.stats) == set(cell.stats)  # same labels
+            assert sharded_cell.stats["c-mla"].mean == pytest.approx(
+                cell.stats["c-mla"].mean
+            )
+
 
 class TestRendering:
     def test_render_contains_all_cells(self):

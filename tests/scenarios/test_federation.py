@@ -1,0 +1,49 @@
+"""Tests for the federated multi-cluster deployment generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import plan_shards
+from repro.scenarios.federation import cluster_centers, generate_federation
+
+
+def test_clusters_become_coverage_components():
+    scenario = generate_federation(
+        n_clusters=5, aps_per_cluster=3, users_per_cluster=8, seed=3
+    )
+    problem = scenario.problem()
+    assert problem.n_aps == 15
+    assert problem.n_users == 40
+    plan = plan_shards(problem)
+    assert plan.n_components >= 5
+    assert plan.isolated_users == ()  # users are anchored to an AP
+
+
+def test_deterministic_in_seed():
+    a = generate_federation(n_clusters=3, aps_per_cluster=2, users_per_cluster=4, seed=9)
+    b = generate_federation(n_clusters=3, aps_per_cluster=2, users_per_cluster=4, seed=9)
+    assert a.ap_positions == b.ap_positions
+    assert a.user_positions == b.user_positions
+    assert a.user_sessions == b.user_sessions
+
+
+def test_cluster_centers_spacing():
+    centers = cluster_centers(4, spacing=100.0)
+    assert len(centers) == 4
+    distinct = {(c.x, c.y) for c in centers}
+    assert len(distinct) == 4
+    for i, a in enumerate(centers):
+        for b in centers[i + 1 :]:
+            assert a.distance_to(b) >= 100.0 - 1e-9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        generate_federation(n_clusters=0, aps_per_cluster=1, users_per_cluster=1)
+    with pytest.raises(ValueError):
+        generate_federation(n_clusters=1, aps_per_cluster=0, users_per_cluster=1)
+    with pytest.raises(ValueError):
+        generate_federation(
+            n_clusters=1, aps_per_cluster=1, users_per_cluster=1, cluster_radius=0.0
+        )

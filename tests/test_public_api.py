@@ -9,6 +9,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.engine",
     "repro.radio",
     "repro.net",
     "repro.scenarios",
