@@ -53,12 +53,19 @@ from repro.radio import (
     dot11a_table,
 )
 from repro.scenarios import Scenario, generate, generate_batch
+from repro.verify import (
+    Certificate,
+    run_all_oracles,
+    run_fuzz,
+    verify_assignment,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Area",
     "Assignment",
+    "Certificate",
     "CoverageError",
     "EngineSolution",
     "InfeasibleAssignmentError",
@@ -85,7 +92,9 @@ __all__ = [
     "mnu_lp_bound",
     "plan_shards",
     "quality_certificate",
+    "run_all_oracles",
     "run_distributed",
+    "run_fuzz",
     "run_locked_simultaneous",
     "simulate",
     "solve_bla",
@@ -95,4 +104,5 @@ __all__ = [
     "solve_mnu",
     "solve_mnu_optimal",
     "solve_ssa",
+    "verify_assignment",
 ]

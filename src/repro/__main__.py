@@ -12,6 +12,12 @@ a generated federated deployment: partitions the coverage graph, solves
 the chosen objectives per shard (optionally on a process pool), and —
 with ``--compare`` — checks the stitched objective values against the
 monolithic solvers.
+
+``python -m repro verify`` runs the correctness gate: every solver's
+output through the certificate checker plus the three differential
+oracles, on generated scenarios and federations. ``python -m repro fuzz
+--budget N`` drives the seeded property-based fuzzer; failures are
+shrunk and archived as replayable JSON repros (``--corpus``).
 """
 
 from __future__ import annotations
@@ -192,6 +198,70 @@ def run_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_verify(args: argparse.Namespace) -> int:
+    """The correctness gate: certificates + oracles on generated instances."""
+    from repro.radio.geometry import Area
+    from repro.scenarios.federation import generate_federation
+    from repro.scenarios.generator import generate
+    from repro.verify import run_all_oracles
+    from repro.verify.fuzz import check_scenario
+
+    failures = 0
+    print(f"verify: {args.cases} scenarios + {args.federations} federations")
+    for case in range(args.cases):
+        scenario = generate(
+            n_aps=5,
+            n_users=14,
+            n_sessions=2,
+            seed=args.seed + case,
+            area=Area.square(420),
+            budget=0.9,
+        )
+        found = check_scenario(scenario, seed=args.seed + case)
+        status = "ok" if not found else "FAILED"
+        print(f"  [{status:^6}] scenario seed={args.seed + case}")
+        for failure in found:
+            print(f"           {failure.format()}")
+        failures += len(found)
+    for case in range(args.federations):
+        scenario = generate_federation(
+            n_clusters=3,
+            aps_per_cluster=2,
+            users_per_cluster=6,
+            n_sessions=2,
+            seed=args.seed + case,
+        )
+        reports = run_all_oracles(scenario.problem(), seed=args.seed + case)
+        bad = [r for r in reports if not r.ok]
+        status = "ok" if not bad else "FAILED"
+        print(f"  [{status:^6}] federation seed={args.seed + case}")
+        for report in bad:
+            for discrepancy in report.discrepancies:
+                print(f"           {discrepancy}")
+        failures += len(bad)
+    if failures:
+        print(f"verification failed: {failures} finding(s)")
+        return 1
+    print("all verifications passed")
+    return 0
+
+
+def run_fuzz_cli(args: argparse.Namespace) -> int:
+    """Drive the property-based fuzzer from the command line."""
+    from repro.verify.fuzz import run_fuzz
+
+    report = run_fuzz(
+        args.budget,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        exact_max_users=args.exact_max_users,
+        oracles=not args.no_oracles,
+        progress=print if args.verbose else None,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -232,6 +302,37 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the monolithic solvers and check value parity",
     )
+    verify = sub.add_parser(
+        "verify",
+        help="run the certificate checker and differential oracles",
+    )
+    verify.add_argument("--cases", type=int, default=3)
+    verify.add_argument("--federations", type=int, default=3)
+    verify.add_argument("--seed", type=int, default=0)
+    fuzz = sub.add_parser(
+        "fuzz", help="property-based fuzzing of every solver"
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=25, help="number of fuzz cases"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        help="directory to write shrunk JSON repros into on failure",
+    )
+    fuzz.add_argument(
+        "--exact-max-users",
+        type=int,
+        default=8,
+        help="run exact-ILP factor checks on instances up to this size",
+    )
+    fuzz.add_argument(
+        "--no-oracles",
+        action="store_true",
+        help="certificates only (skip the differential oracles)",
+    )
+    fuzz.add_argument("--verbose", action="store_true")
     return parser
 
 
@@ -240,6 +341,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args([] if argv is None else list(argv))
     if args.command == "engine":
         return run_engine(args)
+    if args.command == "verify":
+        return run_verify(args)
+    if args.command == "fuzz":
+        return run_fuzz_cli(args)
     return run_selfcheck()
 
 

@@ -1,0 +1,58 @@
+"""Solution certificates, differential oracles, and the fuzz harness.
+
+The standing correctness gate of the repository: everything a solver,
+shard stitcher, or online repair pass produces can be pushed through
+
+* :func:`verify_assignment` — a structural + bound certificate checker
+  returning a :class:`Certificate` with *named* violations,
+* the differential oracles of :mod:`repro.verify.oracles` — sharded vs
+  monolithic, incremental vs cold, distributed-sequential vs centralized,
+* :func:`run_fuzz` — a seeded property-based fuzzer that samples random
+  scenarios, runs every solver through the checker and the oracles,
+  shrinks failures, and emits replayable JSON repros into a regression
+  corpus (``tests/corpus/``) that pytest auto-collects.
+
+``python -m repro verify`` and ``python -m repro fuzz`` expose the same
+machinery on the command line.
+"""
+
+from repro.verify.certificates import (
+    Certificate,
+    CheckResult,
+    Violation,
+    verify_assignment,
+)
+from repro.verify.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    pin_scenario,
+    replay_corpus_entry,
+    run_fuzz,
+    shrink_scenario,
+)
+from repro.verify.oracles import (
+    Discrepancy,
+    OracleReport,
+    incremental_vs_cold,
+    run_all_oracles,
+    sequential_vs_centralized,
+    sharded_vs_monolithic,
+)
+
+__all__ = [
+    "Certificate",
+    "CheckResult",
+    "Discrepancy",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleReport",
+    "incremental_vs_cold",
+    "pin_scenario",
+    "replay_corpus_entry",
+    "run_all_oracles",
+    "run_fuzz",
+    "sequential_vs_centralized",
+    "sharded_vs_monolithic",
+    "shrink_scenario",
+    "verify_assignment",
+]

@@ -1,0 +1,407 @@
+"""Solution certificates: named-violation checking of assignments.
+
+:func:`verify_assignment` re-derives everything an :class:`Assignment`
+claims from the raw problem data — group transmit rates, per-AP load
+accounting, budget feasibility, coverage — and checks the objective value
+against the theory the paper proves:
+
+* a feasible value can never beat the LP relaxation bound
+  (:mod:`repro.core.bounds` brackets OPT from the right side), and
+* on instances small enough for the exact ILPs, the value must respect the
+  published approximation factors — 8 for MNU (Theorem 2),
+  ``log_{8/7} n + 1`` for BLA (Theorem 4), ``ln n + 1`` for MLA
+  (Theorem 6).
+
+The result is a :class:`Certificate`: a structured record of every check
+performed, with *named* violations (``budget-overflow``, ``coverage-gap``,
+``rate-inconsistency``, ...) instead of a bare bool, so callers — the fuzz
+harness, the CLI gate, CI — can report and triage precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.bla import max_iterations
+from repro.core.bounds import bla_lp_bound, mla_lp_bound, mnu_lp_bound
+from repro.core.errors import ModelError
+from repro.core.problem import MulticastAssociationProblem
+from repro.radio.rates import RateTable
+
+#: Objectives the checker understands (``None`` = structural checks only).
+OBJECTIVES = ("mnu", "bla", "mla")
+
+#: Absolute slack granted to floating-point load/bound comparisons.
+DEFAULT_TOL = 1e-9
+#: Looser slack for LP bounds (HiGHS solves to ~1e-7 feasibility).
+LP_TOL = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One named certificate violation."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """One check the verifier ran, and whether it passed."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The structured outcome of :func:`verify_assignment`."""
+
+    objective: str | None
+    checks: tuple[CheckResult, ...]
+    violations: tuple[Violation, ...]
+    stats: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not self.violations
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """The violation codes, in order of detection."""
+        return tuple(v.code for v in self.violations)
+
+    def format(self) -> str:
+        """A multi-line human-readable report."""
+        header = (
+            f"certificate[{self.objective or 'structural'}]: "
+            f"{'OK' if self.ok else 'VIOLATED'} "
+            f"({len(self.checks)} checks)"
+        )
+        lines = [header]
+        for check in self.checks:
+            status = "ok" if check.passed else "FAIL"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"  [{status:^4}] {check.name}{detail}")
+        for violation in self.violations:
+            lines.append(f"  !! {violation}")
+        return "\n".join(lines)
+
+
+class _Collector:
+    """Accumulates checks/violations while the verifier runs."""
+
+    def __init__(self) -> None:
+        self.checks: list[CheckResult] = []
+        self.violations: list[Violation] = []
+
+    def record(
+        self, name: str, passed: bool, code: str, message: str, detail: str = ""
+    ) -> bool:
+        self.checks.append(CheckResult(name, passed, detail))
+        if not passed:
+            self.violations.append(Violation(code, message))
+        return passed
+
+
+def _recompute_group_loads(
+    problem: MulticastAssociationProblem,
+    ap_of_user: Sequence[int | None],
+) -> tuple[dict[tuple[int, int], float], list[float]]:
+    """Group transmit rates and per-AP loads, re-derived from scratch.
+
+    Deliberately independent of :class:`Assignment`'s own bookkeeping so a
+    bug there cannot certify itself.
+    """
+    members: dict[tuple[int, int], list[int]] = {}
+    for user, ap in enumerate(ap_of_user):
+        if ap is None:
+            continue
+        members.setdefault((ap, problem.session_of(user)), []).append(user)
+    tx_rates: dict[tuple[int, int], float] = {}
+    loads = [0.0] * problem.n_aps
+    for (ap, session), users in members.items():
+        rate = min(problem.link_rate(ap, u) for u in users)
+        tx_rates[(ap, session)] = rate
+        if rate <= 0:
+            loads[ap] = math.inf
+        else:
+            loads[ap] += problem.session_rate(session) / rate
+    return tx_rates, loads
+
+
+def verify_assignment(
+    problem: MulticastAssociationProblem,
+    assignment: Assignment | Sequence[int | None],
+    objective: str | None = None,
+    *,
+    claimed_tx_rates: Mapping[tuple[int, int], float] | None = None,
+    rate_table: RateTable | None = None,
+    lp_bounds: bool = True,
+    exact: bool = False,
+    tol: float = DEFAULT_TOL,
+) -> Certificate:
+    """Certify that ``assignment`` is a valid solution of ``problem``.
+
+    Parameters
+    ----------
+    assignment:
+        an :class:`Assignment` or a raw ``user -> AP | None`` map. Raw
+        maps let tests inject corrupted solutions the ``Assignment``
+        constructor would reject outright.
+    objective:
+        ``"mnu"`` (budget feasibility is mandatory), ``"bla"`` / ``"mla"``
+        (full coverage is mandatory), or ``None`` for structural checks
+        only.
+    claimed_tx_rates:
+        optional ``(ap, session) -> rate`` claims from a solver trace
+        (e.g. selected candidate sets). Each claim must match the rate
+        the slowest associated user dictates — the check that catches a
+        stitcher merging groups without re-deriving the minimum.
+    rate_table:
+        when given, every rate a transmission uses must be one of the
+        table's rates — the Table-1 consistency check for
+        geometry-generated instances.
+    lp_bounds:
+        cross the objective value against the LP relaxation bound (a
+        feasible value on the wrong side of the bound is impossible, so
+        crossing it is always a genuine bug).
+    exact:
+        also solve the exact ILP and check the paper's approximation
+        factor. Exponential — only for small (fuzz-sized) instances.
+
+    Returns the :class:`Certificate`; never raises for *invalid solutions*
+    (that is the point), only for malformed inputs.
+    """
+    if objective is not None and objective not in OBJECTIVES:
+        raise ModelError(f"unknown objective {objective!r}")
+    out = _Collector()
+    stats: dict[str, float] = {}
+
+    if isinstance(assignment, Assignment):
+        ap_of_user: tuple[int | None, ...] = assignment.ap_of_user
+    else:
+        ap_of_user = tuple(
+            None if a is None else int(a) for a in assignment
+        )
+
+    # -- shape ----------------------------------------------------------
+    if not out.record(
+        "shape",
+        len(ap_of_user) == problem.n_users,
+        "shape-mismatch",
+        f"assignment covers {len(ap_of_user)} users, "
+        f"problem has {problem.n_users}",
+    ):
+        return Certificate(objective, tuple(out.checks), tuple(out.violations))
+    bad_aps = [
+        (u, a)
+        for u, a in enumerate(ap_of_user)
+        if a is not None and not 0 <= a < problem.n_aps
+    ]
+    if not out.record(
+        "ap-indices",
+        not bad_aps,
+        "unknown-ap",
+        f"users assigned to nonexistent APs: {bad_aps[:5]}",
+    ):
+        return Certificate(objective, tuple(out.checks), tuple(out.violations))
+
+    # -- range ----------------------------------------------------------
+    out_of_range = [
+        (u, a)
+        for u, a in enumerate(ap_of_user)
+        if a is not None and not problem.in_range(a, u)
+    ]
+    out.record(
+        "in-range",
+        not out_of_range,
+        "out-of-range",
+        "users associated with APs they cannot hear: "
+        f"{out_of_range[:5]}",
+    )
+
+    # -- rate consistency ------------------------------------------------
+    tx_rates, loads = _recompute_group_loads(problem, ap_of_user)
+    if claimed_tx_rates is not None:
+        rate_problems: list[str] = []
+        for (ap, session), claimed in claimed_tx_rates.items():
+            derived = tx_rates.get((ap, session))
+            if derived is None:
+                rate_problems.append(
+                    f"AP {ap} claims to transmit session {session} "
+                    "but serves no such user"
+                )
+            elif not math.isclose(
+                claimed, derived, rel_tol=1e-12, abs_tol=tol
+            ):
+                rate_problems.append(
+                    f"AP {ap} session {session}: claimed tx rate "
+                    f"{claimed:g} Mbps, but the slowest associated user "
+                    f"dictates {derived:g} Mbps"
+                )
+        out.record(
+            "rate-consistency",
+            not rate_problems,
+            "rate-inconsistency",
+            "; ".join(rate_problems[:3]),
+        )
+    if rate_table is not None:
+        alien = sorted(
+            {
+                rate
+                for rate in tx_rates.values()
+                if rate > 0 and rate not in rate_table.rates
+            }
+        )
+        out.record(
+            "rate-table",
+            not alien,
+            "rate-off-table",
+            f"transmit rates outside the rate table: {alien[:5]}",
+        )
+
+    # -- load accounting --------------------------------------------------
+    if isinstance(assignment, Assignment) and assignment.problem is problem:
+        claimed = assignment.loads()
+        mismatches = [
+            (ap, claimed[ap], loads[ap])
+            for ap in range(problem.n_aps)
+            if not math.isclose(
+                claimed[ap], loads[ap], rel_tol=1e-12, abs_tol=tol
+            )
+        ]
+        out.record(
+            "load-accounting",
+            not mismatches,
+            "load-mismatch",
+            "derived loads disagree with recomputation: "
+            f"{mismatches[:3]}",
+        )
+    stats["total_load"] = sum(loads) if all(map(math.isfinite, loads)) else math.inf
+    stats["max_load"] = max(loads, default=0.0)
+    n_served = sum(1 for a in ap_of_user if a is not None)
+    stats["n_served"] = float(n_served)
+
+    # -- budgets ----------------------------------------------------------
+    check_budgets = objective == "mnu" or objective is None
+    if check_budgets:
+        overflows = [
+            (ap, loads[ap], problem.budget_of(ap))
+            for ap in range(problem.n_aps)
+            if loads[ap] > problem.budget_of(ap) + tol
+        ]
+        out.record(
+            "budget-feasibility",
+            not overflows,
+            "budget-overflow",
+            "; ".join(
+                f"AP {ap} load {load:.6f} exceeds budget {budget:.6f}"
+                for ap, load, budget in overflows[:3]
+            ),
+        )
+
+    # -- coverage ----------------------------------------------------------
+    if objective in ("bla", "mla"):
+        unserved = [u for u, a in enumerate(ap_of_user) if a is None]
+        out.record(
+            "coverage",
+            not unserved,
+            "coverage-gap",
+            f"{len(unserved)} users left unserved "
+            f"(first few: {unserved[:5]})",
+        )
+
+    # Bound checks only make sense for structurally sound solutions.
+    structurally_ok = not out.violations
+    if objective is not None and structurally_ok and lp_bounds:
+        _check_lp_bound(problem, objective, stats, out)
+    if objective is not None and structurally_ok and exact:
+        _check_approximation_factor(
+            problem, ap_of_user, objective, stats, out
+        )
+
+    return Certificate(
+        objective, tuple(out.checks), tuple(out.violations), stats
+    )
+
+
+def _check_lp_bound(
+    problem: MulticastAssociationProblem,
+    objective: str,
+    stats: dict[str, float],
+    out: _Collector,
+) -> None:
+    """A feasible value can never be on the wrong side of the LP bound."""
+    if objective == "mnu":
+        if not all(map(math.isfinite, problem.budgets)):
+            return  # the LP needs finite budgets
+        bound = mnu_lp_bound(problem)
+        achieved = stats["n_served"]
+        passed = achieved <= bound + LP_TOL * (1.0 + abs(bound))
+    elif objective == "bla":
+        bound = bla_lp_bound(problem)
+        achieved = stats["max_load"]
+        passed = achieved + LP_TOL * (1.0 + abs(achieved)) >= bound
+    else:
+        bound = mla_lp_bound(problem)
+        achieved = stats["total_load"]
+        passed = achieved + LP_TOL * (1.0 + abs(achieved)) >= bound
+    stats["lp_bound"] = bound
+    out.record(
+        "lp-bound",
+        passed,
+        "lp-bound-crossed",
+        f"{objective} value {achieved:.6f} beats the LP bound "
+        f"{bound:.6f} — impossible for a feasible solution",
+    )
+
+
+def _check_approximation_factor(
+    problem: MulticastAssociationProblem,
+    ap_of_user: Sequence[int | None],
+    objective: str,
+    stats: dict[str, float],
+    out: _Collector,
+) -> None:
+    """Check the paper's approximation factor against the exact ILP."""
+    from repro.core.optimal import (
+        solve_bla_optimal,
+        solve_mla_optimal,
+        solve_mnu_optimal,
+    )
+
+    if objective == "mnu":
+        if not all(map(math.isfinite, problem.budgets)):
+            return
+        opt = float(solve_mnu_optimal(problem).objective)
+        achieved = stats["n_served"]
+        factor = 8.0
+        passed = factor * achieved + DEFAULT_TOL >= opt
+    elif objective == "bla":
+        opt = float(solve_bla_optimal(problem).objective)
+        achieved = stats["max_load"]
+        factor = float(max_iterations(problem.n_users))
+        passed = achieved <= factor * (opt + LP_TOL) + DEFAULT_TOL
+    else:
+        opt = float(solve_mla_optimal(problem).objective)
+        achieved = stats["total_load"]
+        factor = math.log(max(problem.n_users, 1)) + 1.0
+        passed = achieved <= factor * (opt + LP_TOL) + DEFAULT_TOL
+    stats["exact_optimum"] = opt
+    stats["approximation_factor"] = factor
+    out.record(
+        "approximation-factor",
+        passed,
+        "approximation-factor-exceeded",
+        f"{objective} value {achieved:.6f} vs exact optimum {opt:.6f} "
+        f"breaks the factor-{factor:g} guarantee",
+    )

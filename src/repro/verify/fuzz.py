@@ -1,0 +1,510 @@
+"""Seeded property-based fuzzing with greedy shrinking and a JSON corpus.
+
+:func:`run_fuzz` samples random scenarios through the real generator
+(:func:`repro.scenarios.generate`), pushes every solver's output through
+the certificate checker (:mod:`repro.verify.certificates`) and the
+differential oracles (:mod:`repro.verify.oracles`), and — when something
+fails — *shrinks* the scenario by greedily dropping users, APs and unused
+sessions while the failure still reproduces, then writes a replayable
+JSON repro. Dropped into ``tests/corpus/``, such repros are auto-collected
+by pytest (``tests/test_corpus.py``) and become permanent regression
+tests.
+
+Everything is deterministic in the fuzz seed: case ``i`` of
+``run_fuzz(seed=s)`` always samples the same scenario, so any failure is
+reproducible from its ``(seed, case)`` pair alone even before the corpus
+entry lands.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro import io as repro_io
+from repro.core.bla import solve_bla
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.radio.geometry import Area
+from repro.scenarios.generator import Scenario, generate
+from repro.verify.certificates import verify_assignment
+from repro.verify.oracles import run_all_oracles
+
+CORPUS_KIND = "repro-fuzz-corpus"
+CORPUS_VERSION = 1
+
+#: Instances at or below this many users also get exact-ILP factor checks.
+DEFAULT_EXACT_MAX_USERS = 8
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One property violated by one solver on one scenario."""
+
+    check: str  # "certificate:mnu", "oracle:sharded-vs-monolithic", ...
+    solver: str
+    codes: tuple[str, ...]
+    messages: tuple[str, ...]
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Identity used by the shrinker: same check, solver, first code."""
+        return (self.check, self.solver, self.codes[0] if self.codes else "")
+
+    def format(self) -> str:
+        return (
+            f"{self.check} [{self.solver}]: "
+            f"{', '.join(self.codes) or 'unknown'}"
+        )
+
+
+@dataclass
+class FuzzCaseResult:
+    """One fuzzed scenario and everything that went wrong on it."""
+
+    index: int
+    case_seed: int
+    scenario: Scenario
+    failures: list[FuzzFailure]
+    shrunk: Scenario | None = None
+    corpus_path: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of a whole fuzz run."""
+
+    budget: int
+    seed: int
+    cases: list[FuzzCaseResult] = field(default_factory=list)
+
+    @property
+    def failing_cases(self) -> list[FuzzCaseResult]:
+        return [case for case in self.cases if case.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failing_cases
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: {len(self.cases)} cases, seed {self.seed}, "
+            f"{len(self.failing_cases)} failing"
+        ]
+        for case in self.failing_cases:
+            scenario = case.shrunk or case.scenario
+            lines.append(
+                f"  case {case.index} (seed {case.case_seed}, "
+                f"{scenario.n_aps} APs × {scenario.n_users} users):"
+            )
+            for failure in case.failures:
+                lines.append(f"    {failure.format()}")
+            if case.corpus_path:
+                lines.append(f"    repro: {case.corpus_path}")
+        return "\n".join(lines)
+
+
+# -- scenario sampling --------------------------------------------------------
+
+
+def sample_scenario(case_seed: int) -> Scenario:
+    """One random small scenario, deterministic in ``case_seed``.
+
+    Sizes are kept fuzz-small (≤ 6 APs, ≤ 14 users) so the oracles — which
+    run every solver several times per case — stay fast, and the exact ILP
+    factor checks stay tractable. Budgets sweep the paper's regimes:
+    unbudgeted (BLA/MLA), the paper's 0.9, and tight.
+    """
+    rng = random.Random(case_seed)
+    n_aps = rng.randint(2, 6)
+    n_users = rng.randint(2, 14)
+    n_sessions = rng.randint(1, 3)
+    budget = rng.choice([math.inf, math.inf, 0.9, 0.5, 1.5])
+    stream_rate = rng.choice([0.5, 1.0, 2.0, 3.0])
+    side = rng.uniform(250.0, 500.0)
+    return generate(
+        n_aps=n_aps,
+        n_users=n_users,
+        n_sessions=n_sessions,
+        seed=rng.randrange(2**31),
+        area=Area.square(side),
+        stream_rate_mbps=stream_rate,
+        budget=budget,
+        ensure_coverage=True,
+    )
+
+
+# -- the property set ---------------------------------------------------------
+
+
+def _certificate_failures(
+    scenario: Scenario, *, exact_max_users: int
+) -> list[FuzzFailure]:
+    problem = scenario.problem()
+    exact = problem.n_users <= exact_max_users
+    table = getattr(scenario.model, "rate_table", None)
+    solvers: list[tuple[str, str, Callable]] = [
+        ("bla", "solve_bla", lambda: solve_bla(problem).assignment),
+        ("mla", "solve_mla", lambda: solve_mla(problem).assignment),
+    ]
+    if all(map(math.isfinite, problem.budgets)):
+        solvers.append(
+            ("mnu", "solve_mnu", lambda: solve_mnu(problem).assignment)
+        )
+        solvers.append(
+            (
+                "mnu",
+                "solve_mnu+augment",
+                lambda: solve_mnu(problem, augment=True).assignment,
+            )
+        )
+    failures: list[FuzzFailure] = []
+    for objective, name, solve in solvers:
+        try:
+            assignment = solve()
+            certificate = verify_assignment(
+                problem,
+                assignment,
+                objective,
+                rate_table=table,
+                lp_bounds=True,
+                exact=exact,
+            )
+        except Exception as error:  # crashes are findings too
+            failures.append(
+                FuzzFailure(
+                    check=f"certificate:{objective}",
+                    solver=name,
+                    codes=(f"unexpected-exception:{type(error).__name__}",),
+                    messages=(str(error),),
+                )
+            )
+            continue
+        if not certificate.ok:
+            failures.append(
+                FuzzFailure(
+                    check=f"certificate:{objective}",
+                    solver=name,
+                    codes=certificate.codes,
+                    messages=tuple(str(v) for v in certificate.violations),
+                )
+            )
+    return failures
+
+
+def _oracle_failures(scenario: Scenario, *, seed: int) -> list[FuzzFailure]:
+    problem = scenario.problem()
+    failures: list[FuzzFailure] = []
+    try:
+        reports = run_all_oracles(problem, seed=seed)
+    except Exception as error:
+        return [
+            FuzzFailure(
+                check="oracle:all",
+                solver="engine",
+                codes=(f"unexpected-exception:{type(error).__name__}",),
+                messages=(str(error),),
+            )
+        ]
+    for report in reports:
+        if not report.ok:
+            failures.append(
+                FuzzFailure(
+                    check=f"oracle:{report.oracle}",
+                    solver="engine",
+                    codes=report.codes,
+                    messages=tuple(str(d) for d in report.discrepancies),
+                )
+            )
+    return failures
+
+
+def check_scenario(
+    scenario: Scenario,
+    *,
+    seed: int = 0,
+    exact_max_users: int = DEFAULT_EXACT_MAX_USERS,
+    oracles: bool = True,
+) -> list[FuzzFailure]:
+    """Run the full property set on one scenario; empty list = clean."""
+    failures = _certificate_failures(
+        scenario, exact_max_users=exact_max_users
+    )
+    if oracles:
+        failures.extend(_oracle_failures(scenario, seed=seed))
+    return failures
+
+
+# -- shrinking ----------------------------------------------------------------
+
+
+def _drop_user(scenario: Scenario, user: int) -> Scenario | None:
+    if scenario.n_users <= 1:
+        return None
+    keep = [u for u in range(scenario.n_users) if u != user]
+    return Scenario(
+        ap_positions=scenario.ap_positions,
+        user_positions=tuple(scenario.user_positions[u] for u in keep),
+        model=scenario.model,
+        sessions=scenario.sessions,
+        user_sessions=tuple(scenario.user_sessions[u] for u in keep),
+        budget=scenario.budget,
+        seed=scenario.seed,
+        area=scenario.area,
+    )
+
+
+def _drop_ap(scenario: Scenario, ap: int) -> Scenario | None:
+    if scenario.n_aps <= 1:
+        return None
+    keep = [a for a in range(scenario.n_aps) if a != ap]
+    return Scenario(
+        ap_positions=tuple(scenario.ap_positions[a] for a in keep),
+        user_positions=scenario.user_positions,
+        model=scenario.model,
+        sessions=scenario.sessions,
+        user_sessions=scenario.user_sessions,
+        budget=scenario.budget,
+        seed=scenario.seed,
+        area=scenario.area,
+    )
+
+
+def _drop_unused_sessions(scenario: Scenario) -> Scenario | None:
+    used = sorted(set(scenario.user_sessions))
+    if len(used) == len(scenario.sessions):
+        return None
+    remap = {old: new for new, old in enumerate(used)}
+    sessions = tuple(
+        type(scenario.sessions[0])(
+            session_id=remap[old],
+            rate_mbps=scenario.sessions[old].rate_mbps,
+            name=scenario.sessions[old].name,
+        )
+        for old in used
+    )
+    return Scenario(
+        ap_positions=scenario.ap_positions,
+        user_positions=scenario.user_positions,
+        model=scenario.model,
+        sessions=sessions,
+        user_sessions=tuple(remap[s] for s in scenario.user_sessions),
+        budget=scenario.budget,
+        seed=scenario.seed,
+        area=scenario.area,
+    )
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    *,
+    max_attempts: int = 300,
+) -> Scenario:
+    """Greedy delta-debugging: drop users/APs/sessions while it reproduces.
+
+    One element at a time, highest index first (so loop indices stay
+    valid), restarting the sweep after every successful removal until a
+    full sweep removes nothing or the attempt budget runs out. The
+    predicate is called on *candidate* scenarios only; candidates whose
+    evaluation raises are treated as not reproducing.
+    """
+    attempts = 0
+
+    def fails(candidate: Scenario | None) -> bool:
+        nonlocal attempts
+        if candidate is None or attempts >= max_attempts:
+            return False
+        attempts += 1
+        try:
+            return still_fails(candidate)
+        except Exception:
+            return False
+
+    current = scenario
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for user in reversed(range(current.n_users)):
+            candidate = _drop_user(current, user)
+            if fails(candidate):
+                current = candidate
+                improved = True
+        for ap in reversed(range(current.n_aps)):
+            candidate = _drop_ap(current, ap)
+            if fails(candidate):
+                current = candidate
+                improved = True
+        candidate = _drop_unused_sessions(current)
+        if fails(candidate):
+            current = candidate
+            improved = True
+    return current
+
+
+# -- corpus I/O ---------------------------------------------------------------
+
+
+def _corpus_entry(
+    scenario: Scenario,
+    failures: Sequence[FuzzFailure],
+    *,
+    fuzz_seed: int,
+    case_seed: int,
+    case_index: int,
+) -> dict:
+    return {
+        "kind": CORPUS_KIND,
+        "version": CORPUS_VERSION,
+        "fuzz_seed": fuzz_seed,
+        "case_seed": case_seed,
+        "case_index": case_index,
+        "failures": [
+            {
+                "check": f.check,
+                "solver": f.solver,
+                "codes": list(f.codes),
+                "messages": list(f.messages),
+            }
+            for f in failures
+        ],
+        "scenario": repro_io.scenario_to_dict(scenario),
+    }
+
+
+def write_corpus_entry(
+    path: str,
+    scenario: Scenario,
+    failures: Sequence[FuzzFailure],
+    *,
+    fuzz_seed: int = 0,
+    case_seed: int = 0,
+    case_index: int = 0,
+) -> None:
+    """Serialize one replayable repro to ``path`` (directories created)."""
+    entry = _corpus_entry(
+        scenario,
+        failures,
+        fuzz_seed=fuzz_seed,
+        case_seed=case_seed,
+        case_index=case_index,
+    )
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(entry, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def pin_scenario(scenario: Scenario, path: str, *, case_seed: int = 0) -> None:
+    """Pin a scenario that must verify clean forever (a regression guard).
+
+    Pins carry an empty failure list; replaying one asserts the *absence*
+    of violations, which is how fixed fuzz findings stay fixed.
+    """
+    write_corpus_entry(path, scenario, [], case_seed=case_seed)
+
+
+def load_corpus_entry(path: str) -> tuple[dict, Scenario]:
+    """Parse one corpus file into its metadata and scenario."""
+    with open(path, encoding="utf-8") as stream:
+        entry = json.load(stream)
+    if entry.get("kind") != CORPUS_KIND:
+        raise ValueError(f"{path} is not a fuzz corpus entry")
+    scenario = repro_io.scenario_from_dict(entry["scenario"])
+    return entry, scenario
+
+
+def replay_corpus_entry(
+    path: str, *, exact_max_users: int = DEFAULT_EXACT_MAX_USERS
+) -> list[FuzzFailure]:
+    """Re-run the full property set on a corpus entry's scenario.
+
+    Returns the current failures — an empty list means the recorded bug
+    (if any) no longer reproduces and the entry now acts as a pure
+    regression pin.
+    """
+    entry, scenario = load_corpus_entry(path)
+    return check_scenario(
+        scenario,
+        seed=int(entry.get("case_seed", 0)),
+        exact_max_users=exact_max_users,
+    )
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+def run_fuzz(
+    budget: int,
+    *,
+    seed: int = 0,
+    corpus_dir: str | None = None,
+    exact_max_users: int = DEFAULT_EXACT_MAX_USERS,
+    oracles: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Fuzz ``budget`` scenarios; shrink and archive every failure.
+
+    Per case: sample, run the full property set, and on failure shrink
+    the scenario against the first failure's identity (same check, same
+    solver, same leading code) before writing the corpus entry so the
+    repro is as small as the greedy pass can make it.
+    """
+    if budget <= 0:
+        raise ValueError("fuzz budget must be positive")
+    report = FuzzReport(budget=budget, seed=seed)
+    master = random.Random(seed)
+    for index in range(budget):
+        case_seed = master.randrange(2**31)
+        scenario = sample_scenario(case_seed)
+        failures = check_scenario(
+            scenario,
+            seed=case_seed,
+            exact_max_users=exact_max_users,
+            oracles=oracles,
+        )
+        case = FuzzCaseResult(
+            index=index,
+            case_seed=case_seed,
+            scenario=scenario,
+            failures=failures,
+        )
+        if failures:
+            target = failures[0].key
+
+            def reproduces(candidate: Scenario) -> bool:
+                found = check_scenario(
+                    candidate,
+                    seed=case_seed,
+                    exact_max_users=exact_max_users,
+                    oracles=oracles,
+                )
+                return any(f.key == target for f in found)
+
+            case.shrunk = shrink_scenario(scenario, reproduces)
+            if corpus_dir is not None:
+                safe = failures[0].check.replace(":", "-")
+                path = os.path.join(
+                    corpus_dir, f"{safe}-{failures[0].solver}-{case_seed}.json"
+                )
+                write_corpus_entry(
+                    path,
+                    case.shrunk,
+                    failures,
+                    fuzz_seed=seed,
+                    case_seed=case_seed,
+                    case_index=index,
+                )
+                case.corpus_path = path
+        report.cases.append(case)
+        if progress is not None:
+            status = "FAIL" if failures else "ok"
+            progress(
+                f"case {index + 1}/{budget} seed={case_seed} "
+                f"aps={scenario.n_aps} users={scenario.n_users} [{status}]"
+            )
+    return report

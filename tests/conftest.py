@@ -3,11 +3,54 @@
 from __future__ import annotations
 
 import math
+import os
 import random
 
+import numpy as np
 import pytest
 
 from repro.core.problem import MulticastAssociationProblem, Session
+
+#: Every RNG in the suite derives from this seed; override with
+#: ``PYTEST_SEED=<n> pytest`` to explore other draws. The active value is
+#: printed in the session header and echoed on every failure so fuzz /
+#: property failures are reproducible from the report alone.
+PYTEST_SEED = int(os.environ.get("PYTEST_SEED", "0"))
+
+
+def pytest_report_header(config):
+    return (
+        f"PYTEST_SEED={PYTEST_SEED} "
+        "(set the PYTEST_SEED env var to re-roll randomized tests)"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    """Seed the global RNGs before every test, deterministically."""
+    random.seed(PYTEST_SEED)
+    np.random.seed(PYTEST_SEED % (2**32))
+    yield
+
+
+@pytest.fixture
+def session_seed() -> int:
+    """The session seed, for tests that derive their own RNG streams."""
+    return PYTEST_SEED
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "randomization seed",
+                f"PYTEST_SEED={PYTEST_SEED} — rerun with this env var "
+                "set to reproduce the exact RNG draws",
+            )
+        )
 
 
 def paper_example_problem(

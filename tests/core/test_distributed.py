@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 import random
 
 import pytest
@@ -159,6 +160,97 @@ class TestConvergence:
         # already a local optimum for MLA: nothing moves
         assert result.assignment.ap_of_user == tuple(initial)
         assert result.moves == 0
+
+
+class TestFigure4Regression:
+    """Regression for the paper's Figure-4 two-AP example: simultaneous
+    decisions oscillate forever, sequential decisions converge, and the
+    Lemma 1–2 potential functions strictly decrease with every move."""
+
+    def test_simultaneous_cycle_is_the_u2_u3_swap(self):
+        """The oscillation is exactly the period-2 swap of u2 and u3."""
+        p = fig4_problem()
+        state = AssociationState(p, [0, 0, 1, 1])
+        for _ in range(2):  # two simultaneous rounds return to the start
+            decisions = [decide(state, u, "mla") for u in range(p.n_users)]
+            # the edge users have nowhere to go; the middle users both
+            # see the other AP emptier after their own departure and jump
+            assert decisions[0].target == 0
+            assert decisions[3].target == 1
+            assert decisions[1].improves and decisions[2].improves
+            for decision in decisions:
+                state.move(decision.user, decision.target)
+        assert state.ap_of_user == [0, 0, 1, 1]  # back where we started
+
+    def test_simultaneous_detector_flags_the_cycle_early(self):
+        result = run_distributed(
+            fig4_problem(),
+            "mla",
+            mode="simultaneous",
+            initial=[0, 0, 1, 1],
+            shuffle_each_round=False,
+            max_rounds=50,
+        )
+        assert result.oscillated
+        assert result.rounds == 2  # detected on first state revisit
+
+    def test_sequential_converges_from_every_initial(self):
+        """Lemmas 1–2: whatever the starting association and policy,
+        one-at-a-time dynamics reach quiescence with everyone served."""
+        p = fig4_problem()
+        choices = [p.aps_of_user(u) + [None] for u in range(p.n_users)]
+        for initial in itertools.product(*choices):
+            for policy in ("mla", "bla"):
+                result = run_distributed(
+                    p,
+                    policy,
+                    mode="sequential",
+                    initial=list(initial),
+                    shuffle_each_round=False,
+                )
+                assert result.converged, (policy, initial)
+                assert result.assignment.n_served == p.n_users
+
+    def test_lemma1_total_load_strictly_decreases_per_move(self):
+        """Lemma 1's potential: every accepted sequential MLA move
+        strictly drops the total load, so the dynamics must terminate."""
+        p = fig4_problem()
+        state = AssociationState(p, [0, 0, 1, 1])
+        potential = state.total_load()
+        moved = True
+        for _ in range(20):
+            moved = False
+            for user in range(p.n_users):
+                decision = decide(state, user, "mla")
+                if decision.target != state.ap_of_user[user]:
+                    state.move(user, decision.target)
+                    assert state.total_load() < potential - 1e-12
+                    potential = state.total_load()
+                    moved = True
+            if not moved:
+                break
+        assert not moved  # quiescent, not round-capped
+        assert state.total_load() == pytest.approx(1 / 5 + 1 / 4)
+
+    def test_lemma2_bla_sorted_vector_strictly_decreases_per_move(self):
+        """Lemma 2's potential: every accepted sequential BLA move
+        lexicographically drops the sorted load vector."""
+        p = fig4_problem()
+        state = AssociationState(p, [0, 0, 1, 1])
+        vector = state.sorted_load_vector()
+        moved = True
+        for _ in range(20):
+            moved = False
+            for user in range(p.n_users):
+                decision = decide(state, user, "bla")
+                if decision.target != state.ap_of_user[user]:
+                    state.move(user, decision.target)
+                    assert state.sorted_load_vector() < vector
+                    vector = state.sorted_load_vector()
+                    moved = True
+            if not moved:
+                break
+        assert not moved
 
 
 class TestDecide:

@@ -43,3 +43,30 @@ def test_backend_flag_reported(problem, parallel_engine):
     assert parallel_engine.parallel is True
     with ShardedEngine(problem) as serial:
         assert serial.parallel is False
+
+
+@pytest.mark.slow
+def test_forked_workers_equal_serial_on_large_federation():
+    """Forked ``ProcessPoolExecutor`` workers must reproduce the serial
+    maps bit for bit on a federation large enough to keep a real pool
+    busy — pickling round-trips, worker dispatch, and stitching all sit
+    on this path. Marked ``slow``; CI runs it explicitly with -m slow."""
+    from repro.scenarios.federation import generate_federation
+
+    problem = generate_federation(
+        n_clusters=8,
+        aps_per_cluster=3,
+        users_per_cluster=12,
+        n_sessions=3,
+        seed=99,
+    ).problem()
+    with ShardedEngine(problem) as serial, ShardedEngine(
+        problem, parallel=True, max_workers=4
+    ) as forked:
+        for objective in ("mnu", "bla", "mla"):
+            reference = serial.solve(objective)
+            solution = forked.solve(objective)
+            assert (
+                solution.assignment.ap_of_user
+                == reference.assignment.ap_of_user
+            ), objective

@@ -63,6 +63,69 @@ class TestTable1:
         assert dot11a_table().rate_at(distance) == expected
 
 
+#: Distance nudge for the boundary sweep — far below the metre scale of the
+#: thresholds, far above float ulps at 200.
+BOUNDARY_EPS = 1e-6
+
+
+def _table1_boundary_cases():
+    """(distance, expected rate) triples generated from Table 1 itself:
+    exactly at, just inside, and just outside every threshold."""
+    rows = sorted(TABLE_1_ROWS.items(), key=lambda kv: kv[1])
+    cases = []
+    for index, (rate, threshold) in enumerate(rows):
+        beyond = rows[index + 1][0] if index + 1 < len(rows) else None
+        cases.append(
+            pytest.param(threshold, rate, id=f"at-{threshold}m")
+        )
+        cases.append(
+            pytest.param(
+                threshold - BOUNDARY_EPS, rate, id=f"inside-{threshold}m"
+            )
+        )
+        cases.append(
+            pytest.param(
+                threshold + BOUNDARY_EPS, beyond, id=f"outside-{threshold}m"
+            )
+        )
+    return cases
+
+
+class TestTable1Boundaries:
+    """Systematic boundary sweep of every Table-1 threshold.
+
+    ``rate_at`` implements the paper's r_{a,u}; the thresholds are
+    *inclusive*, so exactly-at and just-inside must both return the row's
+    rate while just-outside falls to the next slower rate (or out of
+    range past 200 m).
+    """
+
+    @pytest.mark.parametrize(
+        "distance, expected", _table1_boundary_cases()
+    )
+    def test_threshold_boundary(self, distance, expected):
+        assert dot11a_table().rate_at(distance) == expected
+
+    def test_sweep_covers_every_row(self):
+        cases = _table1_boundary_cases()
+        assert len(cases) == 3 * len(TABLE_1_ROWS)
+        # the out-of-range edge is exercised exactly once, past 200 m
+        assert sum(case.values[1] is None for case in cases) == 1
+
+    @pytest.mark.parametrize(
+        "table",
+        [dot11a_table(), dot11b_table(), dot11g_table()],
+        ids=["11a", "11b", "11g"],
+    )
+    def test_every_threshold_is_a_breakpoint(self, table):
+        """Crossing any threshold in any ladder changes the rate."""
+        for step in table:
+            at = table.rate_at(step.max_distance_m)
+            outside = table.rate_at(step.max_distance_m + BOUNDARY_EPS)
+            assert at is not None and at >= step.rate_mbps
+            assert outside is None or outside < at
+
+
 class TestRateTable:
     def test_rates_sorted_ascending(self):
         assert dot11a_table().rates == (6, 12, 18, 24, 36, 48, 54)

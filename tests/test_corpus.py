@@ -1,0 +1,37 @@
+"""Auto-collected regression corpus (``tests/corpus/*.json``).
+
+Every JSON entry in ``tests/corpus/`` is a replayable fuzz repro: a
+serialized scenario plus the failure it once triggered (or an empty
+failure list for pinned must-stay-clean scenarios). Replaying an entry
+runs the *current* solvers through the certificate checker and the
+differential oracles on that exact scenario and asserts nothing fails —
+once a fuzz finding is fixed, its corpus entry keeps it fixed forever.
+
+Add entries with ``python -m repro fuzz --budget N --corpus tests/corpus``
+or :func:`repro.verify.pin_scenario`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import replay_corpus_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_directory_exists():
+    assert CORPUS_DIR.is_dir(), "tests/corpus/ regression directory missing"
+    assert ENTRIES, "the corpus should hold at least the pinned scenarios"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    failures = replay_corpus_entry(str(path))
+    details = "\n".join(f.format() for f in failures)
+    assert not failures, (
+        f"corpus entry {path.name} reproduces a failure again:\n{details}"
+    )

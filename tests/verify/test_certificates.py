@@ -1,0 +1,199 @@
+"""The certificate checker: clean solutions certify, corrupted ones name
+their violation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.bla import solve_bla
+from repro.core.errors import ModelError
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.radio.geometry import Area
+from repro.radio.rates import dot11a_table
+from repro.scenarios.generator import generate
+from repro.verify import verify_assignment
+from tests.conftest import paper_example_problem, random_problem
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate(
+        n_aps=5, n_users=12, n_sessions=2, seed=11, area=Area.square(420)
+    )
+
+
+class TestCleanSolutions:
+    def test_mnu_certifies(self, fig1_mnu):
+        solution = solve_mnu(fig1_mnu)
+        certificate = verify_assignment(
+            fig1_mnu, solution.assignment, "mnu", exact=True
+        )
+        assert certificate.ok, certificate.format()
+        assert certificate.stats["n_served"] == 3
+        assert certificate.stats["lp_bound"] >= 3
+        assert certificate.stats["exact_optimum"] == 4
+
+    def test_bla_certifies(self, fig1_load):
+        solution = solve_bla(fig1_load)
+        certificate = verify_assignment(
+            fig1_load, solution.assignment, "bla", exact=True
+        )
+        assert certificate.ok, certificate.format()
+
+    def test_mla_certifies(self, fig1_load):
+        solution = solve_mla(fig1_load)
+        certificate = verify_assignment(
+            fig1_load, solution.assignment, "mla", exact=True
+        )
+        assert certificate.ok, certificate.format()
+        assert certificate.stats["total_load"] == pytest.approx(7 / 12)
+
+    def test_geometry_scenario_with_rate_table(self, scenario):
+        problem = scenario.problem()
+        solution = solve_mla(problem)
+        certificate = verify_assignment(
+            problem,
+            solution.assignment,
+            "mla",
+            rate_table=dot11a_table(),
+        )
+        assert certificate.ok, certificate.format()
+
+    def test_random_instances_certify(self):
+        rng = random.Random(23)
+        for _ in range(10):
+            problem = random_problem(rng, budget=1.5)
+            solution = solve_mnu(problem, augment=True)
+            certificate = verify_assignment(
+                problem, solution.assignment, "mnu"
+            )
+            assert certificate.ok, certificate.format()
+
+
+class TestInjectedBugs:
+    """Intentionally corrupted solutions must be caught *by name*."""
+
+    def test_budget_overflow_is_named(self, fig1_mnu):
+        # Piling all five users onto a1 drives its load to 1 + 3/4 > 1.0:
+        # the checker must flag the mutation as a budget overflow.
+        certificate = verify_assignment(fig1_mnu, [0, 0, 0, 0, 0], "mnu")
+        assert not certificate.ok
+        assert "budget-overflow" in certificate.codes
+
+    def test_budget_overflow_from_mutated_solver_output(self, fig1_mnu):
+        solution = solve_mnu(fig1_mnu)
+        clean = verify_assignment(fig1_mnu, solution.assignment, "mnu")
+        assert clean.ok
+        # mutate the solver's (valid) output: force the unserved slow user
+        # u1 onto a1, dragging session 0's rate down to 3 Mbps.
+        mutated = list(solution.assignment.ap_of_user)
+        mutated[0] = 0
+        mutated[2] = 0
+        certificate = verify_assignment(fig1_mnu, mutated, "mnu")
+        assert not certificate.ok
+        assert "budget-overflow" in certificate.codes
+
+    def test_out_of_range_is_named(self, fig1_load):
+        # u1 cannot hear a2 at all.
+        certificate = verify_assignment(fig1_load, [1, 0, 0, 0, 0])
+        assert "out-of-range" in certificate.codes
+
+    def test_coverage_gap_is_named(self, fig1_load):
+        certificate = verify_assignment(
+            fig1_load, [0, 0, None, 1, 1], "mla"
+        )
+        assert "coverage-gap" in certificate.codes
+
+    def test_unknown_ap_is_named(self, fig1_load):
+        certificate = verify_assignment(fig1_load, [99, 0, 0, 0, 0])
+        assert certificate.codes == ("unknown-ap",)
+
+    def test_shape_mismatch_is_named(self, fig1_load):
+        certificate = verify_assignment(fig1_load, [0, 0])
+        assert certificate.codes == ("shape-mismatch",)
+
+    def test_claimed_rate_inconsistency_is_named(self, fig1_load):
+        solution = solve_mla(fig1_load)
+        # a1 transmits session 1 at min(6, 4, 4) = 4 Mbps; claiming 6
+        # (one user's own link rate) is the classic stitcher mistake.
+        certificate = verify_assignment(
+            fig1_load,
+            solution.assignment,
+            "mla",
+            claimed_tx_rates={(0, 1): 6.0},
+        )
+        assert "rate-inconsistency" in certificate.codes
+
+    def test_claimed_rate_for_silent_group_is_named(self, fig1_load):
+        certificate = verify_assignment(
+            fig1_load,
+            [0, 0, 0, 0, 0],
+            claimed_tx_rates={(1, 0): 5.0},
+        )
+        assert "rate-inconsistency" in certificate.codes
+
+    def test_honest_claims_certify(self, fig1_load):
+        solution = solve_mla(fig1_load)
+        assignment = solution.assignment
+        claims = {
+            (ap, session): assignment.tx_rate(ap, session)
+            for ap in range(fig1_load.n_aps)
+            for session in assignment.sessions_on(ap)
+        }
+        certificate = verify_assignment(
+            fig1_load, assignment, "mla", claimed_tx_rates=claims
+        )
+        assert certificate.ok, certificate.format()
+
+    def test_off_table_rate_is_named(self):
+        # A 7-Mbps link is not an 802.11a rate; any transmission using it
+        # must be flagged when the table is supplied.
+        from repro.core.problem import MulticastAssociationProblem, Session
+
+        problem = MulticastAssociationProblem(
+            [[7.0]], [0], [Session(0, 1.0)]
+        )
+        certificate = verify_assignment(
+            problem, [0], rate_table=dot11a_table()
+        )
+        assert "rate-off-table" in certificate.codes
+
+
+class TestBounds:
+    def test_mnu_lp_bound_skipped_for_infinite_budgets(self, fig1_load):
+        solution = solve_mnu(fig1_load.with_budgets(math.inf))
+        certificate = verify_assignment(
+            fig1_load.with_budgets(math.inf),
+            solution.assignment,
+            "mnu",
+            lp_bounds=True,
+        )
+        assert certificate.ok
+        assert "lp_bound" not in certificate.stats
+
+    def test_bounds_skipped_when_structurally_broken(self, fig1_mnu):
+        certificate = verify_assignment(fig1_mnu, [0, 0, 0, 0, 0], "mnu")
+        # the LP check must not run (and mask) on an infeasible solution
+        assert "lp_bound" not in certificate.stats
+
+    def test_unknown_objective_rejected(self, fig1_load):
+        with pytest.raises(ModelError):
+            verify_assignment(fig1_load, [0] * 5, "nope")
+
+    def test_assignment_object_load_accounting_runs(self, fig1_load):
+        assignment = Assignment(fig1_load, [0, 0, 0, 1, 1])
+        certificate = verify_assignment(fig1_load, assignment)
+        names = [check.name for check in certificate.checks]
+        assert "load-accounting" in names
+        assert certificate.ok
+
+    def test_format_mentions_violations(self, fig1_mnu):
+        certificate = verify_assignment(fig1_mnu, [0, 0, 0, 0, 0], "mnu")
+        text = certificate.format()
+        assert "VIOLATED" in text
+        assert "budget-overflow" in text

@@ -1,0 +1,176 @@
+"""The fuzz harness: determinism, shrinking, corpus round-trips, and
+end-to-end capture of an injected solver bug."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import fuzz as fuzz_module
+from repro.verify.fuzz import (
+    check_scenario,
+    load_corpus_entry,
+    pin_scenario,
+    replay_corpus_entry,
+    run_fuzz,
+    sample_scenario,
+    shrink_scenario,
+    write_corpus_entry,
+)
+
+
+class TestSampling:
+    def test_deterministic_in_seed(self):
+        first = sample_scenario(1234)
+        second = sample_scenario(1234)
+        assert first.ap_positions == second.ap_positions
+        assert first.user_positions == second.user_positions
+        assert first.user_sessions == second.user_sessions
+        assert first.budget == second.budget
+
+    def test_different_seeds_differ(self):
+        assert (
+            sample_scenario(1).user_positions
+            != sample_scenario(2).user_positions
+        )
+
+    def test_sampled_scenarios_are_coverable(self):
+        for seed in range(5):
+            problem = sample_scenario(seed).problem()
+            assert problem.coverage_feasible()
+
+
+class TestCheckScenario:
+    def test_clean_on_healthy_solvers(self):
+        scenario = sample_scenario(42)
+        failures = check_scenario(scenario, seed=42)
+        assert failures == []
+
+
+class TestShrinking:
+    def test_shrinks_to_minimal_reproduction(self):
+        scenario = sample_scenario(7)
+        assert scenario.n_users > 2
+        # artificial property: "fails" whenever at least 2 users remain —
+        # the shrinker must drive the scenario down to exactly 2 users
+        # and a single AP.
+        shrunk = shrink_scenario(scenario, lambda s: s.n_users >= 2)
+        assert shrunk.n_users == 2
+        assert shrunk.n_aps == 1
+
+    def test_shrink_keeps_failure_reproducing(self):
+        scenario = sample_scenario(9)
+        target = scenario.user_sessions[0]
+
+        def still_fails(candidate):
+            return target in candidate.user_sessions
+
+        shrunk = shrink_scenario(scenario, still_fails)
+        assert target in shrunk.user_sessions
+
+    def test_shrink_drops_unused_sessions(self):
+        scenario = sample_scenario(11)
+        shrunk = shrink_scenario(scenario, lambda s: s.n_users >= 1)
+        assert shrunk.n_users == 1
+        used = set(shrunk.user_sessions)
+        assert len(shrunk.sessions) == len(used)
+
+    def test_predicate_exceptions_treated_as_not_reproducing(self):
+        scenario = sample_scenario(13)
+
+        def explosive(candidate):
+            raise RuntimeError("boom")
+
+        shrunk = shrink_scenario(scenario, explosive)
+        assert shrunk.n_users == scenario.n_users  # nothing removed
+
+
+class TestCorpus:
+    def test_pin_and_replay_clean(self, tmp_path):
+        scenario = sample_scenario(21)
+        path = tmp_path / "pin.json"
+        pin_scenario(scenario, str(path), case_seed=21)
+        entry, loaded = load_corpus_entry(str(path))
+        assert entry["failures"] == []
+        assert loaded.n_users == scenario.n_users
+        assert replay_corpus_entry(str(path)) == []
+
+    def test_entry_round_trip_preserves_failures(self, tmp_path):
+        scenario = sample_scenario(22)
+        path = tmp_path / "entry.json"
+        failure = fuzz_module.FuzzFailure(
+            check="certificate:mla",
+            solver="solve_mla",
+            codes=("coverage-gap",),
+            messages=("one user left unserved",),
+        )
+        write_corpus_entry(
+            str(path), scenario, [failure], fuzz_seed=3, case_seed=22
+        )
+        entry, _ = load_corpus_entry(str(path))
+        assert entry["failures"][0]["codes"] == ["coverage-gap"]
+        assert entry["fuzz_seed"] == 3
+
+    def test_non_corpus_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ValueError):
+            load_corpus_entry(str(path))
+
+
+class TestRunFuzz:
+    def test_small_budget_runs_clean(self):
+        report = run_fuzz(3, seed=5, oracles=False)
+        assert report.ok, report.format()
+        assert len(report.cases) == 3
+
+    def test_deterministic_case_seeds(self):
+        first = run_fuzz(3, seed=5, oracles=False)
+        second = run_fuzz(3, seed=5, oracles=False)
+        assert [c.case_seed for c in first.cases] == [
+            c.case_seed for c in second.cases
+        ]
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            run_fuzz(0)
+
+    def test_injected_bug_is_caught_shrunk_and_archived(
+        self, tmp_path, monkeypatch
+    ):
+        """End-to-end: a solver mutated to drop a user must be caught by
+        the certificate checker, shrunk, and written as a replayable
+        corpus entry naming ``coverage-gap``."""
+
+        real_solve_mla = fuzz_module.solve_mla
+
+        def buggy_solve_mla(problem):
+            solution = real_solve_mla(problem)
+            broken = solution.assignment.replace(0, None)  # drop user 0
+
+            class Shim:
+                assignment = broken
+
+            return Shim()
+
+        monkeypatch.setattr(fuzz_module, "solve_mla", buggy_solve_mla)
+        report = run_fuzz(
+            2, seed=0, corpus_dir=str(tmp_path), oracles=False
+        )
+        assert not report.ok
+        failing = report.failing_cases[0]
+        codes = [c for f in failing.failures for c in f.codes]
+        assert "coverage-gap" in codes
+        # shrinking really shrank
+        assert failing.shrunk is not None
+        assert failing.shrunk.n_users <= failing.scenario.n_users
+        # and the repro landed on disk, replayable
+        assert failing.corpus_path is not None
+        entry, scenario = load_corpus_entry(failing.corpus_path)
+        assert any(
+            "coverage-gap" in f["codes"] for f in entry["failures"]
+        )
+        # with the real solver restored, the repro replays clean
+        monkeypatch.setattr(fuzz_module, "solve_mla", real_solve_mla)
+        assert replay_corpus_entry(failing.corpus_path) == []
