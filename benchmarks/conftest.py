@@ -14,6 +14,8 @@ import os
 
 import pytest
 
+from repro.obs import trace as tracing
+
 
 def n_scenarios(default: int = 3) -> int:
     return int(os.environ.get("REPRO_BENCH_SCENARIOS", default))
@@ -38,6 +40,15 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under the benchmark timer and return it.
 
     The experiments are deterministic and expensive; one timed round is
-    both honest and sufficient.
+    both honest and sufficient. The call additionally runs under a
+    ``"bench.case"`` span (:mod:`repro.obs.trace`) so that, when a
+    collector is installed, benchmark timings land in the same trace
+    stream as the solver-internal spans instead of a separate ad-hoc
+    clock.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    def timed_call():
+        with tracing.timed("bench.case", case=getattr(fn, "__name__", "fn")):
+            return fn(*args, **kwargs)
+
+    return benchmark.pedantic(timed_call, rounds=1, iterations=1)

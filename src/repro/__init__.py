@@ -16,7 +16,7 @@ Quickstart::
     print("MLA total load:", solve_mla(problem).assignment.total_load())
 """
 
-from repro import io
+from repro import io, obs
 from repro.core import (
     Assignment,
     CoverageError,
@@ -90,6 +90,7 @@ __all__ = [
     "io",
     "mla_lp_bound",
     "mnu_lp_bound",
+    "obs",
     "plan_shards",
     "quality_certificate",
     "run_all_oracles",

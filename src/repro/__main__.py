@@ -18,6 +18,13 @@ output through the certificate checker plus the three differential
 oracles, on generated scenarios and federations. ``python -m repro fuzz
 --budget N`` drives the seeded property-based fuzzer; failures are
 shrunk and archived as replayable JSON repros (``--corpus``).
+
+``python -m repro bench`` runs the pinned observability benchmark suite
+(:mod:`repro.obs.bench`): every suite algorithm over pinned scenario
+presets with tracing and counters on, p50/p95 wall times from the span
+collector, written to ``BENCH_obs.json``. ``--baseline FILE
+--max-regress PCT`` turns the run into a regression gate that exits
+non-zero on slowdowns.
 """
 
 from __future__ import annotations
@@ -25,7 +32,6 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-import time
 from typing import Sequence
 
 
@@ -134,6 +140,7 @@ def run_engine(args: argparse.Namespace) -> int:
     from repro.core.mla import solve_mla
     from repro.core.mnu import solve_mnu
     from repro.engine import ShardedEngine
+    from repro.obs import trace as tracing
     from repro.scenarios.federation import generate_federation
 
     scenario = generate_federation(
@@ -167,18 +174,20 @@ def run_engine(args: argparse.Namespace) -> int:
             f"{len(plan.idle_aps)} idle APs)"
         )
         for objective in objectives:
-            start = time.perf_counter()
-            solution = engine.solve(objective)
-            sharded_s = time.perf_counter() - start
+            with tracing.timed("engine.cli-solve", objective=objective) as t:
+                solution = engine.solve(objective)
+            sharded_s = t.wall_s
             line = (
                 f"  {objective}: value={solution.value():.6g} "
                 f"shards_solved={solution.n_resolved} "
                 f"time={sharded_s:.3f}s"
             )
             if args.compare:
-                start = time.perf_counter()
-                reference = monolithic[objective](problem).assignment
-                mono_s = time.perf_counter() - start
+                with tracing.timed(
+                    "engine.cli-monolithic", objective=objective
+                ) as t:
+                    reference = monolithic[objective](problem).assignment
+                mono_s = t.wall_s
                 values = {
                     "mnu": float(reference.n_served),
                     "bla": reference.max_load(),
@@ -262,6 +271,51 @@ def run_fuzz_cli(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def run_bench_cli(args: argparse.Namespace) -> int:
+    """Run the pinned bench suite; optionally gate against a baseline."""
+    from repro.obs import bench
+
+    algorithms = (
+        [name.strip() for name in args.algorithms.split(",") if name.strip()]
+        if args.algorithms
+        else None
+    )
+    report = bench.run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        seed=args.seed,
+        algorithms=algorithms,
+    )
+    bench.validate_report(report)
+    bench.write_report(report, args.out)
+    print(bench.format_report(report))
+    print(f"bench report written to {args.out}")
+    if args.baseline is None:
+        return 0
+    baseline = bench.load_report(args.baseline)
+    regressions = bench.compare_to_baseline(
+        report,
+        baseline,
+        max_regress_pct=args.max_regress,
+        min_time_s=args.min_time,
+    )
+    if regressions:
+        print(
+            f"{len(regressions)} cell(s) regressed beyond "
+            f"{args.max_regress:.0f}% of {args.baseline}:"
+        )
+        for regression in regressions:
+            print(
+                f"  {regression['scenario']}/{regression['algorithm']}: "
+                f"p50 {regression['p50_s'] * 1e3:.2f}ms vs baseline "
+                f"{regression['baseline_p50_s'] * 1e3:.2f}ms "
+                f"({regression['ratio']:.2f}x)"
+            )
+        return 1
+    print(f"no regressions beyond {args.max_regress:.0f}% of {args.baseline}")
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -333,6 +387,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="certificates only (skip the differential oracles)",
     )
     fuzz.add_argument("--verbose", action="store_true")
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned observability benchmark suite",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small presets and fewer repeats (the CI smoke setting)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed runs per (algorithm, scenario) cell (default 3 quick / 5 full)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated subset of the registry (default: the pinned suite)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_obs.json",
+        help="report path (default BENCH_obs.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="bench report to gate against (e.g. benchmarks/baseline.json)",
+    )
+    bench.add_argument(
+        "--max-regress",
+        type=float,
+        default=25.0,
+        help="per-cell p50 slowdown tolerance in percent (default 25)",
+    )
+    bench.add_argument(
+        "--min-time",
+        type=float,
+        default=0.0,
+        help="ignore baseline cells with p50 below this many seconds",
+    )
     return parser
 
 
@@ -345,6 +442,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_verify(args)
     if args.command == "fuzz":
         return run_fuzz_cli(args)
+    if args.command == "bench":
+        return run_bench_cli(args)
     return run_selfcheck()
 
 

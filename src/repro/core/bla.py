@@ -30,6 +30,8 @@ from repro.core.candidates import (
 from repro.core.errors import CoverageError
 from repro.core.mcg import greedy_mcg
 from repro.core.problem import MulticastAssociationProblem
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -142,65 +144,85 @@ def solve_bla(
     if n_guesses < 1:
         raise ValueError("need at least one B* guess")
 
-    candidates = build_candidates(problem)
-    ground = set(range(problem.n_users))
-    cap = max_iterations(problem.n_users)
+    with tracing.span(
+        "bla.solve", n_users=problem.n_users, n_aps=problem.n_aps
+    ):
+        candidates = build_candidates(problem)
+        ground = set(range(problem.n_users))
+        cap = max_iterations(problem.n_users)
 
-    # Upper bound: an unconstrained cover always exists; its max load is a
-    # feasible (if poor) value of the objective.
-    unconstrained = _iterated_mnu(candidates, problem.n_aps, math.inf, ground, cap)
-    assert unconstrained is not None  # guaranteed: no isolated users
-    best_assignment = assignment_from_cover(problem, unconstrained[0])
-    best_iterations = unconstrained[1]
-    best_b_star = math.inf
-    best_value = best_assignment.max_load()
+        # Upper bound: an unconstrained cover always exists; its max load
+        # is a feasible (if poor) value of the objective.
+        unconstrained = _iterated_mnu(
+            candidates, problem.n_aps, math.inf, ground, cap
+        )
+        assert unconstrained is not None  # guaranteed: no isolated users
+        best_assignment = assignment_from_cover(problem, unconstrained[0])
+        best_iterations = unconstrained[1]
+        best_b_star = math.inf
+        best_value = best_assignment.max_load()
 
-    lower = max(problem.min_cost_of_user(u) for u in range(problem.n_users))
-    upper = max(best_value, lower * (1 + 1e-9))
+        lower = max(
+            problem.min_cost_of_user(u) for u in range(problem.n_users)
+        )
+        upper = max(best_value, lower * (1 + 1e-9))
 
-    def try_guess(b_star: float) -> bool:
-        """Attempt one guess; update the incumbent. True when feasible."""
-        nonlocal best_assignment, best_b_star, best_value, best_iterations
-        outcome = _iterated_mnu(candidates, problem.n_aps, b_star, ground, cap)
-        if outcome is None:
-            return False
-        assignment = assignment_from_cover(problem, outcome[0])
-        value = assignment.max_load()
-        if value < best_value - 1e-15:
-            best_assignment = assignment
-            best_value = value
-            best_b_star = b_star
-            best_iterations = outcome[1]
-        return True
+        def try_guess(b_star: float) -> bool:
+            """Attempt one guess; update the incumbent. True when feasible."""
+            nonlocal best_assignment, best_b_star, best_value, best_iterations
+            metrics.incr("bla.bstar_probes")
+            with tracing.span("bla.bstar-probe", b_star=b_star):
+                outcome = _iterated_mnu(
+                    candidates, problem.n_aps, b_star, ground, cap
+                )
+            if outcome is None:
+                metrics.incr("bla.bstar_infeasible")
+                return False
+            metrics.incr("bla.bstar_feasible")
+            assignment = assignment_from_cover(problem, outcome[0])
+            value = assignment.max_load()
+            if value < best_value - 1e-15:
+                best_assignment = assignment
+                best_value = value
+                best_b_star = b_star
+                best_iterations = outcome[1]
+            return True
 
-    # Geometric grid between the lower bound and the unconstrained max load.
-    if upper > lower > 0:
-        ratio = (upper / lower) ** (1.0 / max(n_guesses - 1, 1))
-        feasible_guesses: list[float] = []
-        infeasible_guesses: list[float] = []
-        for i in range(n_guesses):
-            guess = lower * ratio**i
-            if try_guess(guess):
-                feasible_guesses.append(guess)
-            else:
-                infeasible_guesses.append(guess)
-        # Bisection refinement between the largest infeasible and the
-        # smallest feasible guess.
-        low = max(infeasible_guesses, default=lower)
-        high = min(feasible_guesses, default=upper)
-        for _ in range(refine_steps):
-            if high - low <= 1e-9:
-                break
-            mid = (low + high) / 2
-            if try_guess(mid):
-                high = mid
-            else:
-                low = mid
+        # Geometric grid between the lower bound and the unconstrained
+        # max load.
+        if upper > lower > 0:
+            ratio = (upper / lower) ** (1.0 / max(n_guesses - 1, 1))
+            feasible_guesses: list[float] = []
+            infeasible_guesses: list[float] = []
+            for i in range(n_guesses):
+                guess = lower * ratio**i
+                if try_guess(guess):
+                    feasible_guesses.append(guess)
+                else:
+                    infeasible_guesses.append(guess)
+            # Bisection refinement between the largest infeasible and the
+            # smallest feasible guess.
+            low = max(infeasible_guesses, default=lower)
+            high = min(feasible_guesses, default=upper)
+            for _ in range(refine_steps):
+                if high - low <= 1e-9:
+                    break
+                mid = (low + high) / 2
+                if try_guess(mid):
+                    high = mid
+                else:
+                    low = mid
 
-    if local_search:
-        best_assignment = rebalance_cover(best_assignment)
+        if local_search:
+            best_assignment = rebalance_cover(best_assignment)
 
-    best_assignment.validate(check_budgets=False)
+        best_assignment.validate(check_budgets=False)
+    if metrics.enabled():
+        metrics.incr("bla.solves")
+        metrics.incr("bla.iterations", best_iterations)
+        metrics.gauge("bla.n_served", float(best_assignment.n_served))
+        metrics.gauge("bla.total_load", best_assignment.total_load())
+        metrics.gauge("bla.max_load", best_assignment.max_load())
     return BlaSolution(
         assignment=best_assignment,
         b_star=best_b_star,

@@ -27,6 +27,8 @@ from typing import Callable, Literal, Sequence
 
 from repro.core.assignment import Assignment
 from repro.core.problem import MulticastAssociationProblem
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
 
 Policy = Literal["mnu", "mla", "bla"]
 
@@ -268,6 +270,44 @@ def run_distributed(
     whole round decide on one snapshot and applies all moves together,
     reproducing Figure 4's potential oscillation.
     """
+    with tracing.span(
+        "distributed.run",
+        policy=policy,
+        mode=mode,
+        n_users=problem.n_users,
+    ):
+        result = _run_rounds(
+            problem,
+            policy,
+            mode=mode,
+            initial=initial,
+            rng=rng,
+            shuffle_each_round=shuffle_each_round,
+            max_rounds=max_rounds,
+            enforce_budgets=enforce_budgets,
+        )
+    if metrics.enabled():
+        metrics.incr("distributed.runs")
+        metrics.incr("distributed.rounds", result.rounds)
+        metrics.incr("distributed.moves", result.moves)
+        metrics.incr("distributed.decisions", result.rounds * problem.n_users)
+        if result.oscillated:
+            metrics.incr("distributed.oscillations")
+    return result
+
+
+def _run_rounds(
+    problem: MulticastAssociationProblem,
+    policy: Policy,
+    *,
+    mode: Literal["sequential", "simultaneous"],
+    initial: Sequence[int | None] | None,
+    rng: random.Random | None,
+    shuffle_each_round: bool,
+    max_rounds: int,
+    enforce_budgets: bool | None,
+) -> DistributedResult:
+    """The decision/move loop behind :func:`run_distributed`."""
     state = AssociationState(problem, initial)
     rng = rng or random.Random(0)
     order = list(range(problem.n_users))

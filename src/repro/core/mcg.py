@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.candidates import CandidateSet
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -95,35 +97,45 @@ def greedy_mcg(
     overshooting: list[CandidateSet] = []
     selected_indices: set[int] = set()
 
-    while remaining:
-        best_index = -1
-        best_effectiveness = 0.0
-        for k, candidate in enumerate(candidates):
-            if k in selected_indices:
-                continue
-            count = uncovered_count[k]
-            if count == 0:
-                continue
-            if group_cost[candidate.ap] >= budgets[candidate.ap]:
-                continue  # group budget already met or exceeded: blocked
-            effectiveness = count / candidate.cost
-            if effectiveness > best_effectiveness:
-                best_effectiveness = effectiveness
-                best_index = k
-        if best_index < 0:
-            break  # every open group has only zero-value sets left
-        candidate = candidates[best_index]
-        selected.append(candidate)
-        selected_indices.add(best_index)
-        group_cost[candidate.ap] += candidate.cost
-        if group_cost[candidate.ap] > budgets[candidate.ap]:
-            overshooting.append(candidate)
-        else:
-            within_budget.append(candidate)
-        for user in candidate.users & remaining:
-            for k in incidence.get(user, ()):
-                uncovered_count[k] -= 1
-        remaining -= candidate.users
+    rounds = 0
+    with tracing.span(
+        "mcg.greedy", n_candidates=len(candidates), n_ground=len(ground)
+    ):
+        while remaining:
+            rounds += 1
+            best_index = -1
+            best_effectiveness = 0.0
+            for k, candidate in enumerate(candidates):
+                if k in selected_indices:
+                    continue
+                count = uncovered_count[k]
+                if count == 0:
+                    continue
+                if group_cost[candidate.ap] >= budgets[candidate.ap]:
+                    continue  # group budget already met or exceeded: blocked
+                effectiveness = count / candidate.cost
+                if effectiveness > best_effectiveness:
+                    best_effectiveness = effectiveness
+                    best_index = k
+            if best_index < 0:
+                break  # every open group has only zero-value sets left
+            candidate = candidates[best_index]
+            selected.append(candidate)
+            selected_indices.add(best_index)
+            group_cost[candidate.ap] += candidate.cost
+            if group_cost[candidate.ap] > budgets[candidate.ap]:
+                overshooting.append(candidate)
+            else:
+                within_budget.append(candidate)
+            for user in candidate.users & remaining:
+                for k in incidence.get(user, ()):
+                    uncovered_count[k] -= 1
+            remaining -= candidate.users
+    if metrics.enabled():
+        metrics.incr("mcg.runs")
+        metrics.incr("mcg.rounds", rounds)
+        metrics.incr("mcg.candidate_scans", rounds * len(candidates))
+        metrics.incr("mcg.sets_selected", len(selected))
 
     if not split:
         chosen = tuple(selected)

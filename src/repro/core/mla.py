@@ -16,6 +16,8 @@ from repro.core.candidates import build_candidates
 from repro.core.errors import CoverageError
 from repro.core.problem import MulticastAssociationProblem
 from repro.core.setcover import SetCoverResult, greedy_set_cover
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -35,13 +37,22 @@ def solve_mla(problem: MulticastAssociationProblem) -> MlaSolution:
     isolated = problem.isolated_users()
     if isolated:
         raise CoverageError(isolated)
-    candidates = build_candidates(problem)
-    ground = set(range(problem.n_users))
-    cover = greedy_set_cover(candidates, ground)
-    assignment = from_selected_sets(
-        problem,
-        ((c.ap, c.session, c.tx_rate, c.users) for c in cover.selected),
-    )
-    # Feasibility wrt range/rates only: MLA has no budget constraint.
-    assignment.validate(check_budgets=False)
+    with tracing.span(
+        "mla.solve", n_users=problem.n_users, n_aps=problem.n_aps
+    ):
+        candidates = build_candidates(problem)
+        ground = set(range(problem.n_users))
+        cover = greedy_set_cover(candidates, ground)
+        assignment = from_selected_sets(
+            problem,
+            ((c.ap, c.session, c.tx_rate, c.users) for c in cover.selected),
+        )
+        # Feasibility wrt range/rates only: MLA has no budget constraint.
+        assignment.validate(check_budgets=False)
+    if metrics.enabled():
+        metrics.incr("mla.solves")
+        metrics.incr("mla.cover_sets", len(cover.selected))
+        metrics.gauge("mla.n_served", float(assignment.n_served))
+        metrics.gauge("mla.total_load", assignment.total_load())
+        metrics.gauge("mla.max_load", assignment.max_load())
     return MlaSolution(assignment=assignment, cover=cover)

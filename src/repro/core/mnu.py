@@ -21,6 +21,8 @@ from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.candidates import build_candidates
 from repro.core.mcg import McgResult, greedy_mcg
 from repro.core.problem import MulticastAssociationProblem
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -83,26 +85,35 @@ def solve_mnu(
     augment:
         greedily re-add users dropped by the split when they still fit.
     """
-    # The H1/H2 split's feasibility guarantee (Theorem 2) rests on the
-    # paper's assumption that no single set costs more than its group's
-    # budget. A set with cost > budget can never appear in any feasible
-    # solution (one transmission would already exceed the AP's limit), so
-    # dropping such sets is exact, and restores the assumption.
-    candidates = [
-        c
-        for c in build_candidates(problem)
-        if c.cost <= problem.budget_of(c.ap) + 1e-12
-    ]
-    ground = set(range(problem.n_users))
-    result = greedy_mcg(
-        candidates, list(problem.budgets), ground, split=split
-    )
-    assignment = from_selected_sets(
-        problem,
-        ((c.ap, c.session, c.tx_rate, c.users) for c in result.chosen),
-    )
-    if augment:
-        assignment = augment_assignment(assignment)
-    if split:
-        assignment.validate(check_budgets=True)
+    with tracing.span(
+        "mnu.solve", n_users=problem.n_users, n_aps=problem.n_aps
+    ):
+        # The H1/H2 split's feasibility guarantee (Theorem 2) rests on the
+        # paper's assumption that no single set costs more than its group's
+        # budget. A set with cost > budget can never appear in any feasible
+        # solution (one transmission would already exceed the AP's limit), so
+        # dropping such sets is exact, and restores the assumption.
+        candidates = [
+            c
+            for c in build_candidates(problem)
+            if c.cost <= problem.budget_of(c.ap) + 1e-12
+        ]
+        ground = set(range(problem.n_users))
+        result = greedy_mcg(
+            candidates, list(problem.budgets), ground, split=split
+        )
+        assignment = from_selected_sets(
+            problem,
+            ((c.ap, c.session, c.tx_rate, c.users) for c in result.chosen),
+        )
+        if augment:
+            assignment = augment_assignment(assignment)
+        if split:
+            assignment.validate(check_budgets=True)
+    if metrics.enabled():
+        metrics.incr("mnu.solves")
+        metrics.incr("mnu.candidates", len(candidates))
+        metrics.gauge("mnu.n_served", float(assignment.n_served))
+        metrics.gauge("mnu.total_load", assignment.total_load())
+        metrics.gauge("mnu.max_load", assignment.max_load())
     return MnuSolution(assignment=assignment, mcg=result)

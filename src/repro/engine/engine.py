@@ -56,6 +56,9 @@ from repro.engine.executor import (
 from repro.engine.incremental import CacheStats, ShardCache, shard_fingerprint
 from repro.engine.partition import ShardPlan, plan_shards
 from repro.engine.shard import Shard, build_shards, stitch_assignment
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
+from repro.obs.remote import instrumented_map
 
 OBJECTIVES = ("mnu", "bla", "mla")
 
@@ -151,6 +154,7 @@ class ShardedEngine:
         if user in self._active:
             raise ModelError(f"user {user} is already active")
         self._active.add(user)
+        metrics.incr("engine.join_messages")
 
     def leave(self, user: int) -> None:
         """A user leaves its multicast session."""
@@ -158,6 +162,7 @@ class ShardedEngine:
         if user not in self._active:
             raise ModelError(f"user {user} is not active")
         self._active.discard(user)
+        metrics.incr("engine.leave_messages")
 
     def process_event(self, event: ChurnEvent) -> None:
         """Apply one :class:`~repro.core.online.ChurnEvent` to membership."""
@@ -215,20 +220,30 @@ class ShardedEngine:
         hits0 = self._cache.stats.hits
         misses0 = self._cache.stats.misses
 
-        if objective == "mnu":
-            solution = self._solve_cached(
-                "mnu", active_set, mnu_shard_raw, self._stitch_mnu(augment, active_set)
-            )
-        elif objective == "mla":
-            self._require_coverage(active_set)
-            solution = self._solve_cached(
-                "mla", active_set, mla_shard_raw, stitch_mla
-            )
-        elif self.bla_mode == "federated":
-            self._require_coverage(active_set)
-            solution = self._solve_bla_federated(active_set)
-        else:
-            solution = self._solve_bla_exact(active_set)
+        with tracing.span(
+            "engine.solve",
+            objective=objective,
+            n_active=len(active_set),
+            parallel=self.parallel,
+        ):
+            if objective == "mnu":
+                solution = self._solve_cached(
+                    "mnu",
+                    active_set,
+                    mnu_shard_raw,
+                    self._stitch_mnu(augment, active_set),
+                )
+            elif objective == "mla":
+                self._require_coverage(active_set)
+                solution = self._solve_cached(
+                    "mla", active_set, mla_shard_raw, stitch_mla
+                )
+            elif self.bla_mode == "federated":
+                self._require_coverage(active_set)
+                solution = self._solve_bla_federated(active_set)
+            else:
+                solution = self._solve_bla_exact(active_set)
+        metrics.incr("engine.solves")
 
         assignment, n_resolved, extras = solution
         return EngineSolution(
@@ -287,7 +302,13 @@ class ShardedEngine:
             else:
                 raws[i] = entry
         subs = [live[i][0].slice(active_set) for i in pending]
-        solved = self._backend.map(worker, [sp.problem for sp in subs])
+        solved = instrumented_map(
+            self._backend,
+            worker,
+            [sp.problem for sp in subs],
+            "engine.shard-solve",
+            objective=objective,
+        )
         for i, shard_problem, raw in zip(pending, subs, solved):
             if objective == "mnu":
                 entry = (
@@ -336,8 +357,12 @@ class ShardedEngine:
             else:
                 entries[i] = entry
         subs = [live[i][0].slice(active_set) for i in pending]
-        solved = self._backend.map(
-            bla_shard_federated, [sp.problem for sp in subs]
+        solved = instrumented_map(
+            self._backend,
+            bla_shard_federated,
+            [sp.problem for sp in subs],
+            "engine.shard-solve",
+            objective="bla-federated",
         )
         for i, shard_problem, (local_map, b_star, iters) in zip(
             pending, subs, solved

@@ -49,6 +49,9 @@ from repro.core.mla import solve_mla
 from repro.core.mnu import augment_assignment, solve_mnu
 from repro.core.problem import MulticastAssociationProblem
 from repro.engine.shard import Shard, ShardProblem, stitch_assignment
+from repro.obs import counters as metrics
+from repro.obs import trace as tracing
+from repro.obs.remote import instrumented_map
 
 #: One selected candidate set, flattened for pickling/caching:
 #: ``(ap, session, tx_rate, cost, users)``.
@@ -341,7 +344,14 @@ def solve_sharded_bla(
                 )
                 for i in open_shards
             ]
-            rounds = backend.map(bla_round, payloads)
+            metrics.incr("bla.sharded_rounds")
+            rounds = instrumented_map(
+                backend,
+                bla_round,
+                payloads,
+                "bla.round",
+                iteration=iterations,
+            )
             # The per-iteration H1/H2 split, applied globally (Theorem 2):
             h1_cover = sum(len(_covered(w)) for w, _ in rounds)
             h2_cover = sum(len(_covered(o)) for _, o in rounds)
@@ -391,7 +401,9 @@ def solve_sharded_bla(
 
     def try_guess(b_star: float) -> bool:
         nonlocal best_assignment, best_b_star, best_value, best_iterations
-        outcome = iterated(b_star)
+        metrics.incr("bla.bstar_probes")
+        with tracing.span("bla.bstar-probe", b_star=b_star, sharded=True):
+            outcome = iterated(b_star)
         if outcome is None:
             return False
         assignment = stitched(outcome[0])
@@ -434,7 +446,9 @@ def solve_sharded_bla(
                 for user in shard_problem.users
             )
             payloads.append((shard_problem.problem, initial))
-        refined_locals = backend.map(rebalance_round, payloads)
+        refined_locals = instrumented_map(
+            backend, rebalance_round, payloads, "bla.rebalance"
+        )
         pairs = []
         for (_, shard_problem, _), refined in zip(live, refined_locals):
             pairs.extend(shard_problem.map_assignment(refined))

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.problem import MulticastAssociationProblem
 from repro.engine.shard import Shard
+from repro.obs import counters as metrics
 
 
 def shard_fingerprint(
@@ -105,10 +106,12 @@ class ShardCache:
         stored = self._entries.get(key)
         if stored is not None and stored[0] == fingerprint:
             self.stats.hits += 1
+            metrics.incr("cache.hits")
             return stored[1]
         if stored is not None:
             del self._entries[key]
         self.stats.misses += 1
+        metrics.incr("cache.misses")
         return None
 
     def put(
@@ -124,6 +127,8 @@ class ShardCache:
         for key in victims:
             del self._entries[key]
         self.stats.invalidations += len(victims)
+        if victims:
+            metrics.incr("cache.invalidations", len(victims))
         return len(victims)
 
     def clear(self) -> int:
@@ -131,6 +136,8 @@ class ShardCache:
         n = len(self._entries)
         self._entries.clear()
         self.stats.invalidations += n
+        if n:
+            metrics.incr("cache.invalidations", n)
         return n
 
     def __len__(self) -> int:

@@ -10,7 +10,6 @@ come from this machinery:
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Mapping, Sequence
 
 from repro.eval.experiments import ExperimentResult
@@ -18,6 +17,7 @@ from repro.eval.extensions import EXTENSIONS
 from repro.eval.figures import FIGURES
 from repro.eval.plots import plot_experiment
 from repro.eval.reporting import format_table
+from repro.obs import trace as tracing
 
 Runner = Callable[..., ExperimentResult]
 
@@ -31,9 +31,9 @@ def _render_section(
     include_plots: bool,
 ) -> str:
     kwargs = dict(overrides.get(name, {})) if overrides else {}
-    start = time.perf_counter()
-    result = runner(n_scenarios, base_seed=base_seed, **kwargs)
-    elapsed = time.perf_counter() - start
+    with tracing.timed("report.section", section=name) as timer:
+        result = runner(n_scenarios, base_seed=base_seed, **kwargs)
+    elapsed = timer.wall_s
     doc = (runner.__doc__ or "").strip().splitlines()
     blurb = doc[0] if doc else ""
     parts = [

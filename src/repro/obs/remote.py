@@ -1,0 +1,93 @@
+"""Cross-process span and counter capture for pool-backed shard solves.
+
+``ProcessPoolExecutor`` workers run in their own interpreters, so spans
+and counters recorded there never reach the parent's collector. This
+module closes that gap without touching worker semantics:
+
+* :func:`run_captured` is a picklable top-level wrapper the parent maps
+  instead of the bare worker function. In the worker it installs a fresh
+  collector/registry pair, runs the real function inside a labelled span,
+  restores whatever observability state the worker had (fork inherits the
+  parent's!), and returns ``(result, trace_blob, metrics_blob)``.
+* :func:`absorb` merges those blobs into the parent's active collector
+  and registry, stamping ``remote=True`` so aggregated per-shard spans
+  remain distinguishable from in-process ones.
+* :func:`instrumented_map` is the drop-in replacement for
+  ``backend.map(fn, tasks)``: with observability off (the default) it
+  calls ``backend.map`` untouched — byte-identical behavior — and with it
+  on it wraps serial tasks in spans directly and parallel tasks in
+  :func:`run_captured`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.obs import counters, trace
+
+#: Payload shipped to a pool worker: ``(fn, task, span_name, span_attrs)``.
+CapturedTask = tuple[Callable, Any, str, dict]
+
+
+def run_captured(payload: CapturedTask) -> tuple[Any, dict, dict]:
+    """Run ``fn(task)`` under worker-local observability; ship blobs back.
+
+    The worker's previous collector/registry (inherited via fork when the
+    parent had observability on) is saved and restored so captured data is
+    exactly this task's.
+    """
+    fn, task, name, attrs = payload
+    previous_trace = trace.active()
+    previous_metrics = counters.active()
+    local_trace = trace.TraceCollector()
+    local_metrics = counters.MetricsRegistry()
+    trace._set_active(local_trace)
+    counters._set_active(local_metrics)
+    try:
+        with trace.span(name, **attrs):
+            result = fn(task)
+    finally:
+        trace._set_active(previous_trace)
+        counters._set_active(previous_metrics)
+    return result, local_trace.export(), local_metrics.export()
+
+
+def absorb(trace_blob: dict, metrics_blob: dict, **extra_attrs: Any) -> None:
+    """Merge one worker's exported blobs into the parent's active state."""
+    collector = trace.active()
+    if collector is not None:
+        collector.merge(trace_blob, extra_attrs={"remote": True, **extra_attrs})
+    registry = counters.active()
+    if registry is not None:
+        registry.merge(metrics_blob)
+
+
+def instrumented_map(
+    backend, fn: Callable, tasks: Sequence, name: str, **attrs: Any
+) -> list:
+    """``backend.map(fn, tasks)`` with per-task spans when observing.
+
+    ``backend`` is any object with a ``map(fn, tasks)`` method and a
+    ``parallel`` attribute (the engine's Serial/Process backends). When no
+    collector *and* no registry is installed this is exactly
+    ``backend.map(fn, tasks)`` — same calls, same results, same order.
+    """
+    if not tasks or not (trace.enabled() or counters.enabled()):
+        return backend.map(fn, tasks)
+    if getattr(backend, "parallel", False):
+        payloads = [
+            (fn, task, name, {**attrs, "task": i})
+            for i, task in enumerate(tasks)
+        ]
+        results = []
+        for result, trace_blob, metrics_blob in backend.map(
+            run_captured, payloads
+        ):
+            absorb(trace_blob, metrics_blob)
+            results.append(result)
+        return results
+    results = []
+    for i, task in enumerate(tasks):
+        with trace.span(name, **attrs, task=i):
+            results.append(fn(task))
+    return results

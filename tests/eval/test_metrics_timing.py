@@ -1,0 +1,64 @@
+"""Pin the timing semantics of :class:`AlgorithmResult`.
+
+``runtime_s`` is defined as the wall-clock duration of the
+``"algorithm.run"`` span wrapping the solver call alone — when a trace
+collector is installed it must equal the recorded span's ``wall_s``
+*exactly* (same measurement, not a second stopwatch), and with
+observability disabled the same clock still runs without recording
+anything.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.eval.metrics import run_algorithm
+from repro.obs import trace
+
+from tests.conftest import random_problem
+
+
+@pytest.fixture
+def problem():
+    return random_problem(random.Random(7), n_users=10)
+
+
+def test_runtime_equals_recorded_span_exactly(problem):
+    with obs.collecting() as session:
+        result = run_algorithm("c-mla", problem)
+    spans = session.trace.spans("algorithm.run")
+    assert len(spans) == 1
+    assert result.runtime_s == spans[0].wall_s  # exact, not approx
+
+
+def test_span_carries_algorithm_attr(problem):
+    with obs.collecting() as session:
+        run_algorithm("c-bla", problem)
+        run_algorithm("ssa", problem)
+    attrs = [
+        record.attrs["algorithm"]
+        for record in session.trace.spans("algorithm.run")
+    ]
+    assert attrs == ["c-bla", "ssa"]
+
+
+def test_disabled_still_times_but_records_nothing(problem):
+    assert not trace.enabled()
+    result = run_algorithm("c-mnu", problem)
+    assert result.runtime_s > 0.0
+    # Nothing leaked into a collector installed after the fact.
+    collector = trace.install()
+    try:
+        assert len(collector) == 0
+    finally:
+        trace.uninstall()
+
+
+def test_one_span_per_run(problem):
+    with obs.collecting() as session:
+        for _ in range(4):
+            run_algorithm("least-load", problem)
+    assert len(session.trace.spans("algorithm.run")) == 4

@@ -1,0 +1,78 @@
+"""Reported load gauges agree with independently-derived certificates.
+
+For c-mnu / c-bla / c-mla on every fuzz-corpus scenario (plus a few
+random abstract instances), the ``<solver>.total_load`` /
+``<solver>.max_load`` / ``<solver>.n_served`` gauges written by the
+instrumented solvers must equal the loads
+:func:`repro.verify.certificates.verify_assignment` re-derives from raw
+problem data. A drift here means the observability layer is reporting a
+different solution than the one actually produced.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.bla import solve_bla
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.verify.certificates import verify_assignment
+from repro.verify.fuzz import load_corpus_entry
+
+from tests.conftest import random_problem
+
+CORPUS_DIR = Path(__file__).parent.parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+SOLVERS = {
+    "c-mnu": ("mnu", lambda p: solve_mnu(p).assignment),
+    "c-bla": ("bla", lambda p: solve_bla(p).assignment),
+    "c-mla": ("mla", lambda p: solve_mla(p).assignment),
+}
+
+
+def corpus_problems():
+    assert CORPUS, "fuzz corpus should hold at least the pinned scenarios"
+    return [
+        (path.stem, load_corpus_entry(str(path))[1].problem())
+        for path in CORPUS
+    ]
+
+
+def random_problems(n: int = 4):
+    rng = random.Random(1234)
+    return [
+        (f"random-{i}", random_problem(rng, n_users=10, budget=math.inf))
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,problem",
+    corpus_problems() + random_problems(),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+@pytest.mark.parametrize("solver_name", sorted(SOLVERS))
+def test_load_gauges_match_certificate(solver_name, label, problem):
+    prefix, solve = SOLVERS[solver_name]
+    with obs.collecting() as session:
+        assignment = solve(problem)
+    certificate = verify_assignment(
+        problem, assignment, prefix, lp_bounds=False
+    )
+    assert certificate.ok, [str(v) for v in certificate.violations]
+    gauges = session.metrics.gauges()
+    assert gauges[f"{prefix}.total_load"] == pytest.approx(
+        certificate.stats["total_load"], abs=1e-12
+    )
+    assert gauges[f"{prefix}.max_load"] == pytest.approx(
+        certificate.stats["max_load"], abs=1e-12
+    )
+    assert gauges[f"{prefix}.n_served"] == pytest.approx(
+        certificate.stats["n_served"], abs=0
+    )

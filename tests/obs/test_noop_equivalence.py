@@ -1,0 +1,78 @@
+"""Instrumentation is inert: identical assignments with obs on vs off.
+
+Every registry algorithm runs twice on each federation preset — once with
+collection fully disabled (the default) and once inside
+``obs.collecting()`` — and must return the byte-identical user→AP map.
+This is the contract that lets the observability layer live inside the
+solver hot paths without a correctness tax: spans and counters only read
+and count, never steer tie-breaks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.eval.metrics import ALGORITHMS
+from repro.scenarios.federation import generate_federation
+
+#: The two pinned federation presets (small enough for the exact ILPs).
+PRESETS = {
+    "two-cluster": dict(
+        n_clusters=2,
+        aps_per_cluster=2,
+        users_per_cluster=4,
+        n_sessions=2,
+        seed=5,
+    ),
+    "three-cluster": dict(
+        n_clusters=3,
+        aps_per_cluster=2,
+        users_per_cluster=4,
+        n_sessions=2,
+        seed=9,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return {
+        name: generate_federation(**kwargs).problem()
+        for name, kwargs in PRESETS.items()
+    }
+
+
+def run(name: str, problem):
+    """One deterministic solver run; returns the user→AP tuple."""
+    return tuple(ALGORITHMS[name](problem, random.Random(0)).ap_of_user)
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_enabled_vs_disabled_assignments_identical(
+    algorithm, preset, problems
+):
+    problem = problems[preset]
+    assert not obs.enabled(), "test requires collection off at entry"
+    plain = run(algorithm, problem)
+    with obs.collecting():
+        observed = run(algorithm, problem)
+    assert observed == plain
+    # And disabling restores the no-collection world for the next case.
+    assert not obs.enabled()
+
+
+def test_collection_actually_recorded_something(problems):
+    """Guard against vacuous equivalence: the enabled run must observe."""
+    problem = problems["three-cluster"]
+    with obs.collecting() as session:
+        run("c-mla", problem)
+        run("c-bla", problem)
+        run("e-mnu", problem)
+    counter_names = set(session.metrics.counters())
+    assert {"mcg.runs", "mla.solves", "bla.bstar_probes"} <= counter_names
+    span_names = {record.name for record in session.trace.records()}
+    assert {"mla.solve", "bla.solve", "engine.solve"} <= span_names
