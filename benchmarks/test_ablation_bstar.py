@@ -15,8 +15,10 @@ from repro.scenarios.presets import fig12_users_sweep
 CONFIGS = (
     ("1 guess, no LS", dict(n_guesses=1, refine_steps=0, local_search=False)),
     ("4 guesses, no LS", dict(n_guesses=4, refine_steps=0, local_search=False)),
-    ("12 guesses + refine, no LS", dict(n_guesses=12, refine_steps=12, local_search=False)),
-    ("12 guesses + refine + LS", dict(n_guesses=12, refine_steps=12, local_search=True)),
+    ("12 guesses + refine, no LS",
+     dict(n_guesses=12, refine_steps=12, local_search=False)),
+    ("12 guesses + refine + LS",
+     dict(n_guesses=12, refine_steps=12, local_search=True)),
 )
 
 

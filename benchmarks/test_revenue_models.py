@@ -7,12 +7,11 @@ aggregate) under *its own* revenue model.
 
 from __future__ import annotations
 
+import math
 import random
 
 from benchmarks.conftest import n_scenarios, run_once
 from repro.core.bla import solve_bla
-import math
-
 from repro.core.fairness import (
     concave_unicast_revenue,
     pay_per_view_revenue,

@@ -40,8 +40,10 @@ def plan(area: Area, model: ThresholdPropagation) -> int:
     print(f"   recommended APs for depth-2 coverage : {n_aps}")
     print(f"   covered area                         : {report.covered_fraction:.1%}")
     print(f"   mean coverage depth                  : {report.mean_coverage_depth:.2f}")
-    print(f"   area with >=2 APs (control freedom)  : {report.depth_fraction(2):.1%}")
-    print(f"   mean best link rate                  : {report.mean_best_rate_mbps:.1f} Mbps")
+    depth2 = report.depth_fraction(2)
+    print(f"   area with >=2 APs (control freedom)  : {depth2:.1%}")
+    rate = report.mean_best_rate_mbps
+    print(f"   mean best link rate                  : {rate:.1f} Mbps")
     return n_aps
 
 

@@ -55,6 +55,12 @@ from repro.core.interference_aware import (
     InterferenceAwareSolution,
     solve_interference_aware_mnu,
 )
+from repro.core.ledger import (
+    LEDGER_CHECK_ENV,
+    CandidateGainIndex,
+    LoadLedger,
+    ledger_check_enabled,
+)
 from repro.core.locks import LockTable, run_locked_simultaneous
 from repro.core.mcg import McgResult, greedy_mcg
 from repro.core.mla import MlaSolution, solve_mla
@@ -100,6 +106,7 @@ __all__ = [
     "Assignment",
     "AssociationState",
     "BlaSolution",
+    "CandidateGainIndex",
     "CandidateSet",
     "ChurnEvent",
     "CoverageError",
@@ -108,6 +115,8 @@ __all__ = [
     "DistributedResult",
     "InfeasibleAssignmentError",
     "InterferenceAwareSolution",
+    "LEDGER_CHECK_ENV",
+    "LoadLedger",
     "LockTable",
     "McgResult",
     "MlaSolution",
@@ -144,6 +153,7 @@ __all__ = [
     "greedy_mcg",
     "greedy_set_cover",
     "group_by_ap",
+    "ledger_check_enabled",
     "map_back",
     "max_iterations",
     "max_min_unicast_shares",

@@ -7,6 +7,15 @@ associated users requesting ``s``, so its load for that session is
 ``session_rate / min_link_rate``. Deriving rather than storing loads makes
 it impossible for a solver to return an assignment whose claimed loads
 disagree with the model.
+
+The derivation itself lives in exactly one place —
+:class:`repro.core.ledger.LoadLedger` (Definition 1's single non-oracle
+implementation). An ``Assignment`` is a frozen view over a private ledger,
+built lazily on the first load read (many assignments are only compared or
+counted); every subsequent load accessor is an O(1) read, and
+:attr:`Assignment.ledger` hands mutable-state consumers (greedy
+augmentation, churn repair) an exact starting point via
+:meth:`~repro.core.ledger.LoadLedger.copy`.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ import math
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.errors import InfeasibleAssignmentError, ModelError
+from repro.core.ledger import LoadLedger
 from repro.core.problem import MulticastAssociationProblem
 
 UNSERVED = None
@@ -23,32 +33,32 @@ UNSERVED = None
 class Assignment:
     """An immutable user -> AP association map with derived loads."""
 
+    __slots__ = ("_problem", "_map", "_ledger")
+
     def __init__(
         self,
         problem: MulticastAssociationProblem,
         ap_of_user: Sequence[int | None],
     ) -> None:
+        self._problem = problem
         if len(ap_of_user) != problem.n_users:
             raise ModelError(
                 f"assignment covers {len(ap_of_user)} users, "
                 f"problem has {problem.n_users}"
             )
+        normalized: list[int | None] = []
         for user, ap in enumerate(ap_of_user):
-            if ap is None:
-                continue
-            if not 0 <= ap < problem.n_aps:
-                raise ModelError(f"user {user} assigned to unknown AP {ap}")
-        self._problem = problem
-        self._map: tuple[int | None, ...] = tuple(
-            None if a is None else int(a) for a in ap_of_user
-        )
-        # group served users per (ap, session)
-        groups: dict[tuple[int, int], list[int]] = {}
-        for user, ap in enumerate(self._map):
-            if ap is None:
-                continue
-            groups.setdefault((ap, problem.session_of(user)), []).append(user)
-        self._groups = groups
+            if ap is not None:
+                ap = int(ap)
+                if not 0 <= ap < problem.n_aps:
+                    raise ModelError(
+                        f"user {user} assigned to unknown AP {ap}"
+                    )
+            normalized.append(ap)
+        self._map: tuple[int | None, ...] = tuple(normalized)
+        # The ledger (which re-validates and derives all loads) is built
+        # lazily: many assignments are compared or counted, never load-read.
+        self._ledger: LoadLedger | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -69,6 +79,18 @@ class Assignment:
         return self._problem
 
     @property
+    def ledger(self) -> LoadLedger:
+        """The frozen load ledger backing this assignment.
+
+        Read freely; to mutate, take a
+        :meth:`~repro.core.ledger.LoadLedger.copy` first — this instance
+        is shared and must stay consistent with the immutable map.
+        """
+        if self._ledger is None:
+            self._ledger = LoadLedger(self._problem, self._map)
+        return self._ledger
+
+    @property
     def ap_of_user(self) -> tuple[int | None, ...]:
         return self._map
 
@@ -87,13 +109,11 @@ class Assignment:
 
     def users_on(self, ap: int, session: int | None = None) -> list[int]:
         """Users associated with ``ap`` (optionally only one session's)."""
-        if session is not None:
-            return list(self._groups.get((ap, session), ()))
-        return [u for u, a in enumerate(self._map) if a == ap]
+        return self.ledger.users_on(ap, session)
 
     def sessions_on(self, ap: int) -> list[int]:
         """Sessions ``ap`` is transmitting, ascending."""
-        return sorted(s for (a, s) in self._groups if a == ap)
+        return self.ledger.sessions_on(ap)
 
     # -- derived loads ---------------------------------------------------------
 
@@ -103,38 +123,27 @@ class Assignment:
         The minimum of the associated users' link rates — every associated
         user must be able to decode the stream.
         """
-        users = self._groups.get((ap, session))
-        if not users:
-            return None
-        return min(self._problem.link_rate(ap, u) for u in users)
+        return self.ledger.tx_rate(ap, session)
 
     def load_of(self, ap: int) -> float:
         """Multicast load of ``ap``: summed airtime of its sessions."""
-        load = 0.0
-        for (a, session), users in self._groups.items():
-            if a != ap:
-                continue
-            rate = min(self._problem.link_rate(a, u) for u in users)
-            if rate <= 0:
-                return math.inf  # an out-of-range user makes the AP unservable
-            load += self._problem.transmission_cost(session, rate)
-        return load
+        return self.ledger.load_of(ap)
 
     def loads(self) -> list[float]:
         """Per-AP multicast loads."""
-        return [self.load_of(a) for a in range(self._problem.n_aps)]
+        return self.ledger.loads()
 
     def total_load(self) -> float:
         """Summed multicast load across APs (the MLA objective)."""
-        return sum(self.loads())
+        return self.ledger.total_load()
 
     def max_load(self) -> float:
         """Maximum per-AP multicast load (the BLA objective)."""
-        return max(self.loads(), default=0.0)
+        return self.ledger.max_load()
 
     def sorted_load_vector(self) -> tuple[float, ...]:
         """Loads sorted non-increasing — the BLA comparison vector."""
-        return tuple(sorted(self.loads(), reverse=True))
+        return self.ledger.sorted_load_vector()
 
     # -- validation ------------------------------------------------------------
 
@@ -146,7 +155,7 @@ class Assignment:
                 problems.append(f"user {user} is out of range of AP {ap}")
         if check_budgets:
             for ap in range(self._problem.n_aps):
-                load = self.load_of(ap)
+                load = self.ledger.load_of(ap)
                 budget = self._problem.budget_of(ap)
                 if load > budget + 1e-9:
                     problems.append(

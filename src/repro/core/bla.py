@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.assignment import Assignment, from_selected_sets
+from repro.core.assignment import Assignment
 from repro.core.candidates import (
     CandidateSet,
     build_candidates,
@@ -32,7 +32,6 @@ from repro.core.mcg import greedy_mcg
 from repro.core.problem import MulticastAssociationProblem
 from repro.obs import counters as metrics
 from repro.obs import trace as tracing
-
 
 @dataclass(frozen=True)
 class BlaSolution:

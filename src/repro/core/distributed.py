@@ -20,109 +20,24 @@ hashing.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Literal, Sequence
+from typing import Literal, Sequence
 
 from repro.core.assignment import Assignment
+from repro.core.ledger import LoadLedger
 from repro.core.problem import MulticastAssociationProblem
 from repro.obs import counters as metrics
 from repro.obs import trace as tracing
 
 Policy = Literal["mnu", "mla", "bla"]
 
-
-class AssociationState:
-    """Mutable association map with incrementally maintained AP loads."""
-
-    def __init__(
-        self,
-        problem: MulticastAssociationProblem,
-        initial: Sequence[int | None] | None = None,
-    ) -> None:
-        self.problem = problem
-        self.ap_of_user: list[int | None] = (
-            [None] * problem.n_users if initial is None else list(initial)
-        )
-        self._members: dict[tuple[int, int], set[int]] = {}
-        for user, ap in enumerate(self.ap_of_user):
-            if ap is not None:
-                key = (ap, problem.session_of(user))
-                self._members.setdefault(key, set()).add(user)
-        self._loads = [self._compute_load(a) for a in range(problem.n_aps)]
-
-    # -- load bookkeeping ---------------------------------------------------
-
-    def _group_cost(self, ap: int, session: int, members: set[int]) -> float:
-        if not members:
-            return 0.0
-        rate = min(self.problem.link_rate(ap, u) for u in members)
-        return self.problem.transmission_cost(session, rate)
-
-    def _compute_load(self, ap: int) -> float:
-        return sum(
-            self._group_cost(a, s, users)
-            for (a, s), users in self._members.items()
-            if a == ap
-        )
-
-    def load_of(self, ap: int) -> float:
-        return self._loads[ap]
-
-    def loads(self) -> list[float]:
-        return list(self._loads)
-
-    def total_load(self) -> float:
-        return sum(self._loads)
-
-    def sorted_load_vector(self) -> tuple[float, ...]:
-        return tuple(sorted(self._loads, reverse=True))
-
-    def load_if_joined(self, user: int, ap: int) -> float:
-        """Load of ``ap`` if ``user`` (not currently on it) joined."""
-        session = self.problem.session_of(user)
-        members = self._members.get((ap, session), set())
-        old_cost = self._group_cost(ap, session, members)
-        new_cost = self._group_cost(ap, session, members | {user})
-        return self._loads[ap] - old_cost + new_cost
-
-    def load_if_left(self, user: int) -> float:
-        """Load of the user's current AP if the user left it."""
-        ap = self.ap_of_user[user]
-        if ap is None:
-            raise ValueError(f"user {user} is not associated")
-        session = self.problem.session_of(user)
-        members = self._members[(ap, session)]
-        old_cost = self._group_cost(ap, session, members)
-        new_cost = self._group_cost(ap, session, members - {user})
-        return self._loads[ap] - old_cost + new_cost
-
-    # -- mutation -------------------------------------------------------------
-
-    def move(self, user: int, new_ap: int | None) -> None:
-        """Reassociate ``user`` (``None`` disassociates)."""
-        session = self.problem.session_of(user)
-        old_ap = self.ap_of_user[user]
-        if old_ap == new_ap:
-            return
-        if old_ap is not None:
-            self._loads[old_ap] = self.load_if_left(user)
-            members = self._members[(old_ap, session)]
-            members.discard(user)
-            if not members:
-                del self._members[(old_ap, session)]
-        if new_ap is not None:
-            self._loads[new_ap] = self.load_if_joined(user, new_ap)
-            self._members.setdefault((new_ap, session), set()).add(user)
-        self.ap_of_user[user] = new_ap
-
-    def to_assignment(self) -> Assignment:
-        return Assignment(self.problem, self.ap_of_user)
-
-    def state_key(self) -> tuple[int, ...]:
-        """Hashable snapshot for cycle detection (-1 encodes unserved)."""
-        return tuple(-1 if a is None else a for a in self.ap_of_user)
+# The protocol's mutable association state *is* the load ledger: users'
+# local decisions are gain queries (``load_if_joined`` / ``load_if_left``)
+# and every accepted move mutates the shared ledger. The per-policy
+# potentials of Lemmas 1 and 2 — the total load and the global sorted load
+# vector — are read straight off it.
+AssociationState = LoadLedger
 
 
 @dataclass(frozen=True)
@@ -276,7 +191,7 @@ def run_distributed(
         mode=mode,
         n_users=problem.n_users,
     ):
-        result = _run_rounds(
+        result, state = _run_rounds(
             problem,
             policy,
             mode=mode,
@@ -293,6 +208,8 @@ def run_distributed(
         metrics.incr("distributed.decisions", result.rounds * problem.n_users)
         if result.oscillated:
             metrics.incr("distributed.oscillations")
+        for op, count in state.op_counts().items():
+            metrics.incr(f"ledger.{op}", count)
     return result
 
 
@@ -306,7 +223,7 @@ def _run_rounds(
     shuffle_each_round: bool,
     max_rounds: int,
     enforce_budgets: bool | None,
-) -> DistributedResult:
+) -> tuple[DistributedResult, AssociationState]:
     """The decision/move loop behind :func:`run_distributed`."""
     state = AssociationState(problem, initial)
     rng = rng or random.Random(0)
@@ -341,12 +258,15 @@ def _run_rounds(
                     total_moves += 1
                     moved = True
         if not moved:
-            return DistributedResult(
-                assignment=state.to_assignment(),
-                rounds=rounds,
-                moves=total_moves,
-                converged=True,
-                oscillated=False,
+            return (
+                DistributedResult(
+                    assignment=state.to_assignment(),
+                    rounds=rounds,
+                    moves=total_moves,
+                    converged=True,
+                    oscillated=False,
+                ),
+                state,
             )
         key = state.state_key()
         if key in seen_states and mode == "simultaneous":
@@ -354,10 +274,13 @@ def _run_rounds(
             break
         seen_states[key] = rounds
 
-    return DistributedResult(
-        assignment=state.to_assignment(),
-        rounds=rounds,
-        moves=total_moves,
-        converged=False,
-        oscillated=oscillated,
+    return (
+        DistributedResult(
+            assignment=state.to_assignment(),
+            rounds=rounds,
+            moves=total_moves,
+            converged=False,
+            oscillated=oscillated,
+        ),
+        state,
     )

@@ -1,0 +1,639 @@
+"""The load ledger — the one incremental implementation of Definition 1.
+
+Every layer of the library needs the same primitive: the per-AP multicast
+load ``session_rate / tx_rate`` (the paper's Definition 1) and its
+*marginal change* when a user joins, leaves, or moves. Before this module
+existed that primitive was re-implemented — and re-derived from scratch on
+every query — in the assignment model, the distributed protocol, the
+greedy solvers, the online controller, and the evaluation metrics.
+:class:`LoadLedger` now owns it once:
+
+* per-(AP, session) **rate multisets** (a count map plus a sorted unique
+  rate list) make the group transmit rate — the minimum member link rate —
+  an O(1) peek and an O(log m) update;
+* a cached **per-AP load vector** (numpy) makes ``load_of`` / ``max_load``
+  / ``sorted_load_vector`` reads O(1)/O(n log n) with no recompute;
+* ``delta_if_joined`` / ``delta_if_left`` / ``load_if_joined`` /
+  ``load_if_left`` answer the greedy and best-response *gain queries*
+  without building throwaway assignments;
+* :class:`CandidateGainIndex` batches the MCG greedy's per-round
+  cost-effectiveness scan over all candidate sets into numpy vector ops.
+
+**Exactness contract.** A per-AP load is always ``math.fsum`` of its
+per-session transmission costs. ``fsum`` is exactly rounded and therefore
+order-independent, so the ledger's loads are a *pure function of the
+association map*: any sequence of joins/leaves/moves reaching the same map
+yields bit-identical loads, equal to a from-scratch recompute. The
+verifier's independent oracle
+(:func:`repro.verify.certificates._recompute_group_loads`) rounds the
+same way, which is what lets the property tests demand exact — not
+approximate — agreement.
+
+Setting ``REPRO_LEDGER_CHECK=1`` in the environment arms a debug
+invariant: after construction and after every mutation the ledger
+cross-checks its cached loads against a naive from-scratch recompute and
+raises :class:`~repro.core.errors.ModelError` on any disagreement.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.problem import MulticastAssociationProblem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.assignment import Assignment
+    from repro.core.candidates import CandidateSet
+
+#: Environment variable arming the paranoid recompute cross-check.
+LEDGER_CHECK_ENV = "REPRO_LEDGER_CHECK"
+
+
+def ledger_check_enabled() -> bool:
+    """True when ``REPRO_LEDGER_CHECK`` requests the debug invariant."""
+    return os.environ.get(LEDGER_CHECK_ENV, "") not in ("", "0")
+
+
+class _RateGroup:
+    """One (AP, session) multicast group: members and their rate multiset.
+
+    ``rates`` holds the distinct member link rates sorted ascending;
+    ``counts`` their multiplicities. The group transmit rate — the minimum
+    member link rate (Definition 1) — is ``rates[0]``.
+    """
+
+    __slots__ = ("members", "rates", "counts")
+
+    def __init__(self) -> None:
+        self.members: set[int] = set()
+        self.rates: list[float] = []
+        self.counts: dict[float, int] = {}
+
+    def add(self, user: int, rate: float) -> None:
+        self.members.add(user)
+        count = self.counts.get(rate)
+        if count is None:
+            self.counts[rate] = 1
+            insort(self.rates, rate)
+        else:
+            self.counts[rate] = count + 1
+
+    def remove(self, user: int, rate: float) -> None:
+        self.members.discard(user)
+        count = self.counts[rate]
+        if count == 1:
+            del self.counts[rate]
+            del self.rates[bisect_left(self.rates, rate)]
+        else:
+            self.counts[rate] = count - 1
+
+    @property
+    def min_rate(self) -> float:
+        return self.rates[0]
+
+    def min_rate_with(self, rate: float) -> float:
+        """The group's transmit rate if a member with ``rate`` joined."""
+        return min(self.rates[0], rate) if self.rates else rate
+
+    def min_rate_without(self, rate: float) -> float | None:
+        """The transmit rate if one member with ``rate`` left, or ``None``
+        when that member was the last one."""
+        if len(self.members) <= 1:
+            return None
+        if self.counts.get(rate, 0) > 1 or rate > self.rates[0]:
+            return self.rates[0]
+        # ``rate`` is the unique minimum: the next distinct rate takes over.
+        return self.rates[1]
+
+    def copy(self) -> "_RateGroup":
+        clone = _RateGroup.__new__(_RateGroup)
+        clone.members = set(self.members)
+        clone.rates = list(self.rates)
+        clone.counts = dict(self.counts)
+        return clone
+
+
+class LoadLedger:
+    """Mutable association state with incrementally maintained exact loads.
+
+    The single non-oracle implementation of the paper's load model: every
+    solver, protocol loop, and metric reads (and, for the mutable paths,
+    writes) loads through one of these. Construction from an existing
+    ``user -> AP | None`` map is O(n log m); every mutation and gain query
+    is O(k + log m) where ``k`` is the number of sessions the touched AP
+    transmits and ``m`` the group size — independent of the user count.
+    """
+
+    __slots__ = (
+        "_problem",
+        "_map",
+        "_groups",
+        "_session_costs",
+        "_loads",
+        "_check",
+        "op_moves",
+        "op_gain_queries",
+        "op_load_recomputes",
+    )
+
+    def __init__(
+        self,
+        problem: MulticastAssociationProblem,
+        initial: Sequence[int | None] | None = None,
+        *,
+        check: bool | None = None,
+    ) -> None:
+        if initial is not None and len(initial) != problem.n_users:
+            raise ModelError(
+                f"assignment covers {len(initial)} users, "
+                f"problem has {problem.n_users}"
+            )
+        self._problem = problem
+        self._map: list[int | None] = (
+            [None] * problem.n_users
+            if initial is None
+            else [None if a is None else int(a) for a in initial]
+        )
+        self._groups: dict[tuple[int, int], _RateGroup] = {}
+        self._session_costs: list[dict[int, float]] = [
+            {} for _ in range(problem.n_aps)
+        ]
+        self._loads = np.zeros(problem.n_aps, dtype=np.float64)
+        self._check = ledger_check_enabled() if check is None else check
+        self.op_moves = 0
+        self.op_gain_queries = 0
+        self.op_load_recomputes = 0
+
+        touched: set[int] = set()
+        for user, ap in enumerate(self._map):
+            if ap is None:
+                continue
+            if not 0 <= ap < problem.n_aps:
+                raise ModelError(f"user {user} assigned to unknown AP {ap}")
+            self._group_for(ap, problem.session_of(user)).add(
+                user, problem.link_rate(ap, user)
+            )
+            touched.add(ap)
+        for (ap, session), group in self._groups.items():
+            self._session_costs[ap][session] = self._group_cost(
+                session, group.min_rate
+            )
+        for ap in touched:
+            self._refresh_load(ap)
+        if self._check:
+            self.verify_against_recompute()
+
+    # -- internals -------------------------------------------------------
+
+    def _group_for(self, ap: int, session: int) -> _RateGroup:
+        group = self._groups.get((ap, session))
+        if group is None:
+            group = _RateGroup()
+            self._groups[(ap, session)] = group
+        return group
+
+    def _group_cost(self, session: int, min_rate: float) -> float:
+        """Definition 1: the airtime of transmitting ``session`` at the
+        group's minimum member rate; an out-of-range member (rate 0)
+        makes the group — and its AP — unservable."""
+        if min_rate <= 0:
+            return math.inf
+        return self._problem.transmission_cost(session, min_rate)
+
+    def _refresh_load(self, ap: int) -> None:
+        """Re-round AP ``ap``'s cached load from its session costs.
+
+        ``fsum`` keeps the cache a pure function of the association map:
+        no incremental float drift, no order dependence.
+        """
+        self.op_load_recomputes += 1
+        costs = self._session_costs[ap]
+        self._loads[ap] = math.fsum(costs.values()) if costs else 0.0
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def problem(self) -> MulticastAssociationProblem:
+        return self._problem
+
+    @property
+    def ap_of_user(self) -> list[int | None]:
+        """The live ``user -> AP | None`` map (do not mutate directly)."""
+        return self._map
+
+    def ap_of(self, user: int) -> int | None:
+        return self._map[user]
+
+    def served_users(self) -> list[int]:
+        return [u for u, a in enumerate(self._map) if a is not None]
+
+    def unserved_users(self) -> list[int]:
+        return [u for u, a in enumerate(self._map) if a is None]
+
+    @property
+    def n_served(self) -> int:
+        return sum(1 for a in self._map if a is not None)
+
+    def users_on(self, ap: int, session: int | None = None) -> list[int]:
+        """Users associated with ``ap`` (optionally only one session's)."""
+        if session is not None:
+            group = self._groups.get((ap, session))
+            return sorted(group.members) if group else []
+        return [u for u, a in enumerate(self._map) if a == ap]
+
+    def sessions_on(self, ap: int) -> list[int]:
+        """Sessions ``ap`` is transmitting, ascending."""
+        return sorted(self._session_costs[ap])
+
+    def tx_rate(self, ap: int, session: int) -> float | None:
+        """Rate ``ap`` transmits ``session`` at, or ``None`` if it doesn't."""
+        group = self._groups.get((ap, session))
+        if group is None or not group.members:
+            return None
+        return group.min_rate
+
+    def group_items(self) -> Iterator[tuple[int, int, float, frozenset]]:
+        """Every non-empty group as ``(ap, session, tx_rate, members)``.
+
+        The granularity the verifier diffs at when a load mismatch needs
+        to be pinned on a specific transmission.
+        """
+        for (ap, session), group in self._groups.items():
+            if group.members:
+                yield ap, session, group.min_rate, frozenset(group.members)
+
+    # -- load reads ------------------------------------------------------
+
+    def load_of(self, ap: int) -> float:
+        """Multicast load of ``ap``: summed airtime of its sessions."""
+        return float(self._loads[ap])
+
+    def loads(self) -> list[float]:
+        """Per-AP multicast loads."""
+        return self._loads.tolist()
+
+    def load_array(self) -> np.ndarray:
+        """The per-AP load vector as a read-only numpy view (no copy)."""
+        view = self._loads.view()
+        view.setflags(write=False)
+        return view
+
+    def total_load(self) -> float:
+        """Summed multicast load across APs (the MLA objective)."""
+        return math.fsum(self._loads.tolist())
+
+    def max_load(self) -> float:
+        """Maximum per-AP multicast load (the BLA objective)."""
+        return float(self._loads.max()) if self._loads.size else 0.0
+
+    def sorted_load_vector(self) -> tuple[float, ...]:
+        """Loads sorted non-increasing — the BLA comparison vector."""
+        return tuple(sorted(self._loads.tolist(), reverse=True))
+
+    # -- gain queries ----------------------------------------------------
+
+    def _load_with_cost(
+        self, ap: int, session: int, cost: float | None
+    ) -> float:
+        """AP ``ap``'s load with ``session``'s cost replaced (``None``
+        drops the session), rounded exactly like a fresh recompute."""
+        costs = self._session_costs[ap]
+        values = [c for s, c in costs.items() if s != session]
+        if cost is not None:
+            values.append(cost)
+        return math.fsum(values) if values else 0.0
+
+    def load_if_joined(self, user: int, ap: int) -> float:
+        """Load of ``ap`` if ``user`` joined it (exact, non-mutating)."""
+        self.op_gain_queries += 1
+        if self._map[user] == ap:
+            return float(self._loads[ap])
+        session = self._problem.session_of(user)
+        rate = self._problem.link_rate(ap, user)
+        group = self._groups.get((ap, session))
+        min_rate = group.min_rate_with(rate) if group else rate
+        return self._load_with_cost(
+            ap, session, self._group_cost(session, min_rate)
+        )
+
+    def load_if_left(self, user: int) -> float:
+        """Load of the user's current AP if the user left it."""
+        self.op_gain_queries += 1
+        ap = self._map[user]
+        if ap is None:
+            raise ValueError(f"user {user} is not associated")
+        session = self._problem.session_of(user)
+        group = self._groups[(ap, session)]
+        min_rate = group.min_rate_without(self._problem.link_rate(ap, user))
+        cost = (
+            None if min_rate is None else self._group_cost(session, min_rate)
+        )
+        return self._load_with_cost(ap, session, cost)
+
+    def delta_if_joined(self, user: int, ap: int) -> float:
+        """Marginal load increase on ``ap`` if ``user`` joined it."""
+        return self.load_if_joined(user, ap) - float(self._loads[ap])
+
+    def delta_if_left(self, user: int) -> float:
+        """Marginal load change (≤ 0) on the user's AP if it left."""
+        ap = self._map[user]
+        if ap is None:
+            raise ValueError(f"user {user} is not associated")
+        return self.load_if_left(user) - float(self._loads[ap])
+
+    def best_join_deltas(
+        self, user: int, aps: Iterable[int]
+    ) -> list[tuple[float, int]]:
+        """Batched gain query: ``(delta_if_joined, ap)`` per candidate AP,
+        sorted ascending (cheapest insertion first, ties toward lower AP
+        index) — the ordering the greedy augmentation consumes."""
+        return sorted((self.delta_if_joined(user, ap), ap) for ap in aps)
+
+    # -- mutation --------------------------------------------------------
+
+    def move(self, user: int, new_ap: int | None) -> None:
+        """Reassociate ``user`` (``None`` disassociates)."""
+        old_ap = self._map[user]
+        if old_ap == new_ap:
+            return
+        self.op_moves += 1
+        session = self._problem.session_of(user)
+        if old_ap is not None:
+            group = self._groups[(old_ap, session)]
+            group.remove(user, self._problem.link_rate(old_ap, user))
+            if group.members:
+                self._session_costs[old_ap][session] = self._group_cost(
+                    session, group.min_rate
+                )
+            else:
+                del self._groups[(old_ap, session)]
+                del self._session_costs[old_ap][session]
+            self._refresh_load(old_ap)
+        if new_ap is not None:
+            if not 0 <= new_ap < self._problem.n_aps:
+                raise ModelError(f"user {user} assigned to unknown AP {new_ap}")
+            group = self._group_for(new_ap, session)
+            group.add(user, self._problem.link_rate(new_ap, user))
+            self._session_costs[new_ap][session] = self._group_cost(
+                session, group.min_rate
+            )
+            self._refresh_load(new_ap)
+        self._map[user] = new_ap
+        if self._check:
+            self.verify_against_recompute()
+
+    # -- interop ---------------------------------------------------------
+
+    def copy(self) -> "LoadLedger":
+        """An independent mutable clone (op counters reset)."""
+        clone: LoadLedger = LoadLedger.__new__(LoadLedger)
+        clone._problem = self._problem
+        clone._map = list(self._map)
+        clone._groups = {
+            key: group.copy() for key, group in self._groups.items()
+        }
+        clone._session_costs = [dict(d) for d in self._session_costs]
+        clone._loads = self._loads.copy()
+        clone._check = self._check
+        clone.op_moves = 0
+        clone.op_gain_queries = 0
+        clone.op_load_recomputes = 0
+        return clone
+
+    def to_assignment(self) -> "Assignment":
+        """Freeze the current map into an immutable :class:`Assignment`."""
+        from repro.core.assignment import Assignment
+
+        return Assignment(self._problem, self._map)
+
+    def state_key(self) -> tuple[int, ...]:
+        """Hashable snapshot for cycle detection (-1 encodes unserved)."""
+        return tuple(-1 if a is None else a for a in self._map)
+
+    def op_counts(self) -> dict[str, int]:
+        """Cheap always-on operation counters, for the obs layer to flush."""
+        return {
+            "moves": self.op_moves,
+            "gain_queries": self.op_gain_queries,
+            "load_recomputes": self.op_load_recomputes,
+        }
+
+    # -- the debug invariant ---------------------------------------------
+
+    def naive_loads(self) -> list[float]:
+        """Per-AP loads re-derived from the map alone, ignoring all cached
+        state — the recompute the ``REPRO_LEDGER_CHECK`` invariant (and
+        the property tests) compare against."""
+        members: dict[tuple[int, int], list[int]] = {}
+        for user, ap in enumerate(self._map):
+            if ap is None:
+                continue
+            members.setdefault(
+                (ap, self._problem.session_of(user)), []
+            ).append(user)
+        costs: list[list[float]] = [[] for _ in range(self._problem.n_aps)]
+        for (ap, session), users in members.items():
+            rate = min(self._problem.link_rate(ap, u) for u in users)
+            costs[ap].append(self._group_cost(session, rate))
+        return [math.fsum(c) if c else 0.0 for c in costs]
+
+    def verify_against_recompute(self) -> None:
+        """Raise :class:`ModelError` unless cached loads match a naive
+        recompute bit-for-bit."""
+        expected = self.naive_loads()
+        actual = self._loads.tolist()
+        for ap, (want, have) in enumerate(zip(expected, actual)):
+            same = (want == have) or (math.isnan(want) and math.isnan(have))
+            if not same:
+                raise ModelError(
+                    f"ledger invariant violated: AP {ap} cached load "
+                    f"{have!r} != recomputed {want!r}"
+                )
+
+
+#: Candidate-family size above which :class:`CandidateGainIndex` switches
+#: from plain-list bookkeeping to numpy arrays. Both strategies perform the
+#: same float64 operations in the same order, so the greedy trace is
+#: bit-identical either way; lists win on small instances (no per-round
+#: array temporaries), vectorization wins on engine-scale families.
+_VECTORIZE_THRESHOLD = 512
+
+
+class CandidateGainIndex:
+    """Incremental cost-effectiveness queries for the MCG greedy (Fig. 3).
+
+    Holds every candidate set's cost, group (AP), and count of still-
+    uncovered elements, plus a per-element incidence index. Effectiveness
+    (``uncovered / cost`` in float64) is maintained incrementally with
+    ineligible candidates — selected, nothing left to cover, or group
+    budget met — pinned at ``-inf``, so one greedy round — "every open
+    group nominates its most cost-effective set; take the best" — is a
+    single argmax instead of a scan over all candidates.
+
+    Selection semantics are bit-identical to the scalar loop it replaced:
+    ties break toward the lowest candidate index, and a group is open
+    while its accumulated cost is strictly below its budget.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence["CandidateSet"],
+        budgets: Sequence[float],
+        ground: set[int],
+        initial_group_cost: Sequence[float] | None = None,
+        *,
+        vectorize: bool | None = None,
+    ) -> None:
+        if initial_group_cost is not None and len(initial_group_cost) != len(
+            budgets
+        ):
+            raise ValueError("one initial cost per group required")
+        n = len(candidates)
+        self._vec = (
+            n >= _VECTORIZE_THRESHOLD if vectorize is None else vectorize
+        )
+        self._costs: list[float] = [c.cost for c in candidates]
+        self._group_of: list[int] = [c.ap for c in candidates]
+        self._counts: list[int] = [len(c.users & ground) for c in candidates]
+        self._available: list[bool] = [True] * n
+        self._budgets: list[float] = [float(b) for b in budgets]
+        self._group_cost: list[float] = (
+            [0.0] * len(budgets)
+            if initial_group_cost is None
+            else [float(c) for c in initial_group_cost]
+        )
+        self._incidence: dict[int, list[int]] = {}
+        for k, candidate in enumerate(candidates):
+            for user in candidate.users:
+                if user in ground:
+                    self._incidence.setdefault(user, []).append(k)
+        self._group_members: dict[int, list[int]] = {}
+        for k, candidate in enumerate(candidates):
+            self._group_members.setdefault(candidate.ap, []).append(k)
+        self._open: list[bool] = [
+            cost < budget
+            for cost, budget in zip(self._group_cost, self._budgets)
+        ]
+        self._eff: list[float] = [
+            count / cost
+            if available and count > 0 and self._open[group]
+            else -math.inf
+            for count, cost, available, group in zip(
+                self._counts, self._costs, self._available, self._group_of
+            )
+        ]
+        if self._vec:
+            # Mirror the hot state into numpy; the scalar lists above stay
+            # authoritative for group_cost/open bookkeeping (cheap either
+            # way), while counts and effectiveness move wholesale.
+            self._np_counts = np.array(self._counts, dtype=np.int64)
+            self._np_costs = np.array(self._costs, dtype=np.float64)
+            self._np_eff = np.array(self._eff, dtype=np.float64)
+            self._np_incidence = {
+                user: np.array(ks, dtype=np.intp)
+                for user, ks in self._incidence.items()
+            }
+            self._np_group_members = {
+                g: np.array(ks, dtype=np.intp)
+                for g, ks in self._group_members.items()
+            }
+            self._np_available = np.array(self._available, dtype=bool)
+            self._np_group_of = (
+                np.array(self._group_of, dtype=np.intp)
+                if n
+                else np.zeros(0, dtype=np.intp)
+            )
+            self._np_open = np.array(self._open, dtype=bool)
+
+    def group_cost(self, group: int) -> float:
+        """Accumulated selected cost of ``group`` (plus any initial cost)."""
+        return self._group_cost[group]
+
+    def best(self) -> int:
+        """Index of the most cost-effective selectable candidate, or -1.
+
+        Selectable = not yet selected, covers at least one uncovered
+        element, and its group's budget is not yet met or exceeded.
+        """
+        if self._vec:
+            if not self._np_eff.size:
+                return -1
+            best = int(np.argmax(self._np_eff))
+            if not self._np_eff[best] > 0.0:
+                return -1
+            return best
+        # Parity note (both paths): strict ``>`` with a 0.0 start means a
+        # set whose effectiveness rounds to zero is never selected, ties
+        # keep the first maximum, and an all ``-inf`` table returns -1.
+        best = -1
+        best_eff = 0.0
+        for k, eff in enumerate(self._eff):
+            if eff > best_eff:
+                best_eff = eff
+                best = k
+        return best
+
+    def select(self, index: int, newly_covered: set[int]) -> None:
+        """Commit candidate ``index``; retire ``newly_covered`` elements."""
+        group = self._group_of[index]
+        self._group_cost[group] += self._costs[index]
+        closes = self._open[group] and not (
+            self._group_cost[group] < self._budgets[group]
+        )
+        if closes:
+            self._open[group] = False
+        if self._vec:
+            self._np_available[index] = False
+            self._np_eff[index] = -np.inf
+            touched: np.ndarray | None = None
+            if newly_covered:
+                hit = [
+                    self._np_incidence[user]
+                    for user in newly_covered
+                    if user in self._np_incidence
+                ]
+                if hit:
+                    touched = np.concatenate(hit)
+                    np.subtract.at(self._np_counts, touched, 1)
+            if closes:
+                self._np_open[group] = False
+                self._np_eff[self._np_group_members[group]] = -np.inf
+            if touched is not None:
+                eligible = (
+                    self._np_available[touched]
+                    & (self._np_counts[touched] > 0)
+                    & self._np_open[self._np_group_of[touched]]
+                )
+                self._np_eff[touched] = np.where(
+                    eligible,
+                    self._np_counts[touched] / self._np_costs[touched],
+                    -np.inf,
+                )
+            return
+        self._available[index] = False
+        self._eff[index] = -math.inf
+        hits: list[int] = []
+        for user in newly_covered:
+            indices = self._incidence.get(user)
+            if indices:
+                hits.extend(indices)
+                for k in indices:
+                    self._counts[k] -= 1
+        if closes:
+            for k in self._group_members[group]:
+                self._eff[k] = -math.inf
+        for k in hits:
+            if (
+                self._available[k]
+                and self._counts[k] > 0
+                and self._open[self._group_of[k]]
+            ):
+                self._eff[k] = self._counts[k] / self._costs[k]
+            else:
+                self._eff[k] = -math.inf

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.candidates import CandidateSet
+from repro.core.ledger import CandidateGainIndex
 from repro.obs import counters as metrics
 from repro.obs import trace as tracing
 
@@ -75,27 +76,15 @@ def greedy_mcg(
         Centralized BLA's iterated runs, whose group loads accumulate
         across iterations).
     """
-    # Incremental cost-effectiveness bookkeeping: uncovered[k] counts the
-    # not-yet-covered elements of candidate k, maintained via an element ->
-    # candidate incidence index so each user is processed once when covered.
-    uncovered_count = [len(c.users & ground) for c in candidates]
-    incidence: dict[int, list[int]] = {}
-    for k, candidate in enumerate(candidates):
-        for user in candidate.users:
-            if user in ground:
-                incidence.setdefault(user, []).append(k)
-
-    if initial_group_cost is None:
-        group_cost = [0.0] * len(budgets)
-    else:
-        if len(initial_group_cost) != len(budgets):
-            raise ValueError("one initial cost per group required")
-        group_cost = list(initial_group_cost)
+    # All per-round cost-effectiveness bookkeeping (uncovered counts, group
+    # budgets, the masked argmax over candidates) lives in the vectorized
+    # CandidateGainIndex; this loop only records the selection order and the
+    # H1/H2 membership.
+    index = CandidateGainIndex(candidates, budgets, ground, initial_group_cost)
     remaining = set(ground)
     selected: list[CandidateSet] = []
     within_budget: list[CandidateSet] = []
     overshooting: list[CandidateSet] = []
-    selected_indices: set[int] = set()
 
     rounds = 0
     with tracing.span(
@@ -103,34 +92,18 @@ def greedy_mcg(
     ):
         while remaining:
             rounds += 1
-            best_index = -1
-            best_effectiveness = 0.0
-            for k, candidate in enumerate(candidates):
-                if k in selected_indices:
-                    continue
-                count = uncovered_count[k]
-                if count == 0:
-                    continue
-                if group_cost[candidate.ap] >= budgets[candidate.ap]:
-                    continue  # group budget already met or exceeded: blocked
-                effectiveness = count / candidate.cost
-                if effectiveness > best_effectiveness:
-                    best_effectiveness = effectiveness
-                    best_index = k
+            best_index = index.best()
             if best_index < 0:
                 break  # every open group has only zero-value sets left
             candidate = candidates[best_index]
+            newly_covered = candidate.users & remaining
+            index.select(best_index, newly_covered)
             selected.append(candidate)
-            selected_indices.add(best_index)
-            group_cost[candidate.ap] += candidate.cost
-            if group_cost[candidate.ap] > budgets[candidate.ap]:
+            if index.group_cost(candidate.ap) > budgets[candidate.ap]:
                 overshooting.append(candidate)
             else:
                 within_budget.append(candidate)
-            for user in candidate.users & remaining:
-                for k in incidence.get(user, ()):
-                    uncovered_count[k] -= 1
-            remaining -= candidate.users
+            remaining -= newly_covered
     if metrics.enabled():
         metrics.incr("mcg.runs")
         metrics.incr("mcg.rounds", rounds)

@@ -48,24 +48,28 @@ def augment_assignment(
     currently active set); ``None`` considers every unserved user.
     """
     problem = assignment.problem
-    current = assignment
+    ledger = assignment.ledger.copy()
     allowed = None if eligible is None else set(eligible)
     insertions: list[tuple[float, int, int]] = []
-    for user in current.unserved_users():
+    for user in ledger.unserved_users():
         if allowed is not None and user not in allowed:
             continue
-        for ap in problem.aps_of_user(user):
-            candidate = current.replace(user, ap)
-            delta = candidate.load_of(ap) - current.load_of(ap)
+        for delta, ap in ledger.best_join_deltas(
+            user, problem.aps_of_user(user)
+        ):
             insertions.append((delta, user, ap))
     insertions.sort()
+    moved = False
     for _, user, ap in insertions:
-        if current.ap_of(user) is not None:
+        if ledger.ap_of(user) is not None:
             continue
-        candidate = current.replace(user, ap)
-        if candidate.load_of(ap) <= problem.budget_of(ap) + 1e-12:
-            current = candidate
-    return current
+        if ledger.load_if_joined(user, ap) <= problem.budget_of(ap) + 1e-12:
+            ledger.move(user, ap)
+            moved = True
+    if metrics.enabled():
+        for op, count in ledger.op_counts().items():
+            metrics.incr(f"ledger.{op}", count)
+    return ledger.to_assignment() if moved else assignment
 
 
 def solve_mnu(

@@ -28,6 +28,7 @@ from typing import Iterable, Literal, Sequence
 from repro.core.distributed import AssociationState, Policy, decide
 from repro.core.errors import ModelError
 from repro.core.problem import MulticastAssociationProblem
+from repro.obs import counters as metrics
 
 RepairScope = Literal["none", "local", "full"]
 
@@ -159,6 +160,7 @@ class OnlineController:
         if not 0 <= user < self.problem.n_users:
             raise ModelError(f"unknown user {user}")
         self._changed_aps = set()
+        ops_before = self.state.op_counts()
         handoffs = 0
         if event.kind == "join":
             if user in self.active:
@@ -183,6 +185,11 @@ class OnlineController:
             )
         elif self.repair == "full":
             handoffs += self._repair_users(set(self.active) - {user})
+        if metrics.enabled():
+            metrics.incr("online.events")
+            metrics.incr("online.handoffs", handoffs)
+            for op, count in self.state.op_counts().items():
+                metrics.incr(f"ledger.{op}", count - ops_before[op])
         return handoffs
 
     # -- metrics ------------------------------------------------------------

@@ -16,7 +16,6 @@ therefore equals the true optimum.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,7 +26,6 @@ from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.candidates import CandidateSet, build_candidates
 from repro.core.errors import CoverageError, SolverError
 from repro.core.problem import MulticastAssociationProblem
-
 
 @dataclass(frozen=True)
 class OptimalSolution:

@@ -18,6 +18,7 @@ assignment back to (physical AP, chosen power) pairs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,7 +29,6 @@ from repro.core.errors import ModelError
 from repro.core.problem import MulticastAssociationProblem, Session
 from repro.radio.geometry import Point
 from repro.radio.propagation import PropagationModel
-from repro.radio.rates import RateTable
 
 
 @dataclass(frozen=True)
@@ -139,9 +139,12 @@ def project_power_assignment(
     across levels applies.
     """
     n_phys = extended.n_physical_aps
-    loads = [0.0] * n_phys
-    for virtual in range(extended.problem.n_aps):
-        loads[extended.physical_ap(virtual)] += assignment.load_of(virtual)
+    # One read of the ledger's load vector; collapsing the (AP, level) axis
+    # is a reshape + per-row fsum, rounded like every other ledger sum.
+    virtual_loads = assignment.ledger.load_array().reshape(
+        n_phys, len(extended.levels)
+    )
+    loads = [math.fsum(row.tolist()) for row in virtual_loads]
     ap_of_user: list[int | None] = []
     level_of_user: list[PowerLevel | None] = []
     for user in range(extended.problem.n_users):

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.assignment import Assignment
+from repro.core.ledger import LoadLedger
 from repro.core.problem import MulticastAssociationProblem
 
 
@@ -71,15 +72,17 @@ def solve_ssa(
         if sorted(order) != list(range(problem.n_users)):
             raise ValueError("arrival_order must be a permutation of all users")
 
-    assignment = Assignment.empty(problem)
+    ledger = LoadLedger(problem)
     for user in order:
         ap = strongest_ap_of(problem, user)
         if ap is None:
             continue
-        candidate = assignment.replace(user, ap)
-        if enforce_budgets and candidate.load_of(ap) > problem.budget_of(ap) + 1e-12:
+        if enforce_budgets and (
+            ledger.load_if_joined(user, ap) > problem.budget_of(ap) + 1e-12
+        ):
             continue
-        assignment = candidate
+        ledger.move(user, ap)
+    assignment = ledger.to_assignment()
     if enforce_budgets:
         assignment.validate(check_budgets=True)
     return SsaSolution(assignment=assignment, arrival_order=tuple(order))

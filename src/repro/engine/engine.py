@@ -190,10 +190,17 @@ class ShardedEngine:
         returns the number of evicted entries. (Membership changes don't
         need this — fingerprints already catch them.)
         """
+        ap_list = list(aps)
         shards = {
-            self._shard_of_ap[ap] for ap in aps if ap in self._shard_of_ap
+            self._shard_of_ap[ap]
+            for ap in ap_list
+            if ap in self._shard_of_ap
         }
-        return self._cache.invalidate_shards(shards)
+        evicted = self._cache.invalidate_shards(shards)
+        if metrics.enabled():
+            metrics.incr("engine.aps_marked_dirty", len(ap_list))
+            metrics.incr("engine.dirty_evictions", evicted)
+        return evicted
 
     # -- solving ---------------------------------------------------------
 

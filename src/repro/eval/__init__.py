@@ -12,14 +12,12 @@ from repro.eval.experiments import (
     ExperimentResult,
     run_sweep,
 )
+from repro.eval.extensions import EXTENSIONS
 from repro.eval.figures import (
     BLA_ALGORITHMS,
     FIGURES,
     MLA_ALGORITHMS,
     MNU_ALGORITHMS,
-    fig9a,
-    fig9b,
-    fig9c,
     fig10a,
     fig10b,
     fig10c,
@@ -27,16 +25,18 @@ from repro.eval.figures import (
     fig12a,
     fig12b,
     fig12c,
+    fig9a,
+    fig9b,
+    fig9c,
 )
 from repro.eval.headline import HeadlineClaim, headline_report
 from repro.eval.metrics import ALGORITHMS, AlgorithmResult, run_algorithm
 from repro.eval.plots import PlotGeometry, plot_experiment, render_series
-from repro.eval.sweeps import (
-    ParameterStudy,
-    StudyCell,
-    StudyResult,
-    render_study,
-    study_to_csv,
+from repro.eval.reporting import (
+    format_comparison,
+    format_table,
+    to_csv_string,
+    write_csv,
 )
 from repro.eval.stats import (
     ConfidenceInterval,
@@ -46,13 +46,13 @@ from repro.eval.stats import (
     paired_comparison,
     win_matrix,
 )
-from repro.eval.extensions import EXTENSIONS
 from repro.eval.suite import generate_report, write_report
-from repro.eval.reporting import (
-    format_comparison,
-    format_table,
-    to_csv_string,
-    write_csv,
+from repro.eval.sweeps import (
+    ParameterStudy,
+    StudyCell,
+    StudyResult,
+    render_study,
+    study_to_csv,
 )
 
 __all__ = [

@@ -16,11 +16,11 @@ from repro.scenarios.presets import (
     FIG11_BUDGETS,
     FIG12C_BUDGET,
     SweepPoint,
+    fig11_budget_scenarios,
+    fig12_users_sweep,
     fig9a_users_sweep,
     fig9b_aps_sweep,
     fig9c_sessions_sweep,
-    fig11_budget_scenarios,
-    fig12_users_sweep,
 )
 
 DEFAULT_N_SCENARIOS = 5

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.eval.experiments import ExperimentResult
-from repro.eval.figures import fig9a, fig10a, fig11
+from repro.eval.figures import fig10a, fig11, fig9a
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ load.
 from __future__ import annotations
 
 import json
-from typing import Any, IO
+from typing import IO, Any
 
 from repro.core.assignment import Assignment
 from repro.core.errors import ModelError

@@ -13,6 +13,12 @@ from repro.net.failures import (
     FailureLog,
     crash_and_measure,
 )
+from repro.net.handoff import (
+    HandoffReport,
+    StationContinuity,
+    analyze_handoffs,
+    report_from_simulation,
+)
 from repro.net.mac import (
     DOT11A_MAC,
     IDEAL_MAC,
@@ -23,11 +29,10 @@ from repro.net.mac import (
 )
 from repro.net.messages import (
     BROADCAST,
-    Directive,
-    ScanReport,
     AssociationRequest,
     AssociationResponse,
     Beacon,
+    Directive,
     Disassociation,
     Frame,
     LoadQuery,
@@ -35,16 +40,12 @@ from repro.net.messages import (
     MulticastData,
     ProbeRequest,
     ProbeResponse,
+    ScanReport,
     SessionInfo,
-)
-from repro.net.handoff import (
-    HandoffReport,
-    StationContinuity,
-    analyze_handoffs,
-    report_from_simulation,
 )
 from repro.net.nodes import AccessPoint, Medium, Node, UserStation
 from repro.net.policy import NeighborInfo, decide_local, load_if_joined
+from repro.net.trace import Trace, TraceRecord
 from repro.net.unicast import (
     UnicastDeployment,
     UnicastScheduler,
@@ -52,7 +53,6 @@ from repro.net.unicast import (
     attach_unicast_users,
     unicast_throughputs_mbps,
 )
-from repro.net.trace import Trace, TraceRecord
 from repro.net.wlan import WlanConfig, WlanResult, WlanSimulation, simulate
 
 __all__ = [

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Literal
+from typing import Literal
 
 import numpy as np
 
@@ -28,7 +28,6 @@ from repro.core.problem import MulticastAssociationProblem
 from repro.net.messages import ScanReport
 
 Objective = Literal["mla", "bla", "mnu"]
-
 
 @dataclass
 class ControllerStats:

@@ -12,11 +12,11 @@ transmit periodic multicast bursts whose airtime an
 from __future__ import annotations
 
 import math
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.core.problem import Session
 from repro.net.events import Simulator
-from repro.net.mac import AirtimeMeter, MacParameters, IDEAL_MAC, burst_airtime
+from repro.net.mac import IDEAL_MAC, AirtimeMeter, MacParameters, burst_airtime
 from repro.net.messages import (
     BROADCAST,
     AssociationRequest,
@@ -37,7 +37,6 @@ from repro.net.policy import NeighborInfo, Policy, decide_local
 from repro.net.trace import Trace
 from repro.radio.geometry import Point
 from repro.radio.propagation import PropagationModel
-
 
 class Node:
     """Anything attached to the medium: an id, a position, a handler."""

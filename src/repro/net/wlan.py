@@ -14,19 +14,17 @@ the paper's Figure 4).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Literal
 
 from repro.core.assignment import Assignment
 from repro.core.problem import MulticastAssociationProblem
 from repro.net.events import Simulator
-from repro.net.mac import AirtimeMeter, IDEAL_MAC, MacParameters
+from repro.net.mac import IDEAL_MAC, AirtimeMeter, MacParameters
 from repro.net.nodes import AccessPoint, Medium, UserStation
 from repro.net.policy import Policy
 from repro.net.trace import Trace
 from repro.scenarios.generator import Scenario
-
 
 @dataclass(frozen=True)
 class WlanConfig:

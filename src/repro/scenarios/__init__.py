@@ -28,11 +28,11 @@ from repro.scenarios.presets import (
     FIG12C_BUDGET,
     PAPER_N_SCENARIOS,
     SweepPoint,
+    fig11_budget_scenarios,
+    fig12_users_sweep,
     fig9a_users_sweep,
     fig9b_aps_sweep,
     fig9c_sessions_sweep,
-    fig11_budget_scenarios,
-    fig12_users_sweep,
 )
 from repro.scenarios.sessions import (
     DEFAULT_STREAM_RATE_MBPS,

@@ -46,6 +46,7 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "OracleReport",
+    "Violation",
     "incremental_vs_cold",
     "pin_scenario",
     "replay_corpus_entry",

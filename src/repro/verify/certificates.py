@@ -118,8 +118,11 @@ def _recompute_group_loads(
 ) -> tuple[dict[tuple[int, int], float], list[float]]:
     """Group transmit rates and per-AP loads, re-derived from scratch.
 
-    Deliberately independent of :class:`Assignment`'s own bookkeeping so a
-    bug there cannot certify itself.
+    Deliberately independent of :class:`~repro.core.ledger.LoadLedger`'s
+    bookkeeping so a ledger bug cannot certify itself. Per-AP sums use
+    ``math.fsum`` — the same exactly-rounded, order-independent rounding
+    the ledger's exactness contract specifies — so agreement with a
+    correct ledger is bitwise, not approximate.
     """
     members: dict[tuple[int, int], list[int]] = {}
     for user, ap in enumerate(ap_of_user):
@@ -127,15 +130,54 @@ def _recompute_group_loads(
             continue
         members.setdefault((ap, problem.session_of(user)), []).append(user)
     tx_rates: dict[tuple[int, int], float] = {}
-    loads = [0.0] * problem.n_aps
+    costs: list[list[float]] = [[] for _ in range(problem.n_aps)]
     for (ap, session), users in members.items():
         rate = min(problem.link_rate(ap, u) for u in users)
         tx_rates[(ap, session)] = rate
         if rate <= 0:
-            loads[ap] = math.inf
+            costs[ap].append(math.inf)
         else:
-            loads[ap] += problem.session_rate(session) / rate
+            costs[ap].append(problem.session_rate(session) / rate)
+    loads = [math.fsum(c) if c else 0.0 for c in costs]
     return tx_rates, loads
+
+
+def _diff_ledger_groups(
+    assignment: Assignment,
+    oracle_tx_rates: Mapping[tuple[int, int], float],
+) -> list[str]:
+    """Pin a load-accounting mismatch on specific transmissions.
+
+    Diffs the ledger's per-(AP, session) groups against the oracle's
+    independently derived transmit rates: a phantom group, a missing
+    group, or a wrong minimum shows up here with its exact coordinates,
+    turning "AP 3's load is wrong" into an actionable report.
+    """
+    diffs: list[str] = []
+    ledger_rates = {
+        (ap, session): rate
+        for ap, session, rate, _members in assignment.ledger.group_items()
+    }
+    for key in sorted(set(ledger_rates) | set(oracle_tx_rates)):
+        ap, session = key
+        have = ledger_rates.get(key)
+        want = oracle_tx_rates.get(key)
+        if have is None:
+            diffs.append(
+                f"AP {ap} session {session}: missing from ledger "
+                f"(oracle tx rate {want:g})"
+            )
+        elif want is None:
+            diffs.append(
+                f"AP {ap} session {session}: phantom ledger group "
+                f"(tx rate {have:g})"
+            )
+        elif have != want:
+            diffs.append(
+                f"AP {ap} session {session}: ledger tx rate {have:g} "
+                f"!= oracle {want:g}"
+            )
+    return diffs
 
 
 def verify_assignment(
@@ -279,12 +321,20 @@ def verify_assignment(
                 claimed[ap], loads[ap], rel_tol=1e-12, abs_tol=tol
             )
         ]
+        detail = ""
+        if mismatches:
+            detail = (
+                "derived loads disagree with recomputation: "
+                f"{mismatches[:3]}"
+            )
+            group_diff = _diff_ledger_groups(assignment, tx_rates)
+            if group_diff:
+                detail += f"; per-group diff: {'; '.join(group_diff[:3])}"
         out.record(
             "load-accounting",
             not mismatches,
             "load-mismatch",
-            "derived loads disagree with recomputation: "
-            f"{mismatches[:3]}",
+            detail,
         )
     stats["total_load"] = sum(loads) if all(map(math.isfinite, loads)) else math.inf
     stats["max_load"] = max(loads, default=0.0)

@@ -23,7 +23,7 @@ import math
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro import io as repro_io
 from repro.core.bla import solve_bla

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest
@@ -11,8 +10,7 @@ from repro.core.bla import max_iterations, solve_bla
 from repro.core.errors import CoverageError
 from repro.core.optimal import solve_bla_optimal
 from repro.core.problem import MulticastAssociationProblem, Session
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 class TestMaxIterations:
     def test_formula(self):

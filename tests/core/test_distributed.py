@@ -14,8 +14,7 @@ from repro.core.distributed import (
     run_distributed,
 )
 from repro.core.problem import MulticastAssociationProblem, Session
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 def fig4_problem() -> MulticastAssociationProblem:
     """The paper's Figure-4 oscillation example.

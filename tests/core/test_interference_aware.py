@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import networkx as nx
@@ -13,8 +12,7 @@ from repro.core.interference_aware import solve_interference_aware_mnu
 from repro.core.mnu import solve_mnu
 from repro.radio.geometry import Point
 from repro.radio.interference import InterferenceMap, build_conflict_graph
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 def conflict_free(n_aps: int) -> InterferenceMap:
     graph = nx.Graph()

@@ -4,13 +4,10 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
-from repro.core.locks import LockTable, run_locked_simultaneous
 from repro.core.distributed import run_distributed
+from repro.core.locks import LockTable, run_locked_simultaneous
 from tests.conftest import random_problem
 from tests.core.test_distributed import fig4_problem
-
 
 class TestLockTable:
     def test_acquire_and_release(self):

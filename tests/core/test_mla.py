@@ -11,8 +11,7 @@ from repro.core.errors import CoverageError
 from repro.core.mla import solve_mla
 from repro.core.optimal import solve_mla_optimal
 from repro.core.problem import MulticastAssociationProblem, Session
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 class TestPaperExample:
     def test_all_on_a1_total_7_12(self, fig1_load):

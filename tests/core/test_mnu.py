@@ -5,12 +5,9 @@ from __future__ import annotations
 import math
 import random
 
-import pytest
-
 from repro.core.mnu import solve_mnu
 from repro.core.optimal import solve_mnu_optimal
 from tests.conftest import paper_example_problem, random_problem
-
 
 class TestPaperExample:
     def test_serves_three_users(self, fig1_mnu):

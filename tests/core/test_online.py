@@ -12,8 +12,7 @@ from repro.core.online import (
     OnlineController,
     generate_churn_trace,
 )
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 class TestEvents:
     def test_join_associates_user(self, fig1_load):

@@ -17,8 +17,7 @@ from repro.core.optimal import (
     solve_mnu_optimal,
 )
 from repro.core.problem import MulticastAssociationProblem, Session
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 def brute_force(problem, objective):
     """Exhaustive search over all association maps (tiny instances only)."""

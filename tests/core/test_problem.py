@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import numpy as np
@@ -17,7 +16,6 @@ from repro.core.problem import (
 from repro.radio.geometry import Point
 from repro.radio.propagation import ThresholdPropagation
 from tests.conftest import paper_example_problem, random_problem
-
 
 class TestSession:
     def test_valid(self):

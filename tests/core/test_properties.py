@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.assignment import Assignment, compare_load_vectors
+from repro.core.assignment import compare_load_vectors
 from repro.core.bla import solve_bla
 from repro.core.distributed import run_distributed
 from repro.core.mla import solve_mla

@@ -6,10 +6,9 @@ import random
 
 import pytest
 
-from repro.core.ssa import solve_ssa, strongest_ap_of
 from repro.core.problem import MulticastAssociationProblem, Session
-from tests.conftest import paper_example_problem, random_problem
-
+from repro.core.ssa import solve_ssa, strongest_ap_of
+from tests.conftest import random_problem
 
 class TestStrongestAp:
     def test_highest_rate_wins(self, fig1_load):

@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.eval.__main__ import main
-
 
 class TestList:
     def test_lists_figures(self, capsys):

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.eval.extensions import (
     EXTENSIONS,
     ext_baselines,
@@ -11,7 +9,6 @@ from repro.eval.extensions import (
     ext_certificates,
     ext_hotspot,
 )
-
 
 class TestRegistry:
     def test_all_extensions_registered(self):

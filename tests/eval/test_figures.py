@@ -2,20 +2,17 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.eval.figures import (
     FIGURES,
-    fig9a,
-    fig9b,
-    fig9c,
     fig10a,
     fig11,
     fig12a,
     fig12b,
     fig12c,
+    fig9a,
+    fig9b,
+    fig9c,
 )
-
 
 class TestRegistry:
     def test_all_ten_figures_registered(self):

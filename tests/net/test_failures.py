@@ -11,7 +11,7 @@ from repro.net.failures import (
     crash_and_measure,
 )
 from repro.net.wlan import WlanConfig, WlanSimulation
-from repro.radio.geometry import Area, Point
+from repro.radio.geometry import Area
 from repro.scenarios.generator import generate
 
 SMALL = dict(n_aps=6, n_users=12, n_sessions=2, seed=9, area=Area.square(420))

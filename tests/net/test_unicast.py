@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import statistics
-
 import pytest
 
 from repro.net.unicast import (

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -21,7 +19,6 @@ coords = st.floats(
     min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
 )
 points = st.builds(Point, coords, coords)
-
 
 class TestPoint:
     def test_distance_is_euclidean(self):

@@ -21,8 +21,12 @@ def test_clusters_become_coverage_components():
 
 
 def test_deterministic_in_seed():
-    a = generate_federation(n_clusters=3, aps_per_cluster=2, users_per_cluster=4, seed=9)
-    b = generate_federation(n_clusters=3, aps_per_cluster=2, users_per_cluster=4, seed=9)
+    a = generate_federation(
+        n_clusters=3, aps_per_cluster=2, users_per_cluster=4, seed=9
+    )
+    b = generate_federation(
+        n_clusters=3, aps_per_cluster=2, users_per_cluster=4, seed=9
+    )
     assert a.ap_positions == b.ap_positions
     assert a.user_positions == b.user_positions
     assert a.user_sessions == b.user_sessions

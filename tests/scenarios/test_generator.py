@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest
@@ -15,7 +14,6 @@ from repro.scenarios.generator import (
     generate_batch,
     random_points,
 )
-
 
 class TestConstants:
     def test_paper_area_surface(self):

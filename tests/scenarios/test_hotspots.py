@@ -8,7 +8,7 @@ import statistics
 
 import pytest
 
-from repro.radio.geometry import Area, Point
+from repro.radio.geometry import Area
 from repro.scenarios.hotspots import (
     clustered_users,
     generate_hotspot,

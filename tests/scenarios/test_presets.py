@@ -9,11 +9,11 @@ import pytest
 from repro.scenarios.presets import (
     FIG11_BUDGETS,
     FIG12C_BUDGET,
+    fig11_budget_scenarios,
+    fig12_users_sweep,
     fig9a_users_sweep,
     fig9b_aps_sweep,
     fig9c_sessions_sweep,
-    fig11_budget_scenarios,
-    fig12_users_sweep,
 )
 
 

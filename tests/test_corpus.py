@@ -13,11 +13,17 @@ or :func:`repro.verify.pin_scenario`.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 import pytest
 
+from repro.core.bla import solve_bla
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
 from repro.verify import replay_corpus_entry
+from repro.verify.certificates import verify_assignment
+from repro.verify.fuzz import load_corpus_entry
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
@@ -35,3 +41,79 @@ def test_corpus_entry_replays_clean(path):
     assert not failures, (
         f"corpus entry {path.name} reproduces a failure again:\n{details}"
     )
+
+
+# Solvers the "expectations" key pins. Each entry was recorded by running
+# the pre-LoadLedger solvers on the scenario and storing every float as
+# ``float.hex()``, so the comparison below is byte-exact, not approximate:
+# the ledger refactor must not move a single bit of solver output.
+_SOLVERS = {
+    "solve_bla": lambda problem: solve_bla(problem).assignment,
+    "solve_mla": lambda problem: solve_mla(problem).assignment,
+    "solve_mnu": lambda problem: solve_mnu(problem).assignment,
+    "solve_mnu+augment": lambda problem: solve_mnu(
+        problem, augment=True
+    ).assignment,
+}
+
+
+def _expectation_cases():
+    for path in ENTRIES:
+        entry, _scenario = load_corpus_entry(str(path))
+        for solver_name in sorted(entry.get("expectations", {})):
+            yield pytest.param(
+                path, solver_name, id=f"{path.stem}-{solver_name}"
+            )
+
+
+@pytest.mark.parametrize("path,solver_name", list(_expectation_cases()))
+def test_corpus_expectations_byte_identical(path, solver_name):
+    entry, scenario = load_corpus_entry(str(path))
+    expected = entry["expectations"][solver_name]
+    problem = scenario.problem()
+    assignment = _SOLVERS[solver_name](problem)
+
+    assert list(assignment.ap_of_user) == [
+        None if a is None else int(a) for a in expected["ap_of_user"]
+    ]
+    assert assignment.n_served == expected["n_served"]
+    assert float(assignment.total_load()).hex() == expected["total_load"]
+    assert float(assignment.max_load()).hex() == expected["max_load"]
+    assert [
+        float(x).hex() for x in assignment.sorted_load_vector()
+    ] == expected["sorted_load_vector"]
+
+    table = getattr(scenario.model, "rate_table", None)
+    certificate = verify_assignment(
+        problem,
+        assignment,
+        expected["objective"],
+        rate_table=table,
+        lp_bounds=True,
+        exact=False,
+    )
+    assert certificate.ok == expected["certificate_ok"]
+    assert [[c.name, c.passed] for c in certificate.checks] == (
+        expected["certificate_checks"]
+    )
+    assert list(certificate.codes) == expected["violation_codes"]
+
+
+def test_corpus_expectations_present():
+    for path in ENTRIES:
+        entry, _ = load_corpus_entry(str(path))
+        expectations = entry.get("expectations", {})
+        assert expectations, f"{path.name} carries no recorded expectations"
+        for name, record in expectations.items():
+            assert set(record) >= {
+                "objective",
+                "ap_of_user",
+                "n_served",
+                "total_load",
+                "max_load",
+                "sorted_load_vector",
+                "certificate_ok",
+            }, f"{path.name}:{name} expectation record incomplete"
+            assert math.isfinite(
+                float.fromhex(record["total_load"])
+            ), f"{path.name}:{name} recorded a non-finite total load"

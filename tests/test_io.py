@@ -10,14 +10,12 @@ import numpy as np
 import pytest
 
 from repro import io
-from repro.core.assignment import Assignment
 from repro.core.errors import ModelError
 from repro.core.mla import solve_mla
 from repro.radio.propagation import LogDistancePropagation, ThresholdPropagation
 from repro.radio.rates import dot11a_table, dot11b_table
 from repro.scenarios.generator import generate
 from tests.conftest import paper_example_problem
-
 
 class TestRateTableAndModels:
     def test_rate_table_round_trip(self):

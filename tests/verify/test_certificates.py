@@ -17,8 +17,7 @@ from repro.radio.geometry import Area
 from repro.radio.rates import dot11a_table
 from repro.scenarios.generator import generate
 from repro.verify import verify_assignment
-from tests.conftest import paper_example_problem, random_problem
-
+from tests.conftest import random_problem
 
 @pytest.fixture(scope="module")
 def scenario():
