@@ -62,6 +62,32 @@ from repro.verify import (
 
 __version__ = "1.0.0"
 
+
+def _install_core_instrumentation() -> None:
+    """Plug the obs layer into :mod:`repro.core.instrument`.
+
+    ``core`` sits below ``obs`` in the import-layering DAG (replint
+    RPL002) and therefore cannot import the obs counters/trace modules
+    itself; this package root is the composition point that runs on any
+    ``import repro.*``, so the backend is always installed before a
+    solver can execute.
+    """
+    from repro.core import instrument
+    from repro.obs import counters, trace
+
+    class _ObsBackend:
+        __slots__ = ()
+
+        metrics_enabled = staticmethod(counters.enabled)
+        incr = staticmethod(counters.incr)
+        gauge = staticmethod(counters.gauge)
+        span = staticmethod(trace.span)
+
+    instrument.install_backend(_ObsBackend())
+
+
+_install_core_instrumentation()
+
 __all__ = [
     "Area",
     "Assignment",

@@ -19,6 +19,12 @@ oracles, on generated scenarios and federations. ``python -m repro fuzz
 --budget N`` drives the seeded property-based fuzzer; failures are
 shrunk and archived as replayable JSON repros (``--corpus``).
 
+``python -m repro lint`` runs replint, the AST-based architectural
+invariant checker (:mod:`repro.lint`): one load-model kernel, the
+import-layering DAG, determinism hygiene, float-equality bans and obs
+discipline, with per-line ``# replint: ignore[RPL00x]`` suppressions.
+CI runs it over ``src``, ``tests`` and ``benchmarks``.
+
 ``python -m repro bench`` runs the pinned observability benchmark suite
 (:mod:`repro.obs.bench`): every suite algorithm over pinned scenario
 presets with tracing and counters on, p50/p95 wall times from the span
@@ -271,6 +277,16 @@ def run_fuzz_cli(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def run_lint_cli(args: argparse.Namespace) -> int:
+    """Run the replint architectural invariant checker."""
+    from repro.lint.cli import print_rule_table, run_lint
+
+    if args.rules:
+        print_rule_table()
+        return 0
+    return run_lint(args.paths, args.output_format)
+
+
 def run_bench_cli(args: argparse.Namespace) -> int:
     """Run the pinned bench suite; optionally gate against a baseline."""
     from repro.obs import bench
@@ -387,6 +403,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="certificates only (skip the differential oracles)",
     )
     fuzz.add_argument("--verbose", action="store_true")
+    lint = sub.add_parser(
+        "lint",
+        help="run replint, the architectural invariant checker",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        dest="output_format",
+        help="output format (default: human)",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
     bench = sub.add_parser(
         "bench",
         help="run the pinned observability benchmark suite",
@@ -442,6 +480,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_verify(args)
     if args.command == "fuzz":
         return run_fuzz_cli(args)
+    if args.command == "lint":
+        return run_lint_cli(args)
     if args.command == "bench":
         return run_bench_cli(args)
     return run_selfcheck()

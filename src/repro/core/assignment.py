@@ -231,7 +231,7 @@ def compare_load_vectors(
     b = sorted(second, reverse=True)
     if len(a) != len(b):
         raise ModelError("can only compare equal-length load vectors")
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=True):
         if not math.isclose(x, y, rel_tol=1e-12, abs_tol=1e-12):
             return -1 if x < y else 1
     return 0

@@ -39,7 +39,9 @@ def _solve_with_chooser(
     arrival_order: Sequence[int] | None,
     rng: random.Random | None,
 ) -> SsaSolution:
-    rng = rng or random.Random()
+    # Determinism hygiene (RPL003): the fallback RNG is seeded so baseline
+    # runs without an explicit ``rng`` are reproducible.
+    rng = rng or random.Random(0)
     if arrival_order is None:
         order = list(range(problem.n_users))
         rng.shuffle(order)
@@ -75,7 +77,13 @@ def solve_random(
 ) -> SsaSolution:
     """Uniform random in-range association."""
 
-    def choose(problem, state, user, neighbors, rng):
+    def choose(
+        problem: MulticastAssociationProblem,
+        state: AssociationState,
+        user: int,
+        neighbors: list[int],
+        rng: random.Random,
+    ) -> int:
         return rng.choice(neighbors)
 
     return _solve_with_chooser(
@@ -100,9 +108,15 @@ def solve_least_users(
     lower AP index.
     """
 
-    def choose(problem, state, user, neighbors, rng):
+    def choose(
+        problem: MulticastAssociationProblem,
+        state: AssociationState,
+        user: int,
+        neighbors: list[int],
+        rng: random.Random,
+    ) -> int:
         counts = {ap: 0 for ap in neighbors}
-        for other, ap in enumerate(state.ap_of_user):
+        for ap in state.ap_of_user:
             if ap in counts:
                 counts[ap] += 1
         return min(
@@ -133,7 +147,13 @@ def solve_least_load(
     be (nearly) free — the paper's distributed rules do.
     """
 
-    def choose(problem, state, user, neighbors, rng):
+    def choose(
+        problem: MulticastAssociationProblem,
+        state: AssociationState,
+        user: int,
+        neighbors: list[int],
+        rng: random.Random,
+    ) -> int:
         return min(
             neighbors,
             key=lambda ap: (

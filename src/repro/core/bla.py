@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core import instrument
 from repro.core.assignment import Assignment
 from repro.core.candidates import (
     CandidateSet,
@@ -30,8 +31,6 @@ from repro.core.candidates import (
 from repro.core.errors import CoverageError
 from repro.core.mcg import greedy_mcg
 from repro.core.problem import MulticastAssociationProblem
-from repro.obs import counters as metrics
-from repro.obs import trace as tracing
 
 @dataclass(frozen=True)
 class BlaSolution:
@@ -143,7 +142,7 @@ def solve_bla(
     if n_guesses < 1:
         raise ValueError("need at least one B* guess")
 
-    with tracing.span(
+    with instrument.span(
         "bla.solve", n_users=problem.n_users, n_aps=problem.n_aps
     ):
         candidates = build_candidates(problem)
@@ -169,15 +168,15 @@ def solve_bla(
         def try_guess(b_star: float) -> bool:
             """Attempt one guess; update the incumbent. True when feasible."""
             nonlocal best_assignment, best_b_star, best_value, best_iterations
-            metrics.incr("bla.bstar_probes")
-            with tracing.span("bla.bstar-probe", b_star=b_star):
+            instrument.incr("bla.bstar_probes")
+            with instrument.span("bla.bstar-probe", b_star=b_star):
                 outcome = _iterated_mnu(
                     candidates, problem.n_aps, b_star, ground, cap
                 )
             if outcome is None:
-                metrics.incr("bla.bstar_infeasible")
+                instrument.incr("bla.bstar_infeasible")
                 return False
-            metrics.incr("bla.bstar_feasible")
+            instrument.incr("bla.bstar_feasible")
             assignment = assignment_from_cover(problem, outcome[0])
             value = assignment.max_load()
             if value < best_value - 1e-15:
@@ -216,12 +215,12 @@ def solve_bla(
             best_assignment = rebalance_cover(best_assignment)
 
         best_assignment.validate(check_budgets=False)
-    if metrics.enabled():
-        metrics.incr("bla.solves")
-        metrics.incr("bla.iterations", best_iterations)
-        metrics.gauge("bla.n_served", float(best_assignment.n_served))
-        metrics.gauge("bla.total_load", best_assignment.total_load())
-        metrics.gauge("bla.max_load", best_assignment.max_load())
+    if instrument.enabled():
+        instrument.incr("bla.solves")
+        instrument.incr("bla.iterations", best_iterations)
+        instrument.gauge("bla.n_served", float(best_assignment.n_served))
+        instrument.gauge("bla.total_load", best_assignment.total_load())
+        instrument.gauge("bla.max_load", best_assignment.max_load())
     return BlaSolution(
         assignment=best_assignment,
         b_star=best_b_star,

@@ -30,7 +30,12 @@ from repro.core.optimal import _coverage_matrix, _group_cost_matrix
 from repro.core.problem import MulticastAssociationProblem
 
 
-def _solve_lp(c, constraints, bounds, what: str) -> float:
+def _solve_lp(
+    c: np.ndarray,
+    constraints: "list[LinearConstraint] | LinearConstraint",
+    bounds: Bounds,
+    what: str,
+) -> float:
     """HiGHS LP solve (milp with zero integrality)."""
     result = milp(
         c=c,

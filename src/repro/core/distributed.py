@@ -24,11 +24,10 @@ import random
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
+from repro.core import instrument
 from repro.core.assignment import Assignment
 from repro.core.ledger import LoadLedger
 from repro.core.problem import MulticastAssociationProblem
-from repro.obs import counters as metrics
-from repro.obs import trace as tracing
 
 Policy = Literal["mnu", "mla", "bla"]
 
@@ -144,7 +143,7 @@ def decide(
 
 def _vector_less(a: tuple[float, ...], b: tuple[float, ...], eps: float) -> bool:
     """Strict lexicographic comparison with tolerance (footnote 5)."""
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=True):
         if x < y - eps:
             return True
         if x > y + eps:
@@ -185,7 +184,7 @@ def run_distributed(
     whole round decide on one snapshot and applies all moves together,
     reproducing Figure 4's potential oscillation.
     """
-    with tracing.span(
+    with instrument.span(
         "distributed.run",
         policy=policy,
         mode=mode,
@@ -201,15 +200,15 @@ def run_distributed(
             max_rounds=max_rounds,
             enforce_budgets=enforce_budgets,
         )
-    if metrics.enabled():
-        metrics.incr("distributed.runs")
-        metrics.incr("distributed.rounds", result.rounds)
-        metrics.incr("distributed.moves", result.moves)
-        metrics.incr("distributed.decisions", result.rounds * problem.n_users)
+    if instrument.enabled():
+        instrument.incr("distributed.runs")
+        instrument.incr("distributed.rounds", result.rounds)
+        instrument.incr("distributed.moves", result.moves)
+        instrument.incr("distributed.decisions", result.rounds * problem.n_users)
         if result.oscillated:
-            metrics.incr("distributed.oscillations")
+            instrument.incr("distributed.oscillations")
         for op, count in state.op_counts().items():
-            metrics.incr(f"ledger.{op}", count)
+            instrument.incr(f"ledger.{op}", count)
     return result
 
 

@@ -54,7 +54,7 @@ def max_min_unicast_shares(
         raise ModelError("user counts must be non-negative")
     shares = []
     for residual, n_users in zip(
-        residual_airtime(assignment), unicast_users_per_ap
+        residual_airtime(assignment), unicast_users_per_ap, strict=True
     ):
         shares.append(residual / n_users if n_users else math.inf)
     return shares
@@ -101,6 +101,7 @@ def concave_unicast_revenue(
     for share, n_users in zip(
         max_min_unicast_shares(assignment, unicast_users_per_ap),
         unicast_users_per_ap,
+        strict=True,
     ):
         if n_users:
             total += n_users * u(share)

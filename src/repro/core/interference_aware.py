@@ -18,6 +18,7 @@ best-served feasible assignment is kept.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.assignment import Assignment
@@ -66,7 +67,7 @@ def solve_interference_aware_mnu(
     if max_iterations < 1:
         raise ModelError("need at least one iteration")
     nominal = list(problem.budgets)
-    if any(b != b or b == float("inf") for b in nominal):
+    if any(math.isnan(b) or math.isinf(b) for b in nominal):
         raise ModelError("interference-aware MNU requires finite budgets")
 
     pressures = [0.0] * problem.n_aps
@@ -78,7 +79,7 @@ def solve_interference_aware_mnu(
         iterations += 1
         effective = [
             max(0.0, budget - pressure)
-            for budget, pressure in zip(nominal, pressures)
+            for budget, pressure in zip(nominal, pressures, strict=True)
         ]
         tightened = problem.with_budgets(effective)
         assignment = solve_mnu(tightened, augment=augment).assignment
@@ -89,7 +90,9 @@ def solve_interference_aware_mnu(
         # self-consistency check against the *new* pressures
         self_consistent = all(
             load <= max(0.0, budget - pressure) + 1e-9
-            for load, budget, pressure in zip(loads, nominal, pressures)
+            for load, budget, pressure in zip(
+                loads, nominal, pressures, strict=True
+            )
         )
         if self_consistent and (
             best is None or assignment.n_served > best.n_served

@@ -60,6 +60,41 @@ def ledger_check_enabled() -> bool:
     return os.environ.get(LEDGER_CHECK_ENV, "") not in ("", "0")
 
 
+def multicast_airtime(
+    session_rate: float, member_rates: Iterable[float]
+) -> float:
+    """Definition 1 for a single multicast group.
+
+    The airtime of transmitting a ``session_rate`` stream to the group is
+    ``session_rate / min(member_rates)`` — the AP serves the slowest
+    member. A non-positive minimum (an out-of-range member) makes the
+    group unservable: the airtime is ``inf``. ``member_rates`` must be
+    non-empty.
+
+    This helper exists so layers that keep only a *local* group view —
+    the protocol-simulation AP in :mod:`repro.net.nodes` — share the one
+    load kernel instead of re-deriving it (replint rule RPL001).
+    """
+    tx_rate = min(member_rates)
+    if tx_rate <= 0:
+        return math.inf
+    return session_rate / tx_rate
+
+
+def local_ap_load(
+    groups: Iterable[tuple[float, Iterable[float]]]
+) -> float:
+    """One AP's multicast load from its local ``(session_rate,
+    member_rates)`` group view: the exactly rounded (``fsum``) sum of
+    :func:`multicast_airtime` over the groups — the same rounding the
+    ledger's cached per-AP loads use, so a protocol-level AP and a
+    ledger over the same association agree bit for bit."""
+    return math.fsum(
+        multicast_airtime(session_rate, member_rates)
+        for session_rate, member_rates in groups
+    )
+
+
 class _RateGroup:
     """One (AP, session) multicast group: members and their rate multiset.
 
@@ -448,8 +483,11 @@ class LoadLedger:
         recompute bit-for-bit."""
         expected = self.naive_loads()
         actual = self._loads.tolist()
-        for ap, (want, have) in enumerate(zip(expected, actual)):
-            same = (want == have) or (math.isnan(want) and math.isnan(have))
+        for ap, (want, have) in enumerate(zip(expected, actual, strict=True)):
+            # The invariant is bit-exactness, so this one comparison
+            # really does want ``==`` on floats.
+            same = want == have
+            same = same or (math.isnan(want) and math.isnan(have))
             if not same:
                 raise ModelError(
                     f"ledger invariant violated: AP {ap} cached load "
@@ -518,14 +556,20 @@ class CandidateGainIndex:
             self._group_members.setdefault(candidate.ap, []).append(k)
         self._open: list[bool] = [
             cost < budget
-            for cost, budget in zip(self._group_cost, self._budgets)
+            for cost, budget in zip(
+                self._group_cost, self._budgets, strict=True
+            )
         ]
         self._eff: list[float] = [
             count / cost
             if available and count > 0 and self._open[group]
             else -math.inf
             for count, cost, available, group in zip(
-                self._counts, self._costs, self._available, self._group_of
+                self._counts,
+                self._costs,
+                self._available,
+                self._group_of,
+                strict=True,
             )
         ]
         if self._vec:

@@ -16,10 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core import instrument
 from repro.core.candidates import CandidateSet
 from repro.core.ledger import CandidateGainIndex
-from repro.obs import counters as metrics
-from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -87,7 +86,7 @@ def greedy_mcg(
     overshooting: list[CandidateSet] = []
 
     rounds = 0
-    with tracing.span(
+    with instrument.span(
         "mcg.greedy", n_candidates=len(candidates), n_ground=len(ground)
     ):
         while remaining:
@@ -104,11 +103,11 @@ def greedy_mcg(
             else:
                 within_budget.append(candidate)
             remaining -= newly_covered
-    if metrics.enabled():
-        metrics.incr("mcg.runs")
-        metrics.incr("mcg.rounds", rounds)
-        metrics.incr("mcg.candidate_scans", rounds * len(candidates))
-        metrics.incr("mcg.sets_selected", len(selected))
+    if instrument.enabled():
+        instrument.incr("mcg.runs")
+        instrument.incr("mcg.rounds", rounds)
+        instrument.incr("mcg.candidate_scans", rounds * len(candidates))
+        instrument.incr("mcg.sets_selected", len(selected))
 
     if not split:
         chosen = tuple(selected)

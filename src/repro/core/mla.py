@@ -11,13 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import instrument
 from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.candidates import build_candidates
 from repro.core.errors import CoverageError
 from repro.core.problem import MulticastAssociationProblem
 from repro.core.setcover import SetCoverResult, greedy_set_cover
-from repro.obs import counters as metrics
-from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -37,7 +36,7 @@ def solve_mla(problem: MulticastAssociationProblem) -> MlaSolution:
     isolated = problem.isolated_users()
     if isolated:
         raise CoverageError(isolated)
-    with tracing.span(
+    with instrument.span(
         "mla.solve", n_users=problem.n_users, n_aps=problem.n_aps
     ):
         candidates = build_candidates(problem)
@@ -49,10 +48,10 @@ def solve_mla(problem: MulticastAssociationProblem) -> MlaSolution:
         )
         # Feasibility wrt range/rates only: MLA has no budget constraint.
         assignment.validate(check_budgets=False)
-    if metrics.enabled():
-        metrics.incr("mla.solves")
-        metrics.incr("mla.cover_sets", len(cover.selected))
-        metrics.gauge("mla.n_served", float(assignment.n_served))
-        metrics.gauge("mla.total_load", assignment.total_load())
-        metrics.gauge("mla.max_load", assignment.max_load())
+    if instrument.enabled():
+        instrument.incr("mla.solves")
+        instrument.incr("mla.cover_sets", len(cover.selected))
+        instrument.gauge("mla.n_served", float(assignment.n_served))
+        instrument.gauge("mla.total_load", assignment.total_load())
+        instrument.gauge("mla.max_load", assignment.max_load())
     return MlaSolution(assignment=assignment, cover=cover)

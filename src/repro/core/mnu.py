@@ -17,12 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.core import instrument
 from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.candidates import build_candidates
 from repro.core.mcg import McgResult, greedy_mcg
 from repro.core.problem import MulticastAssociationProblem
-from repro.obs import counters as metrics
-from repro.obs import trace as tracing
 
 
 @dataclass(frozen=True)
@@ -66,9 +65,9 @@ def augment_assignment(
         if ledger.load_if_joined(user, ap) <= problem.budget_of(ap) + 1e-12:
             ledger.move(user, ap)
             moved = True
-    if metrics.enabled():
+    if instrument.enabled():
         for op, count in ledger.op_counts().items():
-            metrics.incr(f"ledger.{op}", count)
+            instrument.incr(f"ledger.{op}", count)
     return ledger.to_assignment() if moved else assignment
 
 
@@ -89,7 +88,7 @@ def solve_mnu(
     augment:
         greedily re-add users dropped by the split when they still fit.
     """
-    with tracing.span(
+    with instrument.span(
         "mnu.solve", n_users=problem.n_users, n_aps=problem.n_aps
     ):
         # The H1/H2 split's feasibility guarantee (Theorem 2) rests on the
@@ -114,10 +113,10 @@ def solve_mnu(
             assignment = augment_assignment(assignment)
         if split:
             assignment.validate(check_budgets=True)
-    if metrics.enabled():
-        metrics.incr("mnu.solves")
-        metrics.incr("mnu.candidates", len(candidates))
-        metrics.gauge("mnu.n_served", float(assignment.n_served))
-        metrics.gauge("mnu.total_load", assignment.total_load())
-        metrics.gauge("mnu.max_load", assignment.max_load())
+    if instrument.enabled():
+        instrument.incr("mnu.solves")
+        instrument.incr("mnu.candidates", len(candidates))
+        instrument.gauge("mnu.n_served", float(assignment.n_served))
+        instrument.gauge("mnu.total_load", assignment.total_load())
+        instrument.gauge("mnu.max_load", assignment.max_load())
     return MnuSolution(assignment=assignment, mcg=result)

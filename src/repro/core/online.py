@@ -25,10 +25,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
 
+from repro.core import instrument
 from repro.core.distributed import AssociationState, Policy, decide
 from repro.core.errors import ModelError
 from repro.core.problem import MulticastAssociationProblem
-from repro.obs import counters as metrics
 
 RepairScope = Literal["none", "local", "full"]
 
@@ -185,11 +185,11 @@ class OnlineController:
             )
         elif self.repair == "full":
             handoffs += self._repair_users(set(self.active) - {user})
-        if metrics.enabled():
-            metrics.incr("online.events")
-            metrics.incr("online.handoffs", handoffs)
+        if instrument.enabled():
+            instrument.incr("online.events")
+            instrument.incr("online.handoffs", handoffs)
             for op, count in self.state.op_counts().items():
-                metrics.incr(f"ledger.{op}", count - ops_before[op])
+                instrument.incr(f"ledger.{op}", count - ops_before[op])
         return handoffs
 
     # -- metrics ------------------------------------------------------------
@@ -242,9 +242,11 @@ def generate_churn_trace(
         can_join = bool(inactive)
         can_leave = bool(active)
         # Degenerate biases mean "this kind only": stop when exhausted.
-        if join_bias == 1.0:
+        # (Exact sentinel values supplied by the caller, not computed —
+        # the float comparisons are intentional.)
+        if join_bias == 1.0:  # replint: ignore[RPL004]
             can_leave = False
-        elif join_bias == 0.0:
+        elif join_bias == 0.0:  # replint: ignore[RPL004]
             can_join = False
         if not can_join and not can_leave:
             break

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.optimize import Bounds, LinearConstraint, OptimizeResult, milp
 
 from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.candidates import CandidateSet, build_candidates
@@ -68,12 +68,14 @@ def _selected_sets(
     return tuple(c for k, c in enumerate(candidates) if x[k] > 0.5)
 
 
-def _check(result, what: str) -> None:
+def _check(result: OptimizeResult, what: str) -> None:
     if not result.success:
         raise SolverError(f"MILP for {what} failed: {result.message}")
 
 
-def _scaled(constraints: list[LinearConstraint], factor: float):
+def _scaled(
+    constraints: list[LinearConstraint], factor: float
+) -> list[LinearConstraint]:
     """Constraints with rows and bounds multiplied by ``factor``.
 
     Row scaling leaves the feasible set untouched but moves HiGHS off the
@@ -81,7 +83,7 @@ def _scaled(constraints: list[LinearConstraint], factor: float):
     within ~1e-6 (observed: "HiGHS Status 4: Solve error" on instances
     whose budget nearly equals one set cost).
     """
-    scaled = []
+    scaled: list[LinearConstraint] = []
     for constraint in constraints:
         scaled.append(
             LinearConstraint(
@@ -93,7 +95,13 @@ def _scaled(constraints: list[LinearConstraint], factor: float):
     return scaled
 
 
-def _milp(c, constraints, integrality, bounds, what: str):
+def _milp(
+    c: np.ndarray,
+    constraints: "list[LinearConstraint] | LinearConstraint",
+    integrality: np.ndarray,
+    bounds: Bounds,
+    what: str,
+) -> OptimizeResult:
     """``scipy.optimize.milp`` with a scaled retry on solver errors."""
     result = milp(
         c=c, constraints=constraints, integrality=integrality, bounds=bounds

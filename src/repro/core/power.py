@@ -88,7 +88,7 @@ def expand_with_power_levels(
     user_sessions: Sequence[int],
     *,
     levels: Sequence[PowerLevel] = DEFAULT_LEVELS,
-    budgets: float = float("inf"),
+    budgets: float = math.inf,
 ) -> PowerExtendedProblem:
     """Build the power-extended instance over virtual (AP, level) pairs."""
     if not levels:

@@ -61,12 +61,16 @@ def solve_ssa(
     """Associate every user with its strongest-signal AP.
 
     With ``enforce_budgets=True`` users are admitted in ``arrival_order``
-    (random when omitted; supply ``rng`` for reproducibility), and a user is
-    rejected when admitting it would push its strongest AP past its budget.
+    (shuffled by ``rng`` when omitted — a fixed-seed ``Random(0)`` by
+    default, so two calls with the same inputs produce the same
+    assignment), and a user is rejected when admitting it would push its
+    strongest AP past its budget.
     """
     if arrival_order is None:
         order = list(range(problem.n_users))
-        (rng or random.Random()).shuffle(order)
+        # Determinism hygiene (RPL003): the fallback RNG is seeded so the
+        # default arrival order is a pure function of the problem size.
+        (rng or random.Random(0)).shuffle(order)
     else:
         order = list(arrival_order)
         if sorted(order) != list(range(problem.n_users)):

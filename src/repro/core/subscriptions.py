@@ -21,6 +21,7 @@ when mapping back:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Literal, Mapping, Sequence
 
@@ -52,7 +53,7 @@ def expand_subscriptions(
     subscriptions: Sequence[Sequence[int]],
     sessions: Sequence[Session],
     *,
-    budgets: float | Sequence[float] = float("inf"),
+    budgets: float | Sequence[float] = math.inf,
 ) -> SubscriptionProblem:
     """Build the virtual-user instance from per-user subscription sets.
 

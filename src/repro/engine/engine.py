@@ -316,7 +316,7 @@ class ShardedEngine:
             "engine.shard-solve",
             objective=objective,
         )
-        for i, shard_problem, raw in zip(pending, subs, solved):
+        for i, shard_problem, raw in zip(pending, subs, solved, strict=True):
             if objective == "mnu":
                 entry = (
                     to_global_picks(shard_problem, raw[0]),
@@ -372,7 +372,7 @@ class ShardedEngine:
             objective="bla-federated",
         )
         for i, shard_problem, (local_map, b_star, iters) in zip(
-            pending, subs, solved
+            pending, subs, solved, strict=True
         ):
             entry = (
                 tuple(shard_problem.map_assignment(local_map)),

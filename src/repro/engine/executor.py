@@ -357,7 +357,7 @@ def solve_sharded_bla(
             h2_cover = sum(len(_covered(o)) for _, o in rounds)
             take_h1 = h1_cover >= h2_cover
             progressed = False
-            for i, (shard_within, shard_over) in zip(open_shards, rounds):
+            for i, (shard_within, shard_over) in zip(open_shards, rounds, strict=True):
                 chosen = shard_within if take_h1 else shard_over
                 picked[i].extend(chosen)
                 newly = _covered(chosen)
@@ -371,7 +371,7 @@ def solve_sharded_bla(
 
     def stitched(picked: Sequence[Sequence[SetPick]]) -> Assignment:
         pairs: list[tuple[int, int]] = []
-        for (_, shard_problem, _), shard_picked in zip(live, picked):
+        for (_, shard_problem, _), shard_picked in zip(live, picked, strict=True):
             local = assignment_from_cover(
                 shard_problem.problem,
                 [
@@ -450,7 +450,7 @@ def solve_sharded_bla(
             backend, rebalance_round, payloads, "bla.rebalance"
         )
         pairs = []
-        for (_, shard_problem, _), refined in zip(live, refined_locals):
+        for (_, shard_problem, _), refined in zip(live, refined_locals, strict=True):
             pairs.extend(shard_problem.map_assignment(refined))
         refined_assignment = stitch_assignment(problem, pairs)
         # The monolithic rebalance guard, on the global load vector:

@@ -41,12 +41,13 @@ def render_series(
     xs: Sequence[float],
     series: Mapping[str, Sequence[float]],
     *,
-    geometry: PlotGeometry = PlotGeometry(),
+    geometry: PlotGeometry | None = None,
     x_label: str = "x",
     y_label: str = "y",
     title: str = "",
 ) -> str:
     """Render named series over shared x values as an ASCII chart."""
+    geometry = geometry if geometry is not None else PlotGeometry()
     if not xs:
         raise ValueError("nothing to plot")
     for name, values in series.items():
@@ -65,7 +66,7 @@ def render_series(
     for index, (name, values) in enumerate(series.items()):
         glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
         previous: tuple[int, int] | None = None
-        for x, y in zip(xs, values):
+        for x, y in zip(xs, values, strict=True):
             col = _scale(x, x_lo, x_hi, geometry.width)
             row = geometry.height - 1 - _scale(y, y_lo, y_hi, geometry.height)
             # connect with a sparse line toward the previous point
@@ -107,7 +108,7 @@ def render_series(
 
 
 def plot_experiment(
-    result: ExperimentResult, *, geometry: PlotGeometry = PlotGeometry()
+    result: ExperimentResult, *, geometry: PlotGeometry | None = None
 ) -> str:
     """Render an :class:`ExperimentResult` (mean series) as an ASCII chart."""
     series = {name: result.series(name) for name in result.algorithms}

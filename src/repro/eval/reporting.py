@@ -28,11 +28,11 @@ def format_table(result: ExperimentResult, *, precision: int = 4) -> str:
     ]
     lines = [
         f"== {result.name}: {result.metric} vs {result.x_label} ==",
-        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        " | ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)),
         "-+-".join("-" * w for w in widths),
     ]
     for row in rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

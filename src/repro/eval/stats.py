@@ -79,7 +79,7 @@ def paired_comparison(
         raise ValueError("paired samples must have equal length")
     if len(a) < 2:
         raise ValueError("need at least two pairs")
-    differences = [x - y for x, y in zip(a, b)]
+    differences = [x - y for x, y in zip(a, b, strict=True)]
     interval = mean_confidence_interval(differences, confidence)
     if all(d == differences[0] for d in differences):
         # zero variance: scipy returns nan; define the degenerate outcome
@@ -120,7 +120,7 @@ def win_matrix(
                 continue
             wins = sum(
                 1
-                for x, y in zip(samples[a], samples[b])
+                for x, y in zip(samples[a], samples[b], strict=True)
                 if (x < y) == smaller_is_better and x != y
             )
             matrix[a][b] = wins / n

@@ -91,7 +91,7 @@ class ParameterStudy:
     def combinations(self) -> list[dict[str, object]]:
         keys = list(self.factors)
         return [
-            dict(zip(keys, values))
+            dict(zip(keys, values, strict=True))
             for values in itertools.product(
                 *(self.factors[key] for key in keys)
             )
@@ -153,11 +153,11 @@ def render_study(result: StudyResult, *, precision: int = 4) -> str:
     ]
     lines = [
         f"== parameter study: {result.metric} ==",
-        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        " | ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)),
         "-+-".join("-" * w for w in widths),
     ]
     for row in rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -10,6 +10,7 @@ load.
 from __future__ import annotations
 
 import json
+import math
 from typing import IO, Any
 
 from repro.core.assignment import Assignment
@@ -121,7 +122,7 @@ def problem_to_dict(problem: MulticastAssociationProblem) -> dict:
             for s in problem.sessions
         ],
         "budgets": [
-            None if b == float("inf") else b for b in problem.budgets
+            None if math.isinf(b) else b for b in problem.budgets
         ],
     }
 
@@ -157,7 +158,7 @@ def scenario_to_dict(scenario: Scenario) -> dict:
             for s in scenario.sessions
         ],
         "user_sessions": list(scenario.user_sessions),
-        "budget": None if scenario.budget == float("inf") else scenario.budget,
+        "budget": None if math.isinf(scenario.budget) else scenario.budget,
         "seed": scenario.seed,
         "area": [
             scenario.area.x_min,

@@ -1,0 +1,103 @@
+"""``python -m repro lint`` — the replint command line.
+
+    python -m repro lint                  # lints src/
+    python -m repro lint src tests benchmarks
+    python -m repro lint --format json path/to/file.py
+
+Exit codes: 0 clean, 1 violations found, 2 operational error (missing
+path, unparsable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.registry import all_rules
+
+
+def render_human(report: LintReport) -> str:
+    """Editor-clickable ``path:line:col: CODE message`` lines + summary."""
+    lines = [error.format() for error in report.errors]
+    lines += [diagnostic.format() for diagnostic in report.diagnostics]
+    counts = report.counts()
+    summary = (
+        f"replint: {report.files_scanned} file(s) scanned, "
+        f"{len(report.diagnostics)} violation(s)"
+    )
+    if counts:
+        summary += (
+            " ("
+            + ", ".join(f"{code}: {n}" for code, n in counts.items())
+            + ")"
+        )
+    if report.suppressions_used:
+        summary += f", {report.suppressions_used} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="replint: AST-based architectural invariant checker",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        dest="output_format",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def run_lint(
+    paths: Sequence[str], output_format: str = "human"
+) -> int:
+    """Lint ``paths`` and print a report; returns the exit code."""
+    report = lint_paths(paths)
+    if output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report))
+    return report.exit_code
+
+
+def print_rule_table() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}: {rule.summary}")
+    print(
+        "RPL006  unused-suppression: a '# replint: ignore[...]' comment "
+        "that suppressed nothing"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.rules:
+        print_rule_table()
+        return 0
+    return run_lint(args.paths, args.output_format)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The diagnostic record replint rules emit.
+
+A :class:`Diagnostic` is one finding at one source position. It renders
+either as the conventional ``path:line:col: CODE message`` line (human
+output, editor-clickable) or as a JSON-able dict (machine output for CI
+annotation), and sorts in file order so reports are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Diagnostic:
+    """One rule finding, anchored to a source position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The conventional one-line rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form for ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,199 @@
+"""The replint engine: file discovery, rule dispatch, suppression filter.
+
+Per file: parse source → run every registered rule → drop diagnostics
+covered by a same-line ``# replint: ignore[...]`` comment → report
+suppressions that covered nothing as RPL006. Directory arguments are
+walked recursively, skipping :data:`~repro.lint.tables.SKIP_DIRS`
+(notably ``fixtures``, so the deliberately-bad lint test corpus never
+fails a CI run over ``tests/``); file arguments are always linted.
+
+Module names are derived from the path's last ``repro`` component
+(``src/repro/core/mnu.py`` → ``repro.core.mnu``); files outside a
+``repro`` tree get ``module=None`` and only the scope-free checks.
+Tests pass ``module_name`` explicitly to lint fixtures *as if* they
+lived at a given import path.
+
+The run is itself instrumented: when a metrics registry is installed
+(:func:`repro.obs.counters.install`), ``replint.files_scanned``,
+``replint.violations`` and ``replint.suppressions_used`` accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext
+from repro.lint.suppressions import parse_suppressions
+from repro.lint.tables import SKIP_DIRS
+from repro.obs import counters
+
+UNUSED_SUPPRESSION = "RPL006"
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file replint could not check at all (unreadable / unparsable)."""
+
+    path: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}: error: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of paths."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressions_used: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 violations, 2 operational errors."""
+        if self.errors:
+            return 2
+        return 1 if self.diagnostics else 0
+
+    def counts(self) -> dict[str, int]:
+        """Violations per rule code."""
+        by_code: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+        return dict(sorted(by_code.items()))
+
+    def merge(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.errors.extend(other.errors)
+        self.files_scanned += other.files_scanned
+        self.suppressions_used += other.suppressions_used
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "suppressions_used": self.suppressions_used,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": [
+                {"path": e.path, "message": e.message} for e in self.errors
+            ],
+        }
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted module name from the last ``repro`` path component."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    index = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = [part for part in parts[index:]]
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+def lint_source(
+    source: str, path: str, module_name: str | None
+) -> LintReport:
+    """Lint one in-memory source blob (the fixture tests' entry point)."""
+    from repro.lint.registry import all_rules
+
+    report = LintReport(files_scanned=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.errors.append(
+            LintError(path, f"syntax error: {error.msg} (line {error.lineno})")
+        )
+        return report
+    suppressions = parse_suppressions(source)
+    ctx = ModuleContext(
+        path=path, module=module_name, tree=tree, source=source
+    )
+    kept: list[Diagnostic] = []
+    for rule in all_rules():
+        for diagnostic in rule.check(ctx):
+            if suppressions.suppresses(diagnostic.line, diagnostic.code):
+                report.suppressions_used += 1
+            else:
+                kept.append(diagnostic)
+    for line, code in suppressions.unused():
+        kept.append(
+            Diagnostic(
+                path=path,
+                line=line,
+                col=1,
+                code=UNUSED_SUPPRESSION,
+                message=(
+                    f"unused suppression for {code}: the line no longer "
+                    "triggers it — delete the ignore comment"
+                ),
+            )
+        )
+    for line in suppressions.malformed:
+        kept.append(
+            Diagnostic(
+                path=path,
+                line=line,
+                col=1,
+                code=UNUSED_SUPPRESSION,
+                message=(
+                    "malformed replint comment; the syntax is "
+                    "'# replint: ignore[RPL00x]'"
+                ),
+            )
+        )
+    report.diagnostics = sorted(kept)
+    return report
+
+
+def lint_file(path: Path, module_name: str | None = None) -> LintReport:
+    """Lint one file; ``module_name`` overrides path-based derivation."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        report = LintReport()
+        report.errors.append(LintError(str(path), str(error)))
+        return report
+    if module_name is None:
+        module_name = module_name_for(path)
+    return lint_source(source, str(path), module_name)
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """Every ``.py`` under ``root``, skipping ``SKIP_DIRS`` directories."""
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if any(part in SKIP_DIRS for part in relative.parts[:-1]):
+            continue
+        yield path
+
+
+def lint_paths(paths: Sequence[str | Path]) -> LintReport:
+    """Lint files and directory trees; the CLI's entry point."""
+    report = LintReport()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file_path in iter_python_files(path):
+                report.merge(lint_file(file_path))
+        elif path.is_file():
+            report.merge(lint_file(path))
+        else:
+            report.errors.append(LintError(str(path), "no such file"))
+    counters.incr("replint.files_scanned", report.files_scanned)
+    counters.incr("replint.violations", len(report.diagnostics))
+    counters.incr("replint.suppressions_used", report.suppressions_used)
+    return report

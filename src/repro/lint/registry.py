@@ -1,0 +1,123 @@
+"""The rule registry and the per-file context rules run against.
+
+Each rule is a class with a unique ``RPLxxx`` code, registered with the
+:func:`register` decorator; the engine runs :func:`all_rules` over every
+file. RPL006 (unused suppression) is emitted by the engine itself — it
+is *about* the suppression machinery, so it cannot be suppressed — and
+is listed here only so the rule table is complete.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator, Protocol, TypeVar
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.tables import LAYER_DAG
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    #: Dotted module name (``repro.core.ledger``) when the file lives
+    #: under a ``repro`` package directory; ``None`` for tests, benchmarks
+    #: and scripts — rules scoped to ``repro.*`` skip those files.
+    module: str | None
+    tree: ast.Module
+    source: str
+    _parents: dict[int, ast.AST] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # -- scope helpers ----------------------------------------------------
+
+    @property
+    def in_repro(self) -> bool:
+        return self.module is not None and (
+            self.module == "repro" or self.module.startswith("repro.")
+        )
+
+    @property
+    def layer(self) -> str | None:
+        """The module's layer: the second dotted component, when it names
+        a package in :data:`~repro.lint.tables.LAYER_DAG` (root modules
+        like ``repro.io`` have no layer and are unrestricted)."""
+        if self.module is None:
+            return None
+        parts = self.module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro" and parts[1] in LAYER_DAG:
+            return parts[1]
+        return None
+
+    @property
+    def package(self) -> str | None:
+        """``repro.<layer>`` for layered modules, else ``None``."""
+        layer = self.layer
+        return None if layer is None else f"repro.{layer}"
+
+    def inside_function(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside a (async) function body."""
+        current: ast.AST | None = self._parents.get(id(node))
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return True
+            current = self._parents.get(id(current))
+        return False
+
+    def diagnostic(self, node: ast.AST, code: str, message: str) -> Diagnostic:
+        """A :class:`Diagnostic` anchored at ``node``'s position."""
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule(Protocol):
+    """What the engine requires of a rule."""
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    summary: ClassVar[str]
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]: ...
+
+
+_RULES: dict[str, Rule] = {}
+
+R = TypeVar("R", bound=type)
+
+
+def register(rule_cls: R) -> R:
+    """Class decorator: instantiate and index a rule by its code."""
+    rule: Rule = rule_cls()
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look one rule up by its ``RPLxxx`` code."""
+    _ensure_loaded()
+    return _RULES[code]
+
+
+def _ensure_loaded() -> None:
+    # rules.py registers itself on import; import lazily to avoid the
+    # registry→rules→registry cycle at module load
+    import repro.lint.rules  # noqa: F401

@@ -1,0 +1,394 @@
+"""The replint rules, RPL001–RPL005.
+
+Each rule walks the file's AST against the declaration tables in
+:mod:`repro.lint.tables`. RPL006 (unused suppression) is emitted by the
+engine, not here. The authoritative rule table with rationale lives in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import ModuleContext, register
+from repro.lint.tables import (
+    ALLOW_LAZY,
+    CLOCK_FUNCTIONS,
+    FLOAT_RETURNING_API,
+    GLOBAL_RANDOM_OK,
+    LAYER_DAG,
+    LOAD_KERNEL_ALLOWLIST,
+    OBS_REGISTRY_CLASSES,
+    SOLVER_PACKAGES,
+)
+
+
+def _is_name_call(node: ast.AST, names: frozenset[str] | set[str]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in names
+    )
+
+
+def _module_attr_call(node: ast.Call, module: str) -> str | None:
+    """``module.attr(...)`` → ``attr``; anything else → ``None``."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == module
+    ):
+        return func.attr
+    return None
+
+
+@register
+class LoadKernelRule:
+    """RPL001 — Definition-1 airtime must come from the load kernel.
+
+    The per-group airtime ``session_rate / min(member link rates)`` and
+    its fsum over an AP's groups exist exactly twice: in
+    :mod:`repro.core.ledger` (the kernel) and
+    :mod:`repro.verify.certificates` (the deliberately independent
+    oracle). A third copy re-opens the drift the LoadLedger refactor
+    closed, so any division whose denominator is a ``min(...)`` call —
+    the hand-rolled Definition-1 shape — is flagged everywhere else in
+    ``repro.*``. Use :func:`repro.core.ledger.multicast_airtime` /
+    :func:`repro.core.ledger.local_ap_load` instead.
+    """
+
+    code: ClassVar[str] = "RPL001"
+    name: ClassVar[str] = "hand-rolled-load-model"
+    summary: ClassVar[str] = (
+        "Definition-1 load computed outside repro.core.ledger / "
+        "repro.verify.certificates"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro or ctx.module in LOAD_KERNEL_ALLOWLIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Div)
+                and _is_name_call(node.right, {"min"})
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "hand-rolled Definition-1 airtime (rate / min(...)); "
+                    "use repro.core.ledger.multicast_airtime or "
+                    "local_ap_load — the load model has one kernel",
+                )
+
+
+@register
+class ImportLayeringRule:
+    """RPL002 — imports must follow the layering DAG.
+
+    The allowed graph is :data:`repro.lint.tables.LAYER_DAG`; lazy
+    (function-local) imports get the extra per-module grants in
+    :data:`~repro.lint.tables.ALLOW_LAZY`. Root modules (``repro``,
+    ``repro.__main__``, ``repro.io``) are composition roots and are
+    unrestricted. The headline edges: ``core`` never imports ``obs``
+    (instrumentation is injected through ``repro.core.instrument``) and
+    ``obs`` never imports solvers at module level.
+    """
+
+    code: ClassVar[str] = "RPL002"
+    name: ClassVar[str] = "import-layering"
+    summary: ClassVar[str] = "import edge not in the layering DAG"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        layer = ctx.layer
+        if layer is None:  # root modules and non-repro files: unrestricted
+            return
+        allowed = LAYER_DAG[layer]
+        lazy_extra = ALLOW_LAZY.get(ctx.module or "", frozenset())
+        for node in ast.walk(ctx.tree):
+            for target in self._imported_modules(ctx, node):
+                target_layer = self._target_layer(target)
+                if target_layer is None or target_layer == layer:
+                    continue
+                if target_layer in allowed:
+                    continue
+                if (
+                    ctx.inside_function(node)
+                    and target_layer in lazy_extra
+                ):
+                    continue
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"repro.{layer} must not import repro.{target_layer} "
+                    f"(allowed: "
+                    f"{', '.join(sorted(allowed)) or 'nothing'}); "
+                    "see LAYER_DAG in repro/lint/tables.py",
+                )
+
+    @staticmethod
+    def _imported_modules(
+        ctx: ModuleContext, node: ast.AST
+    ) -> Iterator[str]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module:
+                    yield node.module
+            elif ctx.module is not None:
+                # resolve ``from ..x import y`` against our own name
+                parts = ctx.module.split(".")
+                if node.level <= len(parts):
+                    base = parts[: len(parts) - node.level]
+                    suffix = [node.module] if node.module else []
+                    yield ".".join(base + suffix)
+
+    @staticmethod
+    def _target_layer(module: str) -> str | None:
+        parts = module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro" and parts[1] in LAYER_DAG:
+            return parts[1]
+        return None
+
+
+@register
+class DeterminismRule:
+    """RPL003 — solver runs must be bit-reproducible.
+
+    Three sub-rules. Everywhere in ``repro.*``: no unseeded
+    ``random.Random()`` and no calls into the interpreter-global RNG
+    (``random.shuffle`` et al. — pass a seeded ``random.Random``
+    instead). In the solver packages (:data:`SOLVER_PACKAGES`)
+    additionally: no wall-clock reads (``time.perf_counter`` and
+    friends — timing belongs to ``repro.obs``) and no iteration over
+    bare set displays/constructors (string hashing is per-process
+    randomized; sort first).
+    """
+
+    code: ClassVar[str] = "RPL003"
+    name: ClassVar[str] = "determinism-hygiene"
+    summary: ClassVar[str] = (
+        "unseeded/global RNG, wall-clock read, or set iteration"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro:
+            return
+        in_solver = ctx.package in SOLVER_PACKAGES
+        clock_aliases = self._from_imports(ctx.tree, "time", CLOCK_FUNCTIONS)
+        rng_aliases = self._from_imports(
+            ctx.tree, "random", None, exclude=GLOBAL_RANDOM_OK
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    ctx, node, in_solver, clock_aliases, rng_aliases
+                )
+            elif isinstance(node, ast.For) and in_solver:
+                yield from self._check_iteration(ctx, node, node.iter)
+            elif isinstance(node, ast.comprehension) and in_solver:
+                yield from self._check_iteration(ctx, node.iter, node.iter)
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        node: ast.Call,
+        in_solver: bool,
+        clock_aliases: set[str],
+        rng_aliases: set[str],
+    ) -> Iterator[Diagnostic]:
+        random_attr = _module_attr_call(node, "random")
+        if random_attr == "Random" and not node.args and not node.keywords:
+            yield ctx.diagnostic(
+                node,
+                self.code,
+                "unseeded random.Random() — seed it explicitly so runs "
+                "are reproducible",
+            )
+        elif random_attr is not None and random_attr not in GLOBAL_RANDOM_OK:
+            yield ctx.diagnostic(
+                node,
+                self.code,
+                f"random.{random_attr}() uses the interpreter-global RNG; "
+                "thread a seeded random.Random through instead",
+            )
+        elif isinstance(node.func, ast.Name) and node.func.id in rng_aliases:
+            yield ctx.diagnostic(
+                node,
+                self.code,
+                f"{node.func.id}() (from random) uses the global RNG; "
+                "thread a seeded random.Random through instead",
+            )
+        if in_solver:
+            time_attr = _module_attr_call(node, "time")
+            called = (
+                node.func.id if isinstance(node.func, ast.Name) else None
+            )
+            if time_attr in CLOCK_FUNCTIONS or called in clock_aliases:
+                clock = time_attr or called
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"wall-clock read ({clock}) in a solver module; timing "
+                    "belongs to repro.obs (use the repro.core.instrument "
+                    "span/timed helpers)",
+                )
+
+    def _check_iteration(
+        self, ctx: ModuleContext, anchor: ast.AST, iterable: ast.expr
+    ) -> Iterator[Diagnostic]:
+        if isinstance(iterable, ast.Set) or _is_name_call(
+            iterable, {"set", "frozenset"}
+        ):
+            yield ctx.diagnostic(
+                anchor,
+                self.code,
+                "iteration over a bare set in a solver module; iteration "
+                "order is not deterministic across processes — sort first",
+            )
+
+    @staticmethod
+    def _from_imports(
+        tree: ast.Module,
+        module: str,
+        only: frozenset[str] | None,
+        exclude: frozenset[str] = frozenset(),
+    ) -> set[str]:
+        """Local names bound by ``from <module> import ...``."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module:
+                for alias in node.names:
+                    if alias.name in exclude:
+                        continue
+                    if only is not None and alias.name not in only:
+                        continue
+                    names.add(alias.asname or alias.name)
+        return names
+
+
+@register
+class FloatEqualityRule:
+    """RPL004 — no ``==``/``!=`` on known-float expressions in library code.
+
+    Exact float comparison is almost always a latent tolerance bug. The
+    rule flags comparisons where either side is statically float-typed:
+    a float literal, a ``float()``/``fsum()``/``math.fsum()`` call, or a
+    call into the load model's float-returning API
+    (:data:`FLOAT_RETURNING_API`). Where exactness *is* the contract
+    (the ledger's bit-identical invariant), suppress with a justifying
+    comment — that is the documentation.
+    """
+
+    code: ClassVar[str] = "RPL004"
+    name: ClassVar[str] = "float-equality"
+    summary: ClassVar[str] = "== / != on a statically float-typed expression"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            sides = [node.left, *node.comparators]
+            offender = next(
+                (side for side in sides if self._floatish(side)), None
+            )
+            if offender is not None:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "exact float comparison; use math.isclose / an explicit "
+                    "tolerance, or suppress with a comment explaining why "
+                    "bit-equality is the contract",
+                )
+
+    @staticmethod
+    def _floatish(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in ("float", "fsum")
+            if isinstance(func, ast.Attribute):
+                return func.attr in FLOAT_RETURNING_API
+        return False
+
+
+@register
+class ObsDisciplineRule:
+    """RPL005 — observability goes through the registry helpers.
+
+    Outside ``repro.obs``, library code must not grow ad-hoc
+    ``global``-and-``+=`` counters (use ``repro.core.instrument.incr``
+    or ``repro.obs.counters.incr``, which aggregate, merge across
+    worker processes, and switch off cleanly) nor instantiate
+    :class:`MetricsRegistry`/:class:`TraceCollector` directly (install
+    them via the ``repro.obs`` module-level helpers so there is one
+    active registry).
+    """
+
+    code: ClassVar[str] = "RPL005"
+    name: ClassVar[str] = "obs-discipline"
+    summary: ClassVar[str] = (
+        "ad-hoc global counter or registry instantiated outside repro.obs"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro:
+            return
+        module = ctx.module or ""
+        if module == "repro.obs" or module.startswith("repro.obs."):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_global_counter(ctx, node)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                if node.func.id in OBS_REGISTRY_CLASSES:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"{node.func.id} instantiated outside repro.obs; "
+                        "install the active registry via the repro.obs "
+                        "module helpers instead",
+                    )
+
+    def _check_global_counter(
+        self, ctx: ModuleContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        declared = {
+            name
+            for stmt in ast.walk(fn)
+            if isinstance(stmt, ast.Global)
+            for name in stmt.names
+        }
+        if not declared:
+            return
+        for stmt in ast.walk(fn):
+            if (
+                isinstance(stmt, ast.AugAssign)
+                and isinstance(stmt.op, (ast.Add, ast.Sub))
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id in declared
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, (int, float))
+            ):
+                yield ctx.diagnostic(
+                    stmt,
+                    self.code,
+                    f"ad-hoc global counter {stmt.target.id!r}; use "
+                    "repro.core.instrument.incr (solvers) or "
+                    "repro.obs.counters.incr instead",
+                )

@@ -1,0 +1,95 @@
+"""Per-line suppression comments: ``# replint: ignore[RPL001]``.
+
+Suppressions are parsed from the token stream (not the AST, which drops
+comments) and apply to diagnostics anchored on the *same physical line*
+as the comment. Multiple codes are comma-separated:
+
+    same = want == have  # replint: ignore[RPL004] fsum is bit-exact
+
+Every suppression must earn its keep: one that matches no diagnostic is
+reported as RPL006 (unused suppression), and a ``replint:`` comment
+that does not parse is reported as malformed — so the ignore inventory
+can only shrink, never silently rot.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: A well-formed suppression comment: ``replint: ignore[RPL001, RPL004]``
+#: after a ``#`` (trailing prose after the bracket is encouraged).
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*ignore\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+)
+
+#: Anything that *mentions* replint but is not a well-formed suppression.
+_MARKER_RE = re.compile(r"#\s*replint\s*:")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: frozenset[str]
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def unused_codes(self) -> frozenset[str]:
+        return self.codes - self.used
+
+
+@dataclass
+class SuppressionTable:
+    """Every suppression in one file, plus malformed ``replint:`` comments."""
+
+    by_line: dict[int, Suppression] = field(default_factory=dict)
+    malformed: list[int] = field(default_factory=list)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """True (and marks the suppression used) when ``code`` on
+        ``line`` is covered by a suppression comment."""
+        suppression = self.by_line.get(line)
+        if suppression is None or code not in suppression.codes:
+            return False
+        suppression.used.add(code)
+        return True
+
+    def unused(self) -> list[tuple[int, str]]:
+        """``(line, code)`` pairs that suppressed nothing, file order."""
+        return [
+            (suppression.line, code)
+            for suppression in sorted(self.by_line.values(), key=lambda s: s.line)
+            for code in sorted(suppression.unused_codes)
+        ]
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Extract the suppression table from a file's token stream."""
+    table = SuppressionTable()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # the AST parse will report the real problem; no suppressions here
+        return table
+    for line, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group("codes").split(",")
+            )
+            existing = table.by_line.get(line)
+            if existing is not None:
+                codes |= existing.codes
+            table.by_line[line] = Suppression(line, codes)
+        elif _MARKER_RE.search(text):
+            table.malformed.append(line)
+    return table

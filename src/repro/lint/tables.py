@@ -1,0 +1,111 @@
+"""The declaration tables every replint rule reads from.
+
+One module, no logic: the allowed import graph, the load-kernel
+allowlist, the solver-package set and the float-returning API table all
+live here so that "what does the architecture allow?" has a single
+greppable answer. Rules (:mod:`repro.lint.rules`) interpret these
+tables; changing policy means editing a frozenset here, not a visitor.
+"""
+
+from __future__ import annotations
+
+#: The import-layering DAG (RPL002). Keyed by the second component of a
+#: dotted ``repro.*`` module name; the value is the set of *other*
+#: layers that layer's modules may import at module level (importing
+#: within your own layer is always allowed). Root modules
+#: (``repro.__init__``, ``repro.__main__``, ``repro.io``) are the
+#: composition roots and are unrestricted; layers absent from this
+#: table are likewise unchecked as import *targets*.
+LAYER_DAG: dict[str, frozenset[str]] = {
+    # leaves: the radio model and the observability spine import nothing
+    "radio": frozenset(),
+    "obs": frozenset(),
+    # the load kernel and solvers: physics only — never obs (the
+    # core→obs dependency is inverted through repro.core.instrument)
+    "core": frozenset({"radio"}),
+    "scenarios": frozenset({"core", "radio"}),
+    "net": frozenset({"core", "radio", "scenarios"}),
+    "engine": frozenset({"core", "obs"}),
+    "verify": frozenset({"core", "engine", "radio", "scenarios"}),
+    "eval": frozenset({"core", "engine", "obs", "scenarios"}),
+    "lint": frozenset({"obs"}),
+}
+
+#: Function-local (lazy) imports additionally allowed per *module*
+#: (RPL002). The bench harness drives solvers end to end, so it may
+#: reach "up" the DAG — but only inside function bodies, keeping
+#: ``import repro.obs`` itself leaf-cheap.
+ALLOW_LAZY: dict[str, frozenset[str]] = {
+    "repro.obs.bench": frozenset({"eval", "radio", "scenarios"}),
+}
+
+#: The only modules allowed to hand-roll the Definition-1 airtime
+#: expression ``session_rate / min(member rates)`` (RPL001): the load
+#: kernel itself and the deliberately independent certificate oracle.
+LOAD_KERNEL_ALLOWLIST: frozenset[str] = frozenset(
+    {"repro.core.ledger", "repro.verify.certificates"}
+)
+
+#: Packages whose modules are solver/protocol hot paths and must be
+#: bit-reproducible (RPL003's wall-clock and set-iteration sub-rules).
+SOLVER_PACKAGES: frozenset[str] = frozenset(
+    {"repro.core", "repro.engine", "repro.net"}
+)
+
+#: ``random`` module attributes that do NOT touch the global shared RNG
+#: (RPL003). Everything else (``random.shuffle``, ``random.random``,
+#: ...) draws from interpreter-global state and is banned in ``repro.*``.
+GLOBAL_RANDOM_OK: frozenset[str] = frozenset({"Random", "seed"})
+
+#: ``time`` module attributes that read a clock (RPL003). Solver
+#: packages must not call these — timing belongs to ``repro.obs``,
+#: reached through the :mod:`repro.core.instrument` facade.
+CLOCK_FUNCTIONS: frozenset[str] = frozenset(
+    {"time", "perf_counter", "perf_counter_ns", "monotonic", "process_time"}
+)
+
+#: Known float-returning API of the load model (RPL004). Calls to these
+#: methods/functions are float-typed without needing inference, so
+#: comparing their result with ``==``/``!=`` is flagged.
+FLOAT_RETURNING_API: frozenset[str] = frozenset(
+    {
+        "load_of",
+        "total_load",
+        "max_load",
+        "load_if_joined",
+        "load_if_left",
+        "delta_if_joined",
+        "delta_if_left",
+        "link_rate",
+        "transmission_cost",
+        "budget_of",
+        "session_rate",
+        "fsum",
+    }
+)
+
+#: Observability classes that must only be instantiated inside
+#: ``repro.obs`` (or tests); library code installs/uses them through
+#: the module-level helpers (RPL005).
+OBS_REGISTRY_CLASSES: frozenset[str] = frozenset(
+    {"MetricsRegistry", "TraceCollector"}
+)
+
+#: Directory names the recursive walker never descends into. ``fixtures``
+#: keeps the lint test corpus (deliberately-bad files) out of CI runs
+#: over ``tests/``; direct file arguments are always linted.
+SKIP_DIRS: frozenset[str] = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hg",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".venv",
+        "build",
+        "dist",
+        "fixtures",
+        "node_modules",
+    }
+)

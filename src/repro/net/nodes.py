@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Sequence
 
+from repro.core.ledger import local_ap_load, multicast_airtime
 from repro.core.problem import Session
 from repro.net.events import Simulator
 from repro.net.mac import IDEAL_MAC, AirtimeMeter, MacParameters, burst_airtime
@@ -159,22 +160,26 @@ class AccessPoint(Node):
         return min(members.values())
 
     def load(self, *, without: int | None = None) -> float:
-        """Current multicast load (optionally as if ``without`` had left)."""
-        total = 0.0
+        """Current multicast load (optionally as if ``without`` had left).
+
+        Definition 1 over the AP's local group view, delegated to the
+        core load kernel (:func:`repro.core.ledger.local_ap_load`) so the
+        protocol simulation and the ledger round identically.
+        """
+        groups = []
         for session, members in self.members.items():
             rates = [
                 rate for sid, rate in members.items() if sid != without
             ]
-            if not rates:
-                continue
-            total += self.sessions[session].rate_mbps / min(rates)
-        return total
+            if rates:
+                groups.append((self.sessions[session].rate_mbps, rates))
+        return local_ap_load(groups)
 
     def _load_if_joined(self, session: int, link_rate: float) -> float:
-        members = dict(self.members.get(session, {}))
+        members = self.members.get(session, {})
         stream = self.sessions[session].rate_mbps
-        old = stream / min(members.values()) if members else 0.0
-        new = stream / min(min(members.values(), default=math.inf), link_rate)
+        old = multicast_airtime(stream, members.values()) if members else 0.0
+        new = multicast_airtime(stream, [*members.values(), link_rate])
         return self.load() - old + new
 
     # -- frame handling --------------------------------------------------------

@@ -129,7 +129,7 @@ def decide_local(
 
 
 def _vector_less(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=True):
         if x < y - _EPS:
             return True
         if x > y + _EPS:

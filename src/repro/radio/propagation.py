@@ -128,7 +128,9 @@ class LogDistancePropagation(PropagationModel):
         return self._mean_rx_dbm(distance_m) - self._noise_dbm
 
     def _shadowing_db(self, ap: Point, user: Point) -> float:
-        if self._sigma == 0.0:
+        # Sigma is a configured constant; 0.0 is its exact "disabled"
+        # sentinel, so the float comparison is intentional.
+        if self._sigma == 0.0:  # replint: ignore[RPL004]
             return 0.0
         # Deterministic per-link shadowing: hash link endpoints + seed into a
         # Gaussian sample so that repeated queries on one link agree.

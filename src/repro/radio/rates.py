@@ -46,7 +46,7 @@ class RateTable:
         ordered = sorted(steps, key=lambda s: s.rate_mbps)
         if not ordered:
             raise ValueError("a rate table needs at least one rate")
-        for lower, higher in zip(ordered, ordered[1:]):
+        for lower, higher in zip(ordered, ordered[1:], strict=False):
             if lower.rate_mbps == higher.rate_mbps:
                 raise ValueError(f"duplicate rate {lower.rate_mbps} Mbps")
             if higher.max_distance_m > lower.max_distance_m:

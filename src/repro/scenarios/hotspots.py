@@ -14,6 +14,7 @@ user onto the same couple of APs. This module provides:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Sequence
 
@@ -84,7 +85,7 @@ def generate_hotspot(
     background_fraction: float = 0.2,
     planned_aps: bool = True,
     stream_rate_mbps: float = 1.0,
-    budget: float = float("inf"),
+    budget: float = math.inf,
 ) -> Scenario:
     """A hotspot scenario: clustered users, grid (or random) APs.
 

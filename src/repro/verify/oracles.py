@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.core.assignment import Assignment
 from repro.core.bla import solve_bla
 from repro.core.distributed import run_distributed
 from repro.core.errors import ModelError
@@ -84,7 +85,7 @@ _MONOLITHIC = {
 }
 
 
-def _objective_value(objective: str, assignment) -> float:
+def _objective_value(objective: str, assignment: Assignment) -> float:
     if objective == "mnu":
         return float(assignment.n_served)
     if objective == "bla":

@@ -172,7 +172,7 @@ class TestRunAndMetrics:
         from repro.core.online import OnlineResult
 
         with pytest.raises(ModelError):
-            OnlineResult().final
+            _ = OnlineResult().final
 
     def test_all_active_users_served_when_coverable(self):
         rng = random.Random(241)

@@ -80,7 +80,9 @@ class TestRun:
         """Routing through the engine changes nothing but the runner."""
         plain = tiny_study().run(n_scenarios=2)
         sharded = tiny_study(sharded=True).run(n_scenarios=2)
-        for cell, sharded_cell in zip(plain.cells, sharded.cells):
+        for cell, sharded_cell in zip(
+            plain.cells, sharded.cells, strict=True
+        ):
             assert set(sharded_cell.stats) == set(cell.stats)  # same labels
             assert sharded_cell.stats["c-mla"].mean == pytest.approx(
                 cell.stats["c-mla"].mean

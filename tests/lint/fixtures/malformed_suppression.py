@@ -1,0 +1,3 @@
+"""Fixture: a replint marker comment that does not parse (RPL006)."""
+
+A = 1  # replint: ignore RPL004 without brackets

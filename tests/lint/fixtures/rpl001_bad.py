@@ -1,0 +1,10 @@
+"""Fixture: hand-rolled Definition-1 load (linted as a repro.core module)."""
+
+import math
+
+
+def ap_load(sessions, member_rates):
+    total = 0.0
+    for rate, rates in zip(sessions, member_rates, strict=True):
+        total += rate / min(rates)
+    return math.fsum([total])

@@ -1,0 +1,11 @@
+"""Fixture: Definition-1 airtime via the load kernel (clean)."""
+
+from repro.core.ledger import local_ap_load, multicast_airtime
+
+
+def ap_load(groups):
+    return local_ap_load(groups)
+
+
+def one_group(rate, rates):
+    return multicast_airtime(rate, rates)

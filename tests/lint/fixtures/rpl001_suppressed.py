@@ -1,0 +1,5 @@
+"""Fixture: hand-rolled load with a justified suppression (clean)."""
+
+
+def naive_airtime(rate, rates):
+    return rate / min(rates)  # replint: ignore[RPL001] didactic copy

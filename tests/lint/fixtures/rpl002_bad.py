@@ -1,0 +1,7 @@
+"""Fixture: a core module importing obs (linted as repro.core.helper)."""
+
+from repro.obs import counters
+
+
+def record(n):
+    counters.incr("core.helper", n)

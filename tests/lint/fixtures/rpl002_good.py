@@ -1,0 +1,7 @@
+"""Fixture: core reaches observability through the instrument facade."""
+
+from repro.core import instrument
+
+
+def record(n):
+    instrument.incr("core.helper", n)

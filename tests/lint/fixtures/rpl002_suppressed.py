@@ -1,0 +1,7 @@
+"""Fixture: layering breach with a suppression (clean)."""
+
+from repro.obs import counters  # replint: ignore[RPL002] migration shim
+
+
+def record(n):
+    counters.incr("core.helper", n)

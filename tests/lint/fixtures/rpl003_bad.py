@@ -1,0 +1,14 @@
+"""Fixture: every determinism-hygiene violation (linted as repro.core)."""
+
+import random
+import time
+
+
+def shuffle_order(items):
+    rng = random.Random()
+    random.shuffle(items)
+    return rng, time.perf_counter()
+
+
+def scan():
+    return [value for value in {1, 2, 3}]

@@ -1,0 +1,12 @@
+"""Fixture: seeded RNG threaded through, sorted sets (clean)."""
+
+import random
+
+
+def shuffle_order(items, rng: random.Random):
+    rng.shuffle(items)
+    return sorted({1, 2, 3})
+
+
+def seeded():
+    return random.Random(0)

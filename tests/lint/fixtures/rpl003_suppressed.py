@@ -1,0 +1,7 @@
+"""Fixture: a wall-clock read with a suppression (clean)."""
+
+import time
+
+
+def stamp():
+    return time.perf_counter()  # replint: ignore[RPL003] startup banner

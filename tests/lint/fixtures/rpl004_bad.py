@@ -1,0 +1,7 @@
+"""Fixture: exact float comparisons (linted as repro.eval.helper)."""
+
+import math
+
+
+def same(values, target):
+    return math.fsum(values) == target or target != 0.0

@@ -1,0 +1,7 @@
+"""Fixture: tolerance-based float comparison (clean)."""
+
+import math
+
+
+def same(values, target):
+    return math.isclose(math.fsum(values), target, rel_tol=1e-9)

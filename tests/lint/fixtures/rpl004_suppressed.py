@@ -1,0 +1,7 @@
+"""Fixture: bit-exact float comparison with a suppression (clean)."""
+
+import math
+
+
+def same(values, target):
+    return math.fsum(values) == target  # replint: ignore[RPL004] bit-exact

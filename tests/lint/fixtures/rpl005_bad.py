@@ -1,0 +1,14 @@
+"""Fixture: ad-hoc observability (linted as repro.engine.helper)."""
+
+_CALLS = 0
+
+
+def record():
+    global _CALLS
+    _CALLS += 1
+
+
+def fresh_registry():
+    from repro.obs.counters import MetricsRegistry
+
+    return MetricsRegistry()

@@ -1,0 +1,7 @@
+"""Fixture: counters through the instrument facade (clean)."""
+
+from repro.core import instrument
+
+
+def record():
+    instrument.incr("engine.helper.calls")

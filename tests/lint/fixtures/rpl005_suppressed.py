@@ -1,0 +1,12 @@
+"""Fixture: ad-hoc counter with a suppression (clean)."""
+
+_CALLS = 0
+
+
+def record():
+    global _CALLS
+    _CALLS += 1  # replint: ignore[RPL005] scratch diagnostic
+
+
+def calls():
+    return _CALLS

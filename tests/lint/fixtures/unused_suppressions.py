@@ -1,0 +1,7 @@
+"""Fixture: every suppression here covers nothing (one RPL006 each)."""
+
+A = 1  # replint: ignore[RPL001]
+B = 2  # replint: ignore[RPL002]
+C = 3  # replint: ignore[RPL003]
+D = 4  # replint: ignore[RPL004]
+E = 5  # replint: ignore[RPL005]

@@ -1,0 +1,91 @@
+"""CLI surface: ``python -m repro lint`` and the clean-tree meta-tests."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import all_rules, get_rule, lint_paths
+from repro.lint.cli import main
+from repro.lint.engine import lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_rule_registry_complete() -> None:
+    codes = [rule.code for rule in all_rules()]
+    assert codes == ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005"]
+    assert get_rule("RPL002").name == "import-layering"
+
+
+def test_cli_rules_listing(capsys) -> None:
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+        assert code in out
+
+
+def test_cli_json_format(tmp_path: Path, capsys) -> None:
+    bad = tmp_path / "repro" / "core" / "naive.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(rate, rates):\n    return rate / min(rates)\n")
+    assert main([str(bad), "--format", "json"]) == 1
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["counts"] == {"RPL001": 1}
+    assert blob["diagnostics"][0]["line"] == 2
+
+
+def test_cli_exit_codes(tmp_path: Path, capsys) -> None:
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    assert main([str(clean)]) == 0
+    assert main([str(tmp_path / "missing.py")]) == 2
+    capsys.readouterr()
+
+
+def test_clean_tree_via_api() -> None:
+    """The acceptance bar: replint exits 0 on the repository's own src."""
+    report = lint_paths([str(REPO_ROOT / "src")])
+    assert report.files_scanned > 80
+    assert report.ok, "\n".join(d.format() for d in report.diagnostics)
+
+
+def test_clean_tree_via_module_cli() -> None:
+    """``python -m repro lint src`` exits 0 on HEAD, as CI runs it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violation(s)" in proc.stdout
+
+
+def test_reintroducing_naive_loop_in_distributed_fails_lint() -> None:
+    """Guards the LoadLedger unification: pasting a hand-rolled
+    Definition-1 accumulation back into ``repro.core.distributed``
+    must fail the lint gate."""
+    path = REPO_ROOT / "src" / "repro" / "core" / "distributed.py"
+    source = path.read_text()
+    naive = (
+        "\n\ndef _naive_ap_load(rates, sessions):\n"
+        "    total = 0.0\n"
+        "    for rate, members in sessions:\n"
+        "        total += rate / min(members)\n"
+        "    return total\n"
+    )
+    clean = lint_source(source, str(path), "repro.core.distributed")
+    assert clean.ok
+    report = lint_source(
+        source + naive, str(path), "repro.core.distributed"
+    )
+    assert "RPL001" in {d.code for d in report.diagnostics}
+    assert report.exit_code == 1

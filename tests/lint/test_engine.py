@@ -1,0 +1,133 @@
+"""Engine mechanics: discovery, module naming, reports, counters."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.cli import render_human, render_json
+from repro.lint.engine import (
+    UNUSED_SUPPRESSION,
+    LintReport,
+    lint_file,
+    lint_source,
+    module_name_for,
+)
+from repro.obs import counters
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_module_name_derivation() -> None:
+    assert module_name_for(Path("src/repro/core/mnu.py")) == "repro.core.mnu"
+    assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+    assert (
+        module_name_for(Path("/x/repro/src/repro/obs/bench.py"))
+        == "repro.obs.bench"
+    )
+    assert module_name_for(Path("tests/core/test_mnu.py")) is None
+    assert module_name_for(Path("benchmarks/test_scalability.py")) is None
+
+
+def test_walker_skips_fixture_directories(tmp_path: Path) -> None:
+    # the deliberately-bad corpus must never fail a directory walk
+    report = lint_paths([str(Path(__file__).parent)])
+    fixture_paths = {d.path for d in report.diagnostics}
+    assert not any("fixtures" in path for path in fixture_paths)
+    assert report.ok, [d.format() for d in report.diagnostics]
+
+
+def test_direct_file_argument_is_always_linted(tmp_path: Path) -> None:
+    bad = tmp_path / "repro" / "core" / "naive.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(rate, rates):\n    return rate / min(rates)\n")
+    report = lint_paths([str(bad)])
+    assert [d.code for d in report.diagnostics] == ["RPL001"]
+    assert report.exit_code == 1
+
+
+def test_missing_path_and_syntax_error_exit_2(tmp_path: Path) -> None:
+    missing = lint_paths([str(tmp_path / "nope.py")])
+    assert missing.exit_code == 2 and missing.errors
+    broken = tmp_path / "repro" / "broken.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text("def f(:\n")
+    report = lint_paths([str(broken)])
+    assert report.exit_code == 2
+    assert "syntax error" in report.errors[0].message
+
+
+def test_suppression_only_covers_its_own_line() -> None:
+    source = (
+        "def f(rate, rates):\n"
+        "    a = rate / min(rates)  # replint: ignore[RPL001]\n"
+        "    b = rate / min(rates)\n"
+        "    return a + b\n"
+    )
+    report = lint_source(source, "x.py", "repro.core.helper")
+    assert [d.code for d in report.diagnostics] == ["RPL001"]
+    assert report.diagnostics[0].line == 3
+    assert report.suppressions_used == 1
+
+
+def test_suppression_wrong_code_is_unused_and_violation_kept() -> None:
+    source = (
+        "def f(rate, rates):\n"
+        "    return rate / min(rates)  # replint: ignore[RPL004]\n"
+    )
+    report = lint_source(source, "x.py", "repro.core.helper")
+    assert sorted(d.code for d in report.diagnostics) == [
+        "RPL001",
+        UNUSED_SUPPRESSION,
+    ]
+
+
+def test_multi_code_suppression() -> None:
+    source = (
+        "def f(rate, rates, x):\n"
+        "    return rate / min(rates) == 1.0  "
+        "# replint: ignore[RPL001, RPL004]\n"
+    )
+    report = lint_source(source, "x.py", "repro.core.helper")
+    assert report.ok
+    assert report.suppressions_used == 2
+
+
+def test_report_merge_and_counts() -> None:
+    a = LintReport(files_scanned=2, suppressions_used=1)
+    b = lint_file(FIXTURES / "rpl001_bad.py", module_name="repro.core.x")
+    a.merge(b)
+    assert a.files_scanned == 3
+    assert a.counts() == {"RPL001": 1}
+    blob = json.loads(render_json(a))
+    assert blob["version"] == 1
+    assert blob["counts"] == {"RPL001": 1}
+    assert blob["diagnostics"][0]["code"] == "RPL001"
+    human = render_human(a)
+    assert "RPL001" in human and "violation(s)" in human
+
+
+def test_replint_counters_recorded() -> None:
+    registry = counters.install()
+    try:
+        report = lint_paths([str(FIXTURES / "rpl004_good.py")])
+        assert report.files_scanned == 1 and report.ok
+        recorded = registry.counters()
+        assert recorded["replint.files_scanned"] == 1
+        assert recorded["replint.violations"] == 0
+    finally:
+        counters.uninstall()
+
+
+def test_replint_counters_count_violations() -> None:
+    registry = counters.install()
+    try:
+        # linted with module=None the rules stay quiet, so every
+        # suppression in the fixture is reported unused (RPL006)
+        report = lint_paths([str(FIXTURES / "unused_suppressions.py")])
+        assert len(report.diagnostics) == 5
+        assert registry.counter("replint.violations") == 5
+        assert registry.counter("replint.files_scanned") == 1
+    finally:
+        counters.uninstall()

@@ -23,13 +23,13 @@ def make_medium():
     return sim, Medium(sim, ThresholdPropagation())
 
 
-def make_ap(medium, node_id=0, pos=Point(0, 0), **kwargs):
+def make_ap(medium, node_id=0, pos=None, **kwargs):
     # The periodic multicast service loop reschedules itself forever, which
     # would make an unbounded sim.run() spin; protocol-only tests disable it.
     kwargs.setdefault("service_period_s", None)
     return AccessPoint(
         node_id,
-        pos,
+        pos if pos is not None else Point(0, 0),
         medium,
         sessions=[Session(0, 1.0), Session(1, 1.0)],
         **kwargs,
@@ -52,7 +52,7 @@ class StubStation:
 class TestMedium:
     def test_unicast_delivery_in_range(self):
         sim, medium = make_medium()
-        ap = make_ap(medium)
+        make_ap(medium)
         station = StubStation(10, Point(50, 0), medium)
         medium.send(ProbeRequest(src=10, dst=0))
         sim.run()
@@ -69,8 +69,8 @@ class TestMedium:
 
     def test_broadcast_reaches_all_in_range(self):
         sim, medium = make_medium()
-        ap_near = make_ap(medium, node_id=0, pos=Point(10, 0))
-        ap_far = make_ap(medium, node_id=1, pos=Point(900, 0))
+        make_ap(medium, node_id=0, pos=Point(10, 0))
+        make_ap(medium, node_id=1, pos=Point(900, 0))
         station = StubStation(10, Point(0, 0), medium)
         from repro.net.messages import BROADCAST
 
@@ -108,8 +108,8 @@ class TestAccessPoint:
     def test_tx_rate_is_min_of_members(self):
         sim, medium = make_medium()
         ap = make_ap(medium)
-        near = StubStation(10, Point(20, 0), medium)  # 54 Mbps
-        far = StubStation(11, Point(140, 0), medium)  # 12 Mbps
+        StubStation(10, Point(20, 0), medium)  # 54 Mbps
+        StubStation(11, Point(140, 0), medium)  # 12 Mbps
         medium.send(AssociationRequest(src=10, dst=0, session=0))
         medium.send(AssociationRequest(src=11, dst=0, session=0))
         sim.run()
@@ -139,7 +139,7 @@ class TestAccessPoint:
 
     def test_load_report_contents(self):
         sim, medium = make_medium()
-        ap = make_ap(medium)
+        make_ap(medium)
         member = StubStation(10, Point(100, 0), medium)
         medium.send(AssociationRequest(src=10, dst=0, session=0))
         sim.run()
@@ -164,7 +164,7 @@ class TestAccessPoint:
     def test_multicast_bursts_metered(self):
         sim, medium = make_medium()
         meter = AirtimeMeter(1)
-        ap = make_ap(medium, meter=meter, service_period_s=1.0)
+        make_ap(medium, meter=meter, service_period_s=1.0)
         member = StubStation(10, Point(100, 0), medium)
         medium.send(AssociationRequest(src=10, dst=0, session=0))
         sim.run(until=5.4)

@@ -60,7 +60,9 @@ class TestThroughput:
         throughputs = unicast_throughputs_mbps(deployment, sim.sim.now)
         by_ap = {
             station.ap_id: throughput
-            for station, throughput in zip(deployment.stations, throughputs)
+            for station, throughput in zip(
+                deployment.stations, throughputs, strict=True
+            )
         }
         # airtime sold tracks 1 - multicast load; compare the most and
         # least loaded APs via sold airtime (rate differences cancel there)

@@ -47,7 +47,7 @@ class TestQuasiStaticMobility:
         )
         previous = tuple(INITIAL)
         for epoch in mobility.epochs(INITIAL, 5):
-            for old, new in zip(previous, epoch.user_positions):
+            for old, new in zip(previous, epoch.user_positions, strict=True):
                 # an L-inf step of <= 5 in each axis, then clamped
                 assert abs(old.x - new.x) <= 5 + 1e-9
                 assert abs(old.y - new.y) <= 5 + 1e-9
