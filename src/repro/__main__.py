@@ -30,7 +30,19 @@ CI runs it over ``src``, ``tests`` and ``benchmarks``.
 presets with tracing and counters on, p50/p95 wall times from the span
 collector, written to ``BENCH_obs.json``. ``--baseline FILE
 --max-regress PCT`` turns the run into a regression gate that exits
-non-zero on slowdowns.
+non-zero on slowdowns. ``python -m repro bench --service`` instead
+boots the live association-control service at pinned deployment sizes,
+replays seeded churn through it, and writes sustained events/sec plus
+tick re-solve latency quantiles to ``BENCH_service.json`` under the
+same schema and gate.
+
+``python -m repro serve`` boots the persistent asyncio
+association-control service (:mod:`repro.service`): a generated
+scenario, a tick loop coalescing join/leave/move/rate-change events
+into incremental engine re-solves, and a JSON-over-HTTP control
+surface (``GET /assignments``, ``/loads``, ``/metrics``, ``/healthz``;
+``POST /events``, ``/shutdown``) with graceful drain on SIGTERM. See
+``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -296,15 +308,33 @@ def run_bench_cli(args: argparse.Namespace) -> int:
         if args.algorithms
         else None
     )
-    report = bench.run_bench(
-        quick=args.quick,
-        repeats=args.repeats,
-        seed=args.seed,
-        algorithms=algorithms,
-    )
-    bench.validate_report(report)
-    bench.write_report(report, args.out)
-    print(bench.format_report(report))
+    if args.service:
+        from repro.service import bench as service_bench
+
+        if args.out == "BENCH_obs.json":
+            args.out = "BENCH_service.json"
+        report = service_bench.run_service_bench(
+            quick=args.quick,
+            seed=args.seed,
+            algorithms=(
+                [n.removeprefix("service-") for n in algorithms]
+                if algorithms
+                else None
+            ),
+        )
+        bench.validate_report(report)
+        bench.write_report(report, args.out)
+        print(service_bench.format_service_report(report))
+    else:
+        report = bench.run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            seed=args.seed,
+            algorithms=algorithms,
+        )
+        bench.validate_report(report)
+        bench.write_report(report, args.out)
+        print(bench.format_report(report))
     print(f"bench report written to {args.out}")
     if args.baseline is None:
         return 0
@@ -329,6 +359,68 @@ def run_bench_cli(args: argparse.Namespace) -> int:
             )
         return 1
     print(f"no regressions beyond {args.max_regress:.0f}% of {args.baseline}")
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Boot the persistent association-control service."""
+    import asyncio
+
+    from repro import obs
+    from repro.radio.geometry import Area
+    from repro.scenarios.generator import generate
+    from repro.service import AssociationService, ControlService, ServiceConfig
+
+    obs.install()  # live /metrics from boot
+    side = (
+        args.area
+        if args.area is not None
+        else max(300.0, 150.0 * (args.aps ** 0.5))
+    )
+    scenario = generate(
+        n_aps=args.aps,
+        n_users=args.users,
+        n_sessions=args.sessions,
+        seed=args.seed,
+        area=Area.square(side),
+        budget=args.budget,
+    )
+    control = ControlService(
+        scenario.problem(),
+        algorithm=args.algorithm,
+        repair=args.repair,
+        max_shard_users=args.max_shard_users,
+    )
+    service = AssociationService(
+        control,
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            tick_interval_s=args.tick,
+            max_batch=args.max_batch,
+        ),
+    )
+
+    async def main() -> None:
+        await service.start()
+        plan = control.engine.plan
+        print(
+            f"repro service: {args.aps} APs, {args.users} users, "
+            f"{args.sessions} sessions, {plan.n_shards} shards, "
+            f"algorithm={args.algorithm} repair={args.repair}"
+        )
+        print(
+            f"listening on http://{args.host}:{service.port} "
+            f"(tick {args.tick * 1e3:.0f}ms, max batch {args.max_batch}); "
+            "SIGTERM or POST /shutdown drains"
+        )
+        await service.run_until_shutdown()
+
+    asyncio.run(main())
+    print(
+        f"drained and stopped after tick {control.tick_index} "
+        f"({len(control.active)} users active)"
+    )
     return 0
 
 
@@ -468,6 +560,75 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="ignore baseline cells with p50 below this many seconds",
     )
+    bench.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "bench the live association-control service instead: "
+            "seeded churn replay, events/sec and tick latency, "
+            "written to BENCH_service.json"
+        ),
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent association-control service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8383,
+        help="listen port (0 picks an ephemeral one)",
+    )
+    serve.add_argument(
+        "--tick",
+        type=float,
+        default=0.05,
+        help="tick interval in seconds (default 0.05)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=4096,
+        help="max events applied per tick (default 4096)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=["mnu", "bla", "mla"],
+        default="mla",
+        help="objective the engine re-solves (default mla)",
+    )
+    serve.add_argument(
+        "--repair",
+        choices=["none", "local", "full"],
+        default="none",
+        help=(
+            "also run the distributed local-rule dynamics per event and "
+            "mark the APs they touch dirty (default none)"
+        ),
+    )
+    serve.add_argument("--aps", type=int, default=24)
+    serve.add_argument("--users", type=int, default=300)
+    serve.add_argument("--sessions", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--budget",
+        type=float,
+        default=0.9,
+        help="per-AP load budget of the bootstrap scenario",
+    )
+    serve.add_argument(
+        "--area",
+        type=float,
+        default=None,
+        help="bootstrap area side in meters (default scales with --aps)",
+    )
+    serve.add_argument(
+        "--max-shard-users",
+        type=int,
+        default=64,
+        help="pack coverage components into shards of at most this many users",
+    )
     return parser
 
 
@@ -484,6 +645,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_lint_cli(args)
     if args.command == "bench":
         return run_bench_cli(args)
+    if args.command == "serve":
+        return run_serve(args)
     return run_selfcheck()
 
 

@@ -192,6 +192,30 @@ class OnlineController:
                 instrument.incr(f"ledger.{op}", count - ops_before[op])
         return handoffs
 
+    def seed_active(self, users: Iterable[int]) -> int:
+        """Bootstrap membership: associate ``users`` by their local rule.
+
+        The warm-start path for long-running controllers (the service
+        layer re-seeds a fresh controller after a problem swap): each
+        not-yet-active user joins greedily in index order, with no
+        repair pass — one sequential best-response sweep, the convergent
+        regime of Lemmas 1–2. Returns the number of associations made;
+        :attr:`last_changed_aps` accumulates every AP the sweep touched.
+        """
+        self._changed_aps = set()
+        moves = 0
+        for user in sorted(set(users)):
+            if user in self.active:
+                continue
+            if not 0 <= user < self.problem.n_users:
+                raise ModelError(f"unknown user {user}")
+            self.active.add(user)
+            if self._decide_and_move(user):
+                moves += 1
+        if instrument.enabled():
+            instrument.incr("online.seeded", moves)
+        return moves
+
     # -- metrics ------------------------------------------------------------
 
     def snapshot(self, event: ChurnEvent, handoffs: int) -> OnlineSnapshot:

@@ -101,6 +101,7 @@ class ShardedEngine:
         if bla_mode not in ("exact", "federated"):
             raise ModelError(f"unknown bla_mode {bla_mode!r}")
         self.problem = problem
+        self._max_shard_users = max_shard_users
         self.plan: ShardPlan = plan_shards(
             problem, max_shard_users=max_shard_users
         )
@@ -124,6 +125,11 @@ class ShardedEngine:
         """True when shard tasks run on the process pool."""
         return self._backend.parallel
 
+    @property
+    def max_shard_users(self) -> int | None:
+        """The component-packing cap this engine was planned with."""
+        return self._max_shard_users
+
     def close(self) -> None:
         """Shut down the process pool (no-op for the serial backend)."""
         self._backend.close()
@@ -133,6 +139,48 @@ class ShardedEngine:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def swap_problem(self, problem: MulticastAssociationProblem) -> None:
+        """Adopt a modified problem of the same shape, keeping the cache.
+
+        The long-running service mutates the *parameters* of a
+        deployment — users switching sessions, sessions changing rate —
+        while the radio geometry (AP/user counts, link rates) stays
+        put. This re-plans and re-slices shards for the new problem but
+        keeps the fingerprint cache and the tracked membership: entries
+        are content-addressed (:func:`shard_fingerprint` hashes the
+        rate sub-matrix, budgets, user sessions and the session
+        catalog), so shards the change did not touch keep hitting while
+        stale entries miss and are evicted on contact. A changed rate
+        matrix would change the coverage partition itself, so that is
+        rejected.
+        """
+        if problem.n_aps != self.problem.n_aps or (
+            problem.n_users != self.problem.n_users
+        ):
+            raise ModelError(
+                "swap_problem needs an identically-shaped problem "
+                f"(had {self.problem.n_aps}x{self.problem.n_users}, "
+                f"got {problem.n_aps}x{problem.n_users})"
+            )
+        if not (problem.link_rates == self.problem.link_rates).all():
+            raise ModelError(
+                "swap_problem cannot change link rates (the coverage "
+                "partition depends on them); build a new engine instead"
+            )
+        self.problem = problem
+        self.plan = plan_shards(
+            problem, max_shard_users=self._max_shard_users
+        )
+        self.shards = build_shards(problem, self.plan)
+        self._shard_of_user = self.plan.shard_of_user()
+        self._shard_of_ap = self.plan.shard_of_ap()
+        metrics.incr("engine.problem_swaps")
+
+    def shard_of_user(self, user: int) -> int | None:
+        """The shard index owning ``user`` (``None`` when isolated)."""
+        self._check_user(user)
+        return self._shard_of_user.get(user)
 
     # -- membership ------------------------------------------------------
 

@@ -29,6 +29,9 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "verify": frozenset({"core", "engine", "radio", "scenarios"}),
     "eval": frozenset({"core", "engine", "obs", "scenarios"}),
     "lint": frozenset({"obs"}),
+    # the long-running controller: a top layer — it may drive the whole
+    # stack below it, and nothing below may import it back
+    "service": frozenset({"core", "engine", "obs", "radio", "scenarios"}),
 }
 
 #: Function-local (lazy) imports additionally allowed per *module*

@@ -1,0 +1,205 @@
+"""``python -m repro bench --service`` — sustained-churn benchmarking.
+
+Boots a *real* :class:`~repro.service.loop.AssociationService` (asyncio
+loop + HTTP listener in a worker thread), replays a seeded churn stream
+against it through the driver with ``?wait=1`` backpressure, and
+reports, per pinned deployment size:
+
+* ``events_per_sec`` — sustained control-plane throughput, ingest
+  through coalescing through incremental re-solve;
+* ``p50_s`` / ``p95_s`` — tick re-solve latency quantiles, straight
+  from the ``service.resolve_ms`` histogram the control core records;
+* the final objective and the full counter snapshot.
+
+The document reuses the ``repro-bench`` schema (kind, validation,
+baseline gate) from :mod:`repro.obs.bench`, so ``BENCH_service.json``
+is gated in CI exactly like ``BENCH_obs.json``: quick mode runs the
+1k-user deployment against ``benchmarks/baseline_service.json``; full
+mode adds the 10k-user point for the scale trajectory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Sequence
+
+from repro.obs import collecting
+from repro.obs import trace as tracing
+from repro.obs.bench import BENCH_KIND, BENCH_VERSION
+from repro.service.control import ControlService
+from repro.service.driver import (
+    fetch_json,
+    generate_event_stream,
+    replay,
+    request_shutdown,
+)
+from repro.service.loop import AssociationService, ServiceConfig
+
+#: Pinned deployment sizes: (cell name, n_aps, n_users, n_sessions,
+#: n_events). Quick is the CI smoke + committed baseline; full adds the
+#: 10k-user scale point.
+QUICK_SIZES: tuple[tuple[str, int, int, int, int], ...] = (
+    ("churn-200", 16, 200, 4, 300),
+    ("churn-1k", 48, 1000, 5, 600),
+)
+FULL_SIZES: tuple[tuple[str, int, int, int, int], ...] = QUICK_SIZES + (
+    ("churn-10k", 200, 10_000, 8, 1200),
+)
+
+#: Tick interval for bench runs: short, so throughput is solver-bound
+#: rather than timer-bound.
+BENCH_TICK_S = 0.005
+
+
+def _serve_in_thread(
+    service: AssociationService,
+) -> tuple[threading.Thread, "threading.Event"]:
+    """Run ``service`` on its own asyncio loop in a daemon thread."""
+    ready = threading.Event()
+
+    async def _main() -> None:
+        await service.start()
+        ready.set()
+        await service.run_until_shutdown(install_signals=False)
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise RuntimeError("service failed to start within 30s")
+    return thread, ready
+
+
+def bench_service_cell(
+    *,
+    name: str,
+    n_aps: int,
+    n_users: int,
+    n_sessions: int,
+    n_events: int,
+    algorithm: str,
+    seed: int,
+    max_shard_users: int | None,
+) -> dict[str, Any]:
+    """One (deployment size, algorithm) cell: boot, replay, measure."""
+    from repro.radio.geometry import Area
+    from repro.scenarios.generator import generate
+
+    # Area scales with AP count so density (hence shard structure) stays
+    # in the paper's regime as the deployment grows.
+    side = max(300.0, 150.0 * (n_aps ** 0.5))
+    scenario = generate(
+        n_aps=n_aps,
+        n_users=n_users,
+        n_sessions=n_sessions,
+        seed=seed,
+        area=Area.square(side),
+        budget=0.9,
+    )
+    problem = scenario.problem()
+    events = generate_event_stream(
+        n_users, n_sessions, n_events, seed=seed + 1
+    )
+    with collecting() as session:
+        control = ControlService(
+            problem,
+            algorithm=algorithm,
+            max_shard_users=max_shard_users,
+        )
+        service = AssociationService(
+            control,
+            ServiceConfig(tick_interval_s=BENCH_TICK_S),
+        )
+        thread, _ = _serve_in_thread(service)
+        base_url = f"http://127.0.0.1:{service.port}"
+        with tracing.timed("service.bench-replay", cell=name) as t:
+            replay(base_url, events, batch_size=64, wait=True)
+        assignments = fetch_json(base_url, "/assignments")
+        loads = fetch_json(base_url, "/loads")
+        fetch_json(base_url, "/healthz")
+        request_shutdown(base_url)  # graceful drain, exactly as SIGTERM
+        thread.join(timeout=60.0)
+        if thread.is_alive():
+            raise RuntimeError("service did not drain within 60s")
+        resolve = session.metrics.histogram("service.resolve_ms")
+        counters = session.metrics.counters()
+        gauges = session.metrics.gauges()
+    wall_s = t.wall_s
+    return {
+        "algorithm": f"service-{algorithm}",
+        "scenario": name,
+        "n_aps": n_aps,
+        "n_users": n_users,
+        "repeats": int(resolve["count"]),
+        "p50_s": resolve["p50"] / 1e3,
+        "p95_s": resolve["p95"] / 1e3,
+        "mean_s": (resolve["sum"] / resolve["count"]) / 1e3,
+        "events_per_sec": n_events / wall_s if wall_s > 0 else 0.0,
+        "replay_wall_s": wall_s,
+        "n_events": n_events,
+        "objective": {
+            "n_served": int(assignments["n_served"]),
+            "total_load": float(loads["total_load"]),
+            "max_load": float(loads["max_load"]),
+        },
+        "counters": counters,
+        "gauges": gauges,
+    }
+
+
+def run_service_bench(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    algorithms: Sequence[str] | None = None,
+    max_shard_users: int | None = 64,
+) -> dict[str, Any]:
+    """The pinned service suite; returns a ``repro-bench`` document."""
+    names = tuple(algorithms) if algorithms else ("mla",)
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    results = [
+        bench_service_cell(
+            name=name,
+            n_aps=n_aps,
+            n_users=n_users,
+            n_sessions=n_sessions,
+            n_events=n_events,
+            algorithm=algorithm,
+            seed=seed,
+            max_shard_users=max_shard_users,
+        )
+        for name, n_aps, n_users, n_sessions, n_events in sizes
+        for algorithm in names
+    ]
+    return {
+        "kind": BENCH_KIND,
+        "version": BENCH_VERSION,
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "service": True,
+            "algorithms": [f"service-{name}" for name in names],
+            "max_shard_users": max_shard_users,
+            "tick_interval_s": BENCH_TICK_S,
+        },
+        "results": results,
+    }
+
+
+def format_service_report(report: dict[str, Any]) -> str:
+    """Human-readable table with the service-specific columns."""
+    lines = [
+        f"{'scenario':<12} {'algorithm':<12} {'events/s':>9} "
+        f"{'tick p50':>10} {'tick p95':>10} {'served':>7} {'max load':>9}"
+    ]
+    for result in report["results"]:
+        objective = result["objective"]
+        lines.append(
+            f"{result['scenario']:<12} {result['algorithm']:<12} "
+            f"{result['events_per_sec']:>9.1f} "
+            f"{result['p50_s'] * 1e3:>8.2f}ms {result['p95_s'] * 1e3:>8.2f}ms "
+            f"{objective['n_served']:>7} {objective['max_load']:>9.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""The synthetic churn driver: seeded streams, HTTP replay, load tests.
+
+Two halves, split so determinism is checkable in isolation:
+
+* :func:`generate_event_stream` — a pure, seeded generator of
+  control-plane event traces. Same seed, same parameters → the *byte
+  identical* stream (:func:`stream_bytes` pins this down in tests):
+  state-consistent joins/leaves (joins pick inactive users, leaves
+  active ones, starting from everyone active — the service's boot
+  state), session moves, and rate changes drawn from a fixed grid so no
+  float-formatting noise can creep into the trace.
+* :func:`replay` — POSTs a stream against a *live* service in batches
+  over plain :mod:`urllib`, using ``?wait=1`` backpressure so a replay
+  measures sustained service throughput (ingest + coalesce + re-solve),
+  not just socket buffering. This is what the bench harness and the
+  end-to-end tests drive.
+
+No wall clocks here: pacing comes from the service's tick loop and all
+timing measurement lives in the obs span layer (RPL003 hygiene).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Sequence
+from urllib.request import Request as UrlRequest
+from urllib.request import urlopen
+
+from repro.service.events import Event
+
+#: The rate grid rate-change events draw from (Mbps). A fixed grid keeps
+#: traces byte-stable and loads on the scale the paper's scenarios use.
+RATE_GRID: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+
+
+def generate_event_stream(
+    n_users: int,
+    n_sessions: int,
+    n_events: int,
+    *,
+    seed: int,
+    initially_active: bool = True,
+    join_bias: float = 0.5,
+    move_fraction: float = 0.1,
+    rate_fraction: float = 0.02,
+) -> list[Event]:
+    """A deterministic, state-consistent churn trace.
+
+    Each event is a rate change with probability ``rate_fraction``, else
+    a session move with probability ``move_fraction``, else a join/leave
+    (joins with probability ``join_bias`` among membership events, when
+    inactive users remain). Starting membership is everyone
+    (``initially_active=True``), matching the service boot state, so a
+    replayed stream is never a stream of no-ops.
+    """
+    if n_users < 1 or n_sessions < 1:
+        raise ValueError("need at least one user and one session")
+    if n_events < 0:
+        raise ValueError("n_events must be non-negative")
+    if not 0 <= join_bias <= 1:
+        raise ValueError("join_bias must be a probability")
+    if move_fraction < 0 or rate_fraction < 0 or (
+        move_fraction + rate_fraction > 1
+    ):
+        raise ValueError("move/rate fractions must fit inside [0, 1]")
+    rng = random.Random(seed)
+    active = set(range(n_users)) if initially_active else set()
+    inactive = set(range(n_users)) - active
+    events: list[Event] = []
+    for _ in range(n_events):
+        roll = rng.random()
+        if roll < rate_fraction:
+            events.append(
+                Event(
+                    kind="rate-change",
+                    session=rng.randrange(n_sessions),
+                    rate_mbps=rng.choice(RATE_GRID),
+                )
+            )
+            continue
+        if roll < rate_fraction + move_fraction:
+            events.append(
+                Event(
+                    kind="move",
+                    user=rng.randrange(n_users),
+                    session=rng.randrange(n_sessions),
+                )
+            )
+            continue
+        can_join = bool(inactive)
+        can_leave = bool(active)
+        if can_join and (not can_leave or rng.random() < join_bias):
+            user = rng.choice(sorted(inactive))
+            inactive.discard(user)
+            active.add(user)
+            events.append(Event(kind="join", user=user))
+        elif can_leave:
+            user = rng.choice(sorted(active))
+            active.discard(user)
+            inactive.add(user)
+            events.append(Event(kind="leave", user=user))
+        else:  # pragma: no cover - n_users >= 1 keeps one side non-empty
+            break
+    return events
+
+
+def stream_bytes(events: Sequence[Event]) -> bytes:
+    """The canonical wire serialization of a stream (for byte-identity
+    checks and POST bodies): one compact JSON array, sorted keys."""
+    return json.dumps(
+        [event.to_wire() for event in events],
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What one replay did, as counted by the service's own responses."""
+
+    n_events: int
+    n_batches: int
+    final_tick: int
+    last_objective_value: float
+
+
+def replay(
+    base_url: str,
+    events: Sequence[Event],
+    *,
+    batch_size: int = 64,
+    wait: bool = True,
+    timeout_s: float = 60.0,
+) -> ReplayReport:
+    """POST ``events`` to a live service in batches; returns the tally.
+
+    With ``wait=True`` every batch parks on ``?wait=1`` until the tick
+    that applied it completes — replay throughput then *is* service
+    throughput. The driver itself never sleeps or reads clocks.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    base = base_url.rstrip("/")
+    suffix = "?wait=1" if wait else ""
+    final_tick = 0
+    objective = 0.0
+    n_batches = 0
+    for start in range(0, len(events), batch_size):
+        batch = events[start : start + batch_size]
+        request = UrlRequest(
+            f"{base}/events{suffix}",
+            data=stream_bytes(batch),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urlopen(request, timeout=timeout_s) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        n_batches += 1
+        tick = payload.get("tick")
+        if tick is not None:
+            final_tick = int(tick["tick"])
+            objective = float(tick["objective_value"])
+    return ReplayReport(
+        n_events=len(events),
+        n_batches=n_batches,
+        final_tick=final_tick,
+        last_objective_value=objective,
+    )
+
+
+def fetch_json(base_url: str, path: str, *, timeout_s: float = 30.0) -> dict:
+    """GET ``path`` from a live service and parse the JSON body."""
+    base = base_url.rstrip("/")
+    with urlopen(f"{base}{path}", timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def request_shutdown(base_url: str, *, timeout_s: float = 10.0) -> dict:
+    """POST ``/shutdown`` — begin the service's graceful drain."""
+    base = base_url.rstrip("/")
+    request = UrlRequest(f"{base}/shutdown", data=b"{}", method="POST")
+    with urlopen(request, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))

@@ -104,6 +104,34 @@ class TestRepairScopes:
             assert controller.state.to_assignment().violations() == []
 
 
+class TestSeedActive:
+    def test_seed_matches_sequential_joins(self, fig1_load):
+        seeded = OnlineController(fig1_load, "mla")
+        moved = seeded.seed_active(range(fig1_load.n_users))
+        sequential = OnlineController(fig1_load, "mla")
+        for user in range(fig1_load.n_users):
+            sequential.process(ChurnEvent("join", user))
+        assert seeded.state.ap_of_user == sequential.state.ap_of_user
+        assert moved == sum(
+            1 for ap in seeded.state.ap_of_user if ap is not None
+        )
+
+    def test_seed_skips_already_active_and_accumulates_aps(self, fig1_load):
+        controller = OnlineController(fig1_load, "mla")
+        controller.process(ChurnEvent("join", 0))
+        before = controller.state.ap_of_user[0]
+        moved = controller.seed_active([0, 1, 2])
+        assert controller.state.ap_of_user[0] == before
+        assert moved <= 2
+        assert controller.active == {0, 1, 2}
+        assert controller.last_changed_aps  # the sweep touched APs
+
+    def test_seed_rejects_unknown_user(self, fig1_load):
+        controller = OnlineController(fig1_load, "mla")
+        with pytest.raises(ModelError):
+            controller.seed_active([99])
+
+
 class TestChangedAps:
     def test_join_reports_the_target_ap(self, fig1_load):
         controller = OnlineController(fig1_load, "mla", repair="none")

@@ -1,0 +1,13 @@
+"""Fixture: a core module importing the service layer back (RPL002).
+
+``service`` is the top of the layering DAG — it may drive core, engine,
+obs, radio and scenarios, but nothing below may import it. A core
+module reaching up into the long-running controller inverts the
+architecture and must fire.
+"""
+
+from repro.service import ControlService
+
+
+def cheat(problem):
+    return ControlService(problem)

@@ -84,6 +84,24 @@ def test_rules_skip_files_outside_repro() -> None:
         assert report.ok, prefix
 
 
+def test_rpl002_service_is_a_top_layer() -> None:
+    """core -> service inverts the DAG and fires; service -> engine is
+    fine; engine -> service fires too (nothing below imports service)."""
+    report = lint_file(
+        FIXTURES / "rpl002_service_bad.py", module_name="repro.core.helper"
+    )
+    assert [d.code for d in report.diagnostics] == ["RPL002"]
+    assert "repro.service" in report.diagnostics[0].message
+
+    from repro.lint.engine import lint_source
+
+    upward = "from repro.engine import ShardedEngine\n_ = ShardedEngine\n"
+    assert lint_source(upward, "x.py", "repro.service.control").ok
+    downward = "from repro.service import events\n_ = events\n"
+    flagged = lint_source(downward, "x.py", "repro.engine.helper")
+    assert [d.code for d in flagged.diagnostics] == ["RPL002"]
+
+
 def test_rpl002_lazy_import_grant() -> None:
     from repro.lint.engine import lint_source
 
