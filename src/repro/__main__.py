@@ -325,6 +325,17 @@ def run_bench_cli(args: argparse.Namespace) -> int:
         bench.validate_report(report)
         bench.write_report(report, args.out)
         print(service_bench.format_service_report(report))
+    elif args.scale:
+        if args.out == "BENCH_obs.json":
+            args.out = "BENCH_scale.json"
+        report = bench.run_scale_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        bench.validate_report(report)
+        bench.write_report(report, args.out)
+        print(bench.format_report(report))
     else:
         report = bench.run_bench(
             quick=args.quick,
@@ -559,6 +570,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="ignore baseline cells with p50 below this many seconds",
+    )
+    bench.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "run the large-scale ladder (10k/50k/100k users on grid "
+            "deployments) instead of the paper-sized presets; --quick "
+            "keeps only the 10k cell, written to BENCH_scale.json"
+        ),
     )
     bench.add_argument(
         "--service",

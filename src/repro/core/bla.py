@@ -19,18 +19,24 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core import instrument
 from repro.core.assignment import Assignment
 from repro.core.candidates import (
+    CandidateFamily,
     CandidateSet,
     build_candidates,
+    build_family,
     restrict_to_users,
 )
 from repro.core.errors import CoverageError
-from repro.core.mcg import greedy_mcg
+from repro.core.mcg import greedy_mcg, greedy_mcg_flat
 from repro.core.problem import MulticastAssociationProblem
+from repro.vec import bitset
+from repro.vec import strategy as vec_strategy
 
 @dataclass(frozen=True)
 class BlaSolution:
@@ -115,12 +121,127 @@ def assignment_from_cover(
     return Assignment(problem, ap_of_user)
 
 
+def _iterated_mnu_flat(
+    family: CandidateFamily,
+    n_aps: int,
+    b_star: float,
+    iteration_cap: int,
+) -> tuple[list[tuple[int, list[int]]], int] | None:
+    """The flat twin of :func:`_iterated_mnu`.
+
+    Returns ``(picks, iterations)`` where each pick is a candidate index
+    plus its members restricted to the iteration-start remaining set
+    (ascending) — exactly the restricted sets the scalar twin extends
+    ``picked`` with. ``None`` when the cap is hit (guess infeasible).
+    """
+    use_numpy = vec_strategy.numpy_enabled()
+    remaining_arr: "np.ndarray | None" = None
+    remaining_bits = 0
+    if use_numpy:
+        remaining_arr = np.ones(family.n_users, dtype=bool)
+        remaining_count = family.n_users
+    else:
+        remaining_bits = bitset.full_mask(family.n_users)
+        remaining_count = family.n_users
+    picks: list[tuple[int, list[int]]] = []
+    accumulated = [0.0] * n_aps
+    iterations = 0
+    while remaining_count:
+        if iterations >= iteration_cap:
+            return None
+        iterations += 1
+        budgets = [iterations * b_star] * n_aps
+        ground: "np.ndarray | int" = (
+            remaining_arr if remaining_arr is not None else remaining_bits
+        )
+        result = greedy_mcg_flat(
+            family,
+            budgets,
+            ground=ground,
+            split=True,
+            initial_group_cost=accumulated,
+        )
+        if not result.n_covered:
+            return None  # no progress is possible: some user has no set
+        for k in result.chosen:
+            members = family.members_of(k)
+            if remaining_arr is not None:
+                mem = np.asarray(members, dtype=np.int64)
+                restricted = [int(u) for u in mem[remaining_arr[mem]]]
+            else:
+                restricted = [
+                    u for u in members if (remaining_bits >> u) & 1
+                ]
+            picks.append((k, restricted))
+        for k in result.chosen:
+            accumulated[family.ap[k]] += family.cost[k]
+        if remaining_arr is not None:
+            assert isinstance(result.covered, np.ndarray)
+            remaining_arr &= ~result.covered
+            remaining_count = int(remaining_arr.sum())
+        else:
+            assert isinstance(result.covered, int)
+            remaining_bits &= ~result.covered
+            remaining_count = bitset.mask_count(remaining_bits)
+    return picks, iterations
+
+
+def _assignment_from_cover_flat(
+    problem: MulticastAssociationProblem,
+    family: CandidateFamily,
+    picks: Sequence[tuple[int, list[int]]],
+) -> Assignment:
+    """First-cover-wins mapping over flat picks — the twin of
+    :func:`assignment_from_cover` (per-user result is independent of
+    within-set order, so both produce the same map)."""
+    if vec_strategy.numpy_enabled():
+        ap_of = np.full(problem.n_users, -1, dtype=np.int64)
+        for k, members in picks:
+            if not members:
+                continue
+            mem = np.asarray(members, dtype=np.int64)
+            unassigned = mem[ap_of[mem] < 0]
+            ap_of[unassigned] = family.ap[k]
+        return Assignment(
+            problem, [None if a < 0 else int(a) for a in ap_of]
+        )
+    ap_of_user: list[int | None] = [None] * problem.n_users
+    for k, members in picks:
+        ap = family.ap[k]
+        for user in members:
+            if ap_of_user[user] is None:
+                ap_of_user[user] = ap
+    return Assignment(problem, ap_of_user)
+
+
+def _lower_bound(
+    problem: MulticastAssociationProblem, resolved: str
+) -> float:
+    """``max_u min_a cost(a, u)`` — bit-identical in both strategies
+    (pure comparisons over identically-computed quotients)."""
+    if resolved == vec_strategy.VECTOR and vec_strategy.numpy_enabled():
+        rates = problem.link_rates
+        stream = np.asarray(
+            [
+                problem.session_rate(problem.session_of(u))
+                for u in range(problem.n_users)
+            ]
+        )
+        with np.errstate(divide="ignore"):
+            costs = np.where(
+                rates > 0, stream[np.newaxis, :] / rates, np.inf
+            )
+        return float(costs.min(axis=0).max())
+    return max(problem.min_cost_of_user(u) for u in range(problem.n_users))
+
+
 def solve_bla(
     problem: MulticastAssociationProblem,
     *,
     n_guesses: int = 12,
     refine_steps: int = 12,
     local_search: bool = True,
+    strategy: str | None = None,
 ) -> BlaSolution:
     """Run Centralized BLA; raises :class:`CoverageError` for isolated users.
 
@@ -135,34 +256,63 @@ def solve_bla(
     full coverage, and terminates by the argument of Lemma 2. It repairs
     the greedy's blind spot — cost-effective APs that are later *forced*
     to absorb single-coverage users.
+
+    ``strategy`` forces the scalar or vector hot-path implementation of
+    the B* probes (``None`` resolves via ``REPRO_STRATEGY`` then the auto
+    size switch); the two are bit-identical, probe for probe.
     """
     isolated = problem.isolated_users()
     if isolated:
         raise CoverageError(isolated)
     if n_guesses < 1:
         raise ValueError("need at least one B* guess")
+    resolved = vec_strategy.resolve_strategy(
+        problem.n_users * max(problem.n_aps, 1), override=strategy
+    )
 
     with instrument.span(
         "bla.solve", n_users=problem.n_users, n_aps=problem.n_aps
     ):
-        candidates = build_candidates(problem)
-        ground = set(range(problem.n_users))
         cap = max_iterations(problem.n_users)
+        run_iterated: Callable[[float], tuple[Assignment, int] | None]
+        if resolved == vec_strategy.VECTOR:
+            if instrument.enabled():
+                instrument.incr("bla.strategy_switches")
+            family = build_family(problem, strategy=vec_strategy.VECTOR)
+
+            def run_iterated(b_star: float) -> tuple[Assignment, int] | None:
+                outcome = _iterated_mnu_flat(
+                    family, problem.n_aps, b_star, cap
+                )
+                if outcome is None:
+                    return None
+                return (
+                    _assignment_from_cover_flat(problem, family, outcome[0]),
+                    outcome[1],
+                )
+
+        else:
+            candidates = build_candidates(problem)
+            ground = set(range(problem.n_users))
+
+            def run_iterated(b_star: float) -> tuple[Assignment, int] | None:
+                outcome = _iterated_mnu(
+                    candidates, problem.n_aps, b_star, ground, cap
+                )
+                if outcome is None:
+                    return None
+                return assignment_from_cover(problem, outcome[0]), outcome[1]
 
         # Upper bound: an unconstrained cover always exists; its max load
         # is a feasible (if poor) value of the objective.
-        unconstrained = _iterated_mnu(
-            candidates, problem.n_aps, math.inf, ground, cap
-        )
+        unconstrained = run_iterated(math.inf)
         assert unconstrained is not None  # guaranteed: no isolated users
-        best_assignment = assignment_from_cover(problem, unconstrained[0])
+        best_assignment = unconstrained[0]
         best_iterations = unconstrained[1]
         best_b_star = math.inf
         best_value = best_assignment.max_load()
 
-        lower = max(
-            problem.min_cost_of_user(u) for u in range(problem.n_users)
-        )
+        lower = _lower_bound(problem, resolved)
         upper = max(best_value, lower * (1 + 1e-9))
 
         def try_guess(b_star: float) -> bool:
@@ -170,14 +320,12 @@ def solve_bla(
             nonlocal best_assignment, best_b_star, best_value, best_iterations
             instrument.incr("bla.bstar_probes")
             with instrument.span("bla.bstar-probe", b_star=b_star):
-                outcome = _iterated_mnu(
-                    candidates, problem.n_aps, b_star, ground, cap
-                )
+                outcome = run_iterated(b_star)
             if outcome is None:
                 instrument.incr("bla.bstar_infeasible")
                 return False
             instrument.incr("bla.bstar_feasible")
-            assignment = assignment_from_cover(problem, outcome[0])
+            assignment = outcome[0]
             value = assignment.max_load()
             if value < best_value - 1e-15:
                 best_assignment = assignment

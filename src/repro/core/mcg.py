@@ -13,12 +13,17 @@ more elements, yielding the 8-approximation of Theorem 2.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.core import instrument
-from repro.core.candidates import CandidateSet
+from repro.core.candidates import CandidateFamily, CandidateSet
 from repro.core.ledger import CandidateGainIndex
+from repro.vec import bitset
+from repro.vec import strategy as vec_strategy
 
 
 @dataclass(frozen=True)
@@ -124,3 +129,392 @@ def greedy_mcg(
         chosen=chosen,
         covered=_union(chosen),
     )
+
+
+# -- the flat (array-backed) twin --------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlatMcgResult:
+    """Outcome of :func:`greedy_mcg_flat` in candidate-index form.
+
+    Mirrors :class:`McgResult` field for field, but holds candidate
+    *indices* into the family instead of materialized sets, and the
+    covered users as a mask — a numpy bool vector in numpy mode, an int
+    bitmask in the pure-stdlib fallback. :meth:`to_mcg_result`
+    materializes the classic result for callers that want it.
+    """
+
+    selected: tuple[int, ...]
+    within_budget: tuple[int, ...]
+    overshooting: tuple[int, ...]
+    chosen: tuple[int, ...]
+    covered: "np.ndarray | int" = field(repr=False)
+    rounds: int
+    n_live: int
+
+    @property
+    def n_covered(self) -> int:
+        if isinstance(self.covered, int):
+            return bitset.mask_count(self.covered)
+        return int(self.covered.sum())
+
+    def covered_users(self) -> list[int]:
+        """The covered users, ascending."""
+        if isinstance(self.covered, int):
+            return bitset.mask_to_indices(self.covered)
+        return [int(u) for u in np.nonzero(self.covered)[0]]
+
+    def to_mcg_result(
+        self,
+        family: CandidateFamily,
+        ground: "np.ndarray | int | None" = None,
+    ) -> McgResult:
+        """The classic :class:`McgResult`, with members restricted to
+        ``ground`` (``None`` = unrestricted) exactly as the scalar greedy
+        sees restricted candidate lists."""
+
+        def restricted(k: int) -> CandidateSet:
+            users = family.members_of(k)
+            if ground is None:
+                kept = frozenset(users)
+            elif isinstance(ground, int):
+                kept = frozenset(u for u in users if (ground >> u) & 1)
+            else:
+                mem = np.asarray(users, dtype=np.int64)
+                kept = frozenset(int(u) for u in mem[ground[mem]])
+            return CandidateSet(
+                ap=family.ap[k],
+                session=family.session[k],
+                tx_rate=family.tx_rate[k],
+                cost=family.cost[k],
+                users=kept,
+            )
+
+        cache: dict[int, CandidateSet] = {}
+
+        def get(k: int) -> CandidateSet:
+            if k not in cache:
+                cache[k] = restricted(k)
+            return cache[k]
+
+        return McgResult(
+            selected=tuple(get(k) for k in self.selected),
+            within_budget=tuple(get(k) for k in self.within_budget),
+            overshooting=tuple(get(k) for k in self.overshooting),
+            chosen=tuple(get(k) for k in self.chosen),
+            covered=frozenset(self.covered_users()),
+        )
+
+
+def _flat_numpy(
+    family: CandidateFamily,
+    budgets: Sequence[float],
+    ground: "np.ndarray | None",
+    live: "np.ndarray | None",
+    initial_group_cost: Sequence[float] | None,
+) -> tuple[list[int], list[int], list[int], "np.ndarray", "np.ndarray", int, int]:
+    """Numpy-backed greedy rounds. Returns ``(selected, within, over,
+    ground0, remaining, rounds, n_live)``."""
+    from repro.vec import backend
+
+    n = family.n_candidates
+    offsets = backend.as_int64(family.offsets)
+    members = backend.as_int64(family.members)
+    costs = backend.as_float64(family.cost)
+    group_of = backend.as_int64(family.ap)
+    inc_off_raw, inc_cand_raw = family.incidence()
+    inc_off = backend.as_int64(inc_off_raw)
+    inc_cand = backend.as_int64(inc_cand_raw)
+
+    ground0 = (
+        np.ones(family.n_users, dtype=bool) if ground is None else ground.copy()
+    )
+    remaining = ground0.copy()
+    remaining_count = int(remaining.sum())
+    counts = backend.segment_counts(offsets, members, remaining)
+    live_mask = (
+        np.ones(n, dtype=bool) if live is None else np.asarray(live, dtype=bool)
+    )
+    n_live = int((live_mask & (counts > 0)).sum())
+
+    group_cost = (
+        [0.0] * len(budgets)
+        if initial_group_cost is None
+        else [float(c) for c in initial_group_cost]
+    )
+    budget_list = [float(b) for b in budgets]
+    open_list = [c < b for c, b in zip(group_cost, budget_list, strict=True)]
+    open_np = np.array(open_list, dtype=bool)
+    available = np.ones(n, dtype=bool)
+    eligible = live_mask & (counts > 0) & open_np[group_of] if n else live_mask
+    eff = (
+        np.where(eligible, counts / costs, -np.inf)
+        if n
+        else np.empty(0, dtype=np.float64)
+    )
+    gm_off, gm_cand = backend.invert_csr(
+        np.arange(n + 1, dtype=np.int64), group_of, len(budget_list)
+    )
+
+    selected: list[int] = []
+    within: list[int] = []
+    overshooting: list[int] = []
+    rounds = 0
+    while remaining_count:
+        rounds += 1
+        if not eff.size:
+            break
+        k = backend.first_argmax(eff)
+        if not eff[k] > 0.0:
+            break
+        g = int(group_of[k])
+        group_cost[g] += float(costs[k])
+        closes = open_list[g] and not (group_cost[g] < budget_list[g])
+        if closes:
+            open_list[g] = False
+            open_np[g] = False
+        available[k] = False
+        eff[k] = -np.inf
+        m = members[offsets[k] : offsets[k + 1]]
+        new = m[remaining[m]]
+        touched: "np.ndarray | None" = None
+        if new.size:
+            remaining[new] = False
+            remaining_count -= int(new.size)
+            touched = backend.gather_segments(inc_off, inc_cand, new)
+            backend.subtract_at(counts, touched)
+        if closes:
+            eff[gm_cand[gm_off[g] : gm_off[g + 1]]] = -np.inf
+        if touched is not None and touched.size:
+            ok = (
+                live_mask[touched]
+                & available[touched]
+                & (counts[touched] > 0)
+                & open_np[group_of[touched]]
+            )
+            eff[touched] = np.where(
+                ok, counts[touched] / costs[touched], -np.inf
+            )
+        selected.append(int(k))
+        if group_cost[g] > budgets[g]:
+            overshooting.append(int(k))
+        else:
+            within.append(int(k))
+    return selected, within, overshooting, ground0, remaining, rounds, n_live
+
+
+def _flat_pure(
+    family: CandidateFamily,
+    budgets: Sequence[float],
+    ground: int | None,
+    live: "Sequence[bool] | np.ndarray | None",
+    initial_group_cost: Sequence[float] | None,
+) -> tuple[list[int], list[int], list[int], int, int, int, int]:
+    """Pure stdlib greedy rounds (int bitmasks + lists); bit-identical to
+    the numpy engine. Returns ``(selected, within, over, ground0,
+    remaining, rounds, n_live)``."""
+    n = family.n_candidates
+    masks = family.masks()
+    inc_off, inc_cand = family.incidence()
+    ground0 = bitset.full_mask(family.n_users) if ground is None else ground
+    remaining = ground0
+    remaining_count = bitset.mask_count(remaining)
+    counts = [bitset.mask_count(masks[k] & remaining) for k in range(n)]
+    live_list = [True] * n if live is None else [bool(x) for x in live]
+    n_live = sum(1 for k in range(n) if live_list[k] and counts[k] > 0)
+
+    group_cost = (
+        [0.0] * len(budgets)
+        if initial_group_cost is None
+        else [float(c) for c in initial_group_cost]
+    )
+    budget_list = [float(b) for b in budgets]
+    open_list = [c < b for c, b in zip(group_cost, budget_list, strict=True)]
+    group_members: dict[int, list[int]] = {}
+    for k in range(n):
+        group_members.setdefault(family.ap[k], []).append(k)
+    available = [True] * n
+    eff = [
+        counts[k] / family.cost[k]
+        if live_list[k] and counts[k] > 0 and open_list[family.ap[k]]
+        else -math.inf
+        for k in range(n)
+    ]
+
+    selected: list[int] = []
+    within: list[int] = []
+    overshooting: list[int] = []
+    rounds = 0
+    while remaining_count:
+        rounds += 1
+        best = -1
+        best_eff = 0.0
+        for k, value in enumerate(eff):
+            if value > best_eff:
+                best_eff = value
+                best = k
+        if best < 0:
+            break
+        g = family.ap[best]
+        group_cost[g] += family.cost[best]
+        closes = open_list[g] and not (group_cost[g] < budget_list[g])
+        if closes:
+            open_list[g] = False
+        available[best] = False
+        eff[best] = -math.inf
+        new_bits = masks[best] & remaining
+        touched: list[int] = []
+        if new_bits:
+            remaining &= ~new_bits
+            remaining_count -= bitset.mask_count(new_bits)
+            for user in bitset.mask_to_indices(new_bits):
+                segment = inc_cand[inc_off[user] : inc_off[user + 1]]
+                touched.extend(segment)
+                for k in segment:
+                    counts[k] -= 1
+        if closes:
+            for k in group_members.get(g, ()):
+                eff[k] = -math.inf
+        for k in touched:
+            if (
+                live_list[k]
+                and available[k]
+                and counts[k] > 0
+                and open_list[family.ap[k]]
+            ):
+                eff[k] = counts[k] / family.cost[k]
+            else:
+                eff[k] = -math.inf
+        selected.append(best)
+        if group_cost[g] > budgets[g]:
+            overshooting.append(best)
+        else:
+            within.append(best)
+    return selected, within, overshooting, ground0, remaining, rounds, n_live
+
+
+def greedy_mcg_flat(
+    family: CandidateFamily,
+    budgets: Sequence[float],
+    *,
+    ground: "np.ndarray | int | None" = None,
+    live: "Sequence[bool] | np.ndarray | None" = None,
+    split: bool = True,
+    initial_group_cost: Sequence[float] | None = None,
+) -> FlatMcgResult:
+    """The budgeted greedy (Fig. 3) + H1/H2 split on a flat family.
+
+    Bit-identical to :func:`greedy_mcg` run on the equivalent scalar
+    candidate list: ``live`` marks the candidates that list would contain
+    (e.g. MNU's cost-feasible subset) and ``ground`` the element universe
+    (a numpy bool mask, an int bitmask, or ``None`` for all users) —
+    scalar callers pre-restrict their lists with
+    :func:`~repro.core.candidates.restrict_to_users`; here restriction is
+    just the mask. Selection order, H1/H2 membership, accumulated group
+    costs and every emitted counter match the scalar twin exactly.
+    """
+    if initial_group_cost is not None and len(initial_group_cost) != len(
+        budgets
+    ):
+        raise ValueError("one initial cost per group required")
+    pure = isinstance(ground, int) or not vec_strategy.numpy_enabled()
+    ground0_count: int
+    if pure:
+        ground_bits: int | None
+        if ground is None or isinstance(ground, int):
+            ground_bits = ground
+        else:
+            ground_bits = bitset.mask_from_indices(
+                int(u) for u in np.nonzero(ground)[0]
+            )
+        with instrument.span("mcg.greedy"):
+            (
+                selected,
+                within,
+                overshooting,
+                ground0_bits,
+                _remaining,
+                rounds,
+                n_live,
+            ) = _flat_pure(family, budgets, ground_bits, live, initial_group_cost)
+        ground0_count = bitset.mask_count(ground0_bits)
+        masks = family.masks()
+
+        def half_bits(indices: Sequence[int]) -> int:
+            union = 0
+            for k in indices:
+                union |= masks[k] & ground0_bits
+            return union
+
+        if not split:
+            chosen = tuple(selected)
+            covered: "np.ndarray | int" = half_bits(selected)
+        else:
+            h1 = half_bits(within)
+            h2 = half_bits(overshooting)
+            if bitset.mask_count(h1) >= bitset.mask_count(h2):
+                chosen, covered = tuple(within), h1
+            else:
+                chosen, covered = tuple(overshooting), h2
+    else:
+        ground_arr = None if ground is None else np.asarray(ground, dtype=bool)
+        with instrument.span("mcg.greedy"):
+            (
+                selected,
+                within,
+                overshooting,
+                ground0_arr,
+                _remaining_arr,
+                rounds,
+                n_live,
+            ) = _flat_numpy(
+                family, budgets, ground_arr, _as_bool_or_none(live),
+                initial_group_cost,
+            )
+        ground0_count = int(ground0_arr.sum())
+        from repro.vec import backend
+
+        offsets = backend.as_int64(family.offsets)
+        members = backend.as_int64(family.members)
+
+        def half_mask(indices: Sequence[int]) -> "np.ndarray":
+            union = np.zeros(family.n_users, dtype=bool)
+            for k in indices:
+                m = members[offsets[k] : offsets[k + 1]]
+                union[m[ground0_arr[m]]] = True
+            return union
+
+        if not split:
+            chosen = tuple(selected)
+            covered = half_mask(selected)
+        else:
+            h1_mask = half_mask(within)
+            h2_mask = half_mask(overshooting)
+            if int(h1_mask.sum()) >= int(h2_mask.sum()):
+                chosen, covered = tuple(within), h1_mask
+            else:
+                chosen, covered = tuple(overshooting), h2_mask
+    if instrument.enabled():
+        instrument.incr("mcg.runs")
+        instrument.incr("mcg.rounds", rounds)
+        instrument.incr("mcg.candidate_scans", rounds * n_live)
+        instrument.incr("mcg.sets_selected", len(selected))
+        instrument.incr("mcg.strategy_switches")
+    return FlatMcgResult(
+        selected=tuple(selected),
+        within_budget=tuple(within),
+        overshooting=tuple(overshooting),
+        chosen=chosen,
+        covered=covered,
+        rounds=rounds,
+        n_live=n_live,
+    )
+
+
+def _as_bool_or_none(
+    live: "Sequence[bool] | np.ndarray | None",
+) -> "np.ndarray | None":
+    if live is None:
+        return None
+    return np.asarray(live, dtype=bool)

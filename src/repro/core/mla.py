@@ -13,10 +13,15 @@ from dataclasses import dataclass
 
 from repro.core import instrument
 from repro.core.assignment import Assignment, from_selected_sets
-from repro.core.candidates import build_candidates
+from repro.core.candidates import build_candidates, build_family
 from repro.core.errors import CoverageError
 from repro.core.problem import MulticastAssociationProblem
-from repro.core.setcover import SetCoverResult, greedy_set_cover
+from repro.core.setcover import (
+    SetCoverResult,
+    greedy_set_cover,
+    greedy_set_cover_flat,
+)
+from repro.vec import strategy as vec_strategy
 
 
 @dataclass(frozen=True)
@@ -31,20 +36,43 @@ class MlaSolution:
         return self.assignment.total_load()
 
 
-def solve_mla(problem: MulticastAssociationProblem) -> MlaSolution:
-    """Run Centralized MLA; raises :class:`CoverageError` for isolated users."""
+def solve_mla(
+    problem: MulticastAssociationProblem,
+    *,
+    strategy: str | None = None,
+) -> MlaSolution:
+    """Run Centralized MLA; raises :class:`CoverageError` for isolated users.
+
+    ``strategy`` forces the scalar or vector hot-path implementation
+    (``None`` resolves via ``REPRO_STRATEGY`` then the auto size switch);
+    both are bit-identical.
+    """
     isolated = problem.isolated_users()
     if isolated:
         raise CoverageError(isolated)
+    resolved = vec_strategy.resolve_strategy(
+        problem.n_users * max(problem.n_aps, 1), override=strategy
+    )
     with instrument.span(
         "mla.solve", n_users=problem.n_users, n_aps=problem.n_aps
     ):
-        candidates = build_candidates(problem)
-        ground = set(range(problem.n_users))
-        cover = greedy_set_cover(candidates, ground)
+        if resolved == vec_strategy.VECTOR:
+            if instrument.enabled():
+                instrument.incr("mla.strategy_switches")
+            family = build_family(problem, strategy=vec_strategy.VECTOR)
+            chosen, total_cost = greedy_set_cover_flat(family)
+            cover = SetCoverResult(
+                selected=tuple(family.candidate(k) for k in chosen),
+                total_cost=total_cost,
+            )
+        else:
+            candidates = build_candidates(problem)
+            ground = set(range(problem.n_users))
+            cover = greedy_set_cover(candidates, ground)
         assignment = from_selected_sets(
             problem,
             ((c.ap, c.session, c.tx_rate, c.users) for c in cover.selected),
+            strategy=resolved,
         )
         # Feasibility wrt range/rates only: MLA has no budget constraint.
         assignment.validate(check_budgets=False)

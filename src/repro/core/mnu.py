@@ -19,9 +19,10 @@ from typing import Iterable
 
 from repro.core import instrument
 from repro.core.assignment import Assignment, from_selected_sets
-from repro.core.candidates import build_candidates
-from repro.core.mcg import McgResult, greedy_mcg
+from repro.core.candidates import build_candidates, build_family
+from repro.core.mcg import McgResult, greedy_mcg, greedy_mcg_flat
 from repro.core.problem import MulticastAssociationProblem
+from repro.vec import strategy as vec_strategy
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,7 @@ def solve_mnu(
     *,
     split: bool = True,
     augment: bool = False,
+    strategy: str | None = None,
 ) -> MnuSolution:
     """Run Centralized MNU on ``problem`` (budgets taken from the instance).
 
@@ -87,7 +89,14 @@ def solve_mnu(
         meaningful for analysis.
     augment:
         greedily re-add users dropped by the split when they still fit.
+    strategy:
+        ``"scalar"`` / ``"vector"`` forces the hot-path implementation;
+        ``None`` resolves via ``REPRO_STRATEGY`` then the auto size
+        switch. Both strategies are bit-identical.
     """
+    resolved = vec_strategy.resolve_strategy(
+        problem.n_users * max(problem.n_aps, 1), override=strategy
+    )
     with instrument.span(
         "mnu.solve", n_users=problem.n_users, n_aps=problem.n_aps
     ):
@@ -96,18 +105,34 @@ def solve_mnu(
         # budget. A set with cost > budget can never appear in any feasible
         # solution (one transmission would already exceed the AP's limit), so
         # dropping such sets is exact, and restores the assumption.
-        candidates = [
-            c
-            for c in build_candidates(problem)
-            if c.cost <= problem.budget_of(c.ap) + 1e-12
-        ]
-        ground = set(range(problem.n_users))
-        result = greedy_mcg(
-            candidates, list(problem.budgets), ground, split=split
-        )
+        if resolved == vec_strategy.VECTOR:
+            if instrument.enabled():
+                instrument.incr("mnu.strategy_switches")
+            family = build_family(problem, strategy=vec_strategy.VECTOR)
+            live = [
+                family.cost[k] <= problem.budget_of(family.ap[k]) + 1e-12
+                for k in range(family.n_candidates)
+            ]
+            n_candidates = sum(live)
+            flat = greedy_mcg_flat(
+                family, list(problem.budgets), live=live, split=split
+            )
+            result = flat.to_mcg_result(family)
+        else:
+            candidates = [
+                c
+                for c in build_candidates(problem)
+                if c.cost <= problem.budget_of(c.ap) + 1e-12
+            ]
+            n_candidates = len(candidates)
+            ground = set(range(problem.n_users))
+            result = greedy_mcg(
+                candidates, list(problem.budgets), ground, split=split
+            )
         assignment = from_selected_sets(
             problem,
             ((c.ap, c.session, c.tx_rate, c.users) for c in result.chosen),
+            strategy=resolved,
         )
         if augment:
             assignment = augment_assignment(assignment)
@@ -115,7 +140,7 @@ def solve_mnu(
             assignment.validate(check_budgets=True)
     if instrument.enabled():
         instrument.incr("mnu.solves")
-        instrument.incr("mnu.candidates", len(candidates))
+        instrument.incr("mnu.candidates", n_candidates)
         instrument.gauge("mnu.n_served", float(assignment.n_served))
         instrument.gauge("mnu.total_load", assignment.total_load())
         instrument.gauge("mnu.max_load", assignment.max_load())

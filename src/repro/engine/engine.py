@@ -192,8 +192,7 @@ class ShardedEngine:
     def set_active(self, users: Iterable[int]) -> None:
         """Replace the tracked membership wholesale."""
         users = set(users)
-        for user in users:
-            self._check_user(user)
+        self._check_users(users)
         self._active = users
 
     def join(self, user: int) -> None:
@@ -222,6 +221,22 @@ class ShardedEngine:
     def _check_user(self, user: int) -> None:
         if not 0 <= user < self.problem.n_users:
             raise ModelError(f"unknown user {user}")
+
+    def _check_users(self, users: set[int]) -> None:
+        """Bounds-check a whole membership set in O(1) python calls.
+
+        ``min``/``max`` replace a per-user loop (which at 100k users costs
+        more than the solve's bookkeeping) and make the reported offender
+        deterministic — a plain set scan would surface an arbitrary one.
+        """
+        if not users:
+            return
+        lowest = min(users)
+        if lowest < 0:
+            raise ModelError(f"unknown user {lowest}")
+        highest = max(users)
+        if highest >= self.problem.n_users:
+            raise ModelError(f"unknown user {highest}")
 
     # -- cache control ---------------------------------------------------
 
@@ -270,8 +285,7 @@ class ShardedEngine:
         active_set = (
             set(self._active) if active is None else set(active)
         )
-        for user in active_set:
-            self._check_user(user)
+        self._check_users(active_set)
         hits0 = self._cache.stats.hits
         misses0 = self._cache.stats.misses
 

@@ -17,16 +17,18 @@ from __future__ import annotations
 #: composition roots and are unrestricted; layers absent from this
 #: table are likewise unchecked as import *targets*.
 LAYER_DAG: dict[str, frozenset[str]] = {
-    # leaves: the radio model and the observability spine import nothing
+    # leaves: the radio model, the observability spine and the array
+    # kernels import nothing
     "radio": frozenset(),
     "obs": frozenset(),
+    "vec": frozenset(),
     # the load kernel and solvers: physics only — never obs (the
     # core→obs dependency is inverted through repro.core.instrument)
-    "core": frozenset({"radio"}),
+    "core": frozenset({"radio", "vec"}),
     "scenarios": frozenset({"core", "radio"}),
     "net": frozenset({"core", "radio", "scenarios"}),
-    "engine": frozenset({"core", "obs"}),
-    "verify": frozenset({"core", "engine", "radio", "scenarios"}),
+    "engine": frozenset({"core", "obs", "vec"}),
+    "verify": frozenset({"core", "engine", "obs", "radio", "scenarios"}),
     "eval": frozenset({"core", "engine", "obs", "scenarios"}),
     "lint": frozenset({"obs"}),
     # the long-running controller: a top layer — it may drive the whole
@@ -52,7 +54,7 @@ LOAD_KERNEL_ALLOWLIST: frozenset[str] = frozenset(
 #: Packages whose modules are solver/protocol hot paths and must be
 #: bit-reproducible (RPL003's wall-clock and set-iteration sub-rules).
 SOLVER_PACKAGES: frozenset[str] = frozenset(
-    {"repro.core", "repro.engine", "repro.net"}
+    {"repro.core", "repro.engine", "repro.net", "repro.vec"}
 )
 
 #: ``random`` module attributes that do NOT touch the global shared RNG

@@ -17,6 +17,11 @@ validated by :func:`validate_report`). With ``--baseline FILE`` the run
 is additionally gated: any cell whose p50 exceeds the baseline's by more
 than ``--max-regress`` percent is a regression and the command exits
 non-zero — giving CI and future PRs a real performance trajectory.
+
+``python -m repro bench --scale`` swaps the paper-sized presets for the
+:data:`SCALE_CELLS` ladder (10k/50k/100k users on grid deployments from
+:mod:`repro.scenarios.largescale`), written to ``BENCH_scale.json``
+under the same schema and baseline gate.
 """
 
 from __future__ import annotations
@@ -93,6 +98,89 @@ def bench_scenarios(*, quick: bool, seed: int = 0) -> list[tuple[str, Any]]:
             seed=seed + 3,
         )
     return [("single-domain", single), ("federation", federation)]
+
+
+#: The pinned scale ladder: (scenario name, users, APs, algorithms).
+#: 10k is the CI smoke cell; 50k and 100k bound the array-backed hot
+#: paths at the paper's "large-scale WLAN" end. The solver set thins out
+#: as instances grow — B*-search re-solves and the sharded engine are
+#: exercised at 10k, the pure greedy paths all the way up.
+SCALE_CELLS: tuple[tuple[str, int, int, tuple[str, ...]], ...] = (
+    ("scale-10k", 10_000, 256, ("c-mnu", "c-bla", "c-mla", "e-mla")),
+    ("scale-50k", 50_000, 512, ("c-mnu", "c-mla")),
+    ("scale-100k", 100_000, 1_000, ("c-mnu", "c-mla")),
+)
+
+
+def run_scale_bench(
+    *,
+    quick: bool = False,
+    repeats: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Run the large-scale ladder; returns the (JSON-able) report document.
+
+    Same :data:`BENCH_KIND` schema as :func:`run_bench` (one result row
+    per algorithm × cell), so the ``--baseline`` gate and all report
+    tooling apply unchanged. ``quick`` keeps only the 10k cell; the
+    default single repeat reflects that these cells run for seconds, not
+    microseconds — timer noise is not the concern here.
+    """
+    from repro.eval.metrics import run_algorithm
+    from repro.scenarios.largescale import generate_largescale
+
+    if repeats is None:
+        repeats = 1
+    if repeats < 1:
+        raise ValueError("need at least one repeat per cell")
+    cells = SCALE_CELLS[:1] if quick else SCALE_CELLS
+    results: list[dict] = []
+    for scenario_name, n_users, n_aps, algorithms in cells:
+        problem = generate_largescale(
+            n_users=n_users, n_aps=n_aps, seed=seed
+        )
+        for algorithm in algorithms:
+            with collecting() as session:
+                last = None
+                for _ in range(repeats):
+                    last = run_algorithm(algorithm, problem, seed=seed)
+                times = [
+                    record.wall_s
+                    for record in session.trace.spans("algorithm.run")
+                ]
+                snapshot = session.metrics.snapshot()
+            assert last is not None and len(times) == repeats
+            results.append(
+                {
+                    "algorithm": algorithm,
+                    "scenario": scenario_name,
+                    "n_aps": n_aps,
+                    "n_users": n_users,
+                    "repeats": repeats,
+                    "p50_s": percentile(times, 50),
+                    "p95_s": percentile(times, 95),
+                    "mean_s": sum(times) / len(times),
+                    "objective": {
+                        "n_served": last.n_served,
+                        "total_load": last.total_load,
+                        "max_load": last.max_load,
+                    },
+                    "counters": snapshot["counters"],
+                    "gauges": snapshot["gauges"],
+                }
+            )
+    return {
+        "kind": BENCH_KIND,
+        "version": BENCH_VERSION,
+        "config": {
+            "suite": "scale",
+            "quick": quick,
+            "repeats": repeats,
+            "seed": seed,
+            "cells": [name for name, _, _, _ in cells],
+        },
+        "results": results,
+    }
 
 
 def run_bench(

@@ -18,6 +18,10 @@ from repro.scenarios.hotspots import (
     generate_hotspot,
     grid_aps,
 )
+from repro.scenarios.largescale import (
+    GRID_PITCH_M,
+    generate_largescale,
+)
 from repro.scenarios.mobility import (
     MobilityEpoch,
     QuasiStaticMobility,
@@ -47,6 +51,7 @@ __all__ = [
     "DEFAULT_STREAM_RATE_MBPS",
     "FIG11_BUDGETS",
     "FIG12C_BUDGET",
+    "GRID_PITCH_M",
     "MobilityEpoch",
     "PAPER_AREA",
     "PAPER_BUDGET",
@@ -67,6 +72,7 @@ __all__ = [
     "generate_batch",
     "generate_federation",
     "generate_hotspot",
+    "generate_largescale",
     "grid_aps",
     "mixed_catalog",
     "random_points",

@@ -1,0 +1,122 @@
+"""The optional numpy backend for the vector strategies.
+
+This is the *only* module in :mod:`repro.vec` that imports numpy; the
+RPL002 layering table names ``vec`` a leaf and polices which layers may
+import it, so every numpy-accelerated hot path is reachable from one
+greppable choke point. The backend is behind a runtime flag
+(:func:`repro.vec.strategy.numpy_enabled`, env ``REPRO_VEC_NUMPY``):
+with the flag off, the vector strategies fall back to the pure stdlib
+``array``/bitmask code paths and must produce bit-identical results —
+every kernel here is exact (integer arithmetic, comparisons and
+first-max scans only; no float accumulation).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+
+def as_int64(values: array) -> np.ndarray:
+    """Zero-copy int64 view of a stdlib ``array('q')`` buffer."""
+    if values:
+        return np.frombuffer(values, dtype=np.int64)
+    return np.empty(0, dtype=np.int64)
+
+
+def as_float64(values: array) -> np.ndarray:
+    """Zero-copy float64 view of a stdlib ``array('d')`` buffer."""
+    if values:
+        return np.frombuffer(values, dtype=np.float64)
+    return np.empty(0, dtype=np.float64)
+
+
+def segment_counts(
+    offsets: np.ndarray, members: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Per-segment count of set ``mask`` bits, for a CSR membership table.
+
+    ``offsets`` has one more entry than there are segments; segment ``k``
+    owns ``members[offsets[k]:offsets[k+1]]``. Implemented with a
+    cumulative sum rather than ``np.add.reduceat`` because reduceat
+    mis-handles empty segments. Integer-exact.
+    """
+    if members.size == 0:
+        return np.zeros(max(offsets.size - 1, 0), dtype=np.int64)
+    running = np.zeros(members.size + 1, dtype=np.int64)
+    np.cumsum(mask[members].astype(np.int64), out=running[1:])
+    return running[offsets[1:]] - running[offsets[:-1]]
+
+
+def first_argmax(values: np.ndarray) -> int:
+    """Index of the first maximum — numpy's tie rule matches the scalar
+    ``value > best`` scan, so both strategies break ties identically."""
+    return int(np.argmax(values))
+
+
+def subtract_at(counts: np.ndarray, indices: np.ndarray) -> None:
+    """``counts[i] -= multiplicity of i in indices``, in place. Exact."""
+    np.subtract.at(counts, indices, 1)
+
+
+def gather_segments(
+    offsets: np.ndarray, data: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``data[offsets[k]:offsets[k+1]]`` for each key, in order.
+
+    The vectorized equivalent of a per-key slice-and-concatenate loop:
+    segment contents keep their internal order and segments appear in
+    ``keys`` order.
+    """
+    if keys.size == 0:
+        return np.empty(0, dtype=data.dtype)
+    counts = offsets[keys + 1] - offsets[keys]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype)
+    starts = np.repeat(offsets[keys], counts)
+    ends_before = np.repeat(np.cumsum(counts) - counts, counts)
+    positions = starts + (np.arange(total, dtype=np.int64) - ends_before)
+    return data[positions]
+
+
+def mask_to_bits(mask: np.ndarray) -> int:
+    """A bool mask as the equivalent int bitmask (bit ``i`` = ``mask[i]``)."""
+    if mask.size == 0:
+        return 0
+    packed = np.packbits(mask, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def bits_to_mask(bits: int, n: int) -> np.ndarray:
+    """An int bitmask as a bool mask of length ``n``."""
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    raw = bits.to_bytes((n + 7) // 8, "little")
+    unpacked = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8), bitorder="little"
+    )
+    return unpacked[:n].astype(bool)
+
+
+def invert_csr(
+    offsets: np.ndarray, members: np.ndarray, n_values: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert a CSR table: member value → segment indices (ascending).
+
+    Returns ``(inv_offsets, inv_segments)`` where value ``v`` maps to
+    ``inv_segments[inv_offsets[v]:inv_offsets[v+1]]`` — the segments that
+    contain ``v``, in ascending segment order (the scatter below walks
+    segments in order, so per-value lists come out sorted).
+    """
+    counts = np.bincount(members, minlength=n_values).astype(np.int64)
+    inv_offsets = np.zeros(n_values + 1, dtype=np.int64)
+    np.cumsum(counts, out=inv_offsets[1:])
+    n_segments = max(offsets.size - 1, 0)
+    segment_of = np.repeat(
+        np.arange(n_segments, dtype=np.int64), np.diff(offsets)
+    )
+    order = np.argsort(members, kind="stable")
+    inv_segments = segment_of[order]
+    return inv_offsets, inv_segments

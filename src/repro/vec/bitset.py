@@ -1,0 +1,49 @@
+"""Int-bitmask set algebra over dense user/candidate index spaces.
+
+Python's arbitrary-precision ints make an excellent dense bitset: bit
+``i`` set means "index ``i`` is a member". Intersection, union and
+difference are single C-level ops (``&``, ``|``, ``& ~``), cardinality
+is :meth:`int.bit_count`, and — crucially for the exactness contract —
+the representation is canonical: two equal sets are the same int, so no
+iteration-order hazard can leak into downstream float arithmetic.
+
+These helpers are the pure-stdlib half of the vector strategy's set
+machinery; :mod:`repro.vec.backend` holds the numpy half. Enumeration
+(:func:`mask_to_indices`) is always *ascending*, which is the canonical
+member order everywhere in the flat representation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Bitmask with exactly the given index bits set."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def mask_to_indices(mask: int) -> list[int]:
+    """The set bits of ``mask``, ascending."""
+    indices: list[int] = []
+    index = 0
+    while mask:
+        # Skip runs of zeros in one step: jump to the lowest set bit.
+        low = mask & -mask
+        index = low.bit_length() - 1
+        indices.append(index)
+        mask ^= low
+    return indices
+
+
+def mask_count(mask: int) -> int:
+    """Cardinality of the set ``mask`` encodes."""
+    return mask.bit_count()
+
+
+def full_mask(n: int) -> int:
+    """Bitmask with bits ``0 .. n-1`` set (the full ground set)."""
+    return (1 << n) - 1

@@ -5,8 +5,9 @@ shard stitcher, or online repair pass produces can be pushed through
 
 * :func:`verify_assignment` — a structural + bound certificate checker
   returning a :class:`Certificate` with *named* violations,
-* the differential oracles of :mod:`repro.verify.oracles` — sharded vs
-  monolithic, incremental vs cold, distributed-sequential vs centralized,
+* the differential oracles of :mod:`repro.verify.oracles` — scalar vs
+  vectorized, sharded vs monolithic, incremental vs cold,
+  distributed-sequential vs centralized,
 * :func:`run_fuzz` — a seeded property-based fuzzer that samples random
   scenarios, runs every solver through the checker and the oracles,
   shrinks failures, and emits replayable JSON repros into a regression
@@ -35,6 +36,7 @@ from repro.verify.oracles import (
     OracleReport,
     incremental_vs_cold,
     run_all_oracles,
+    scalar_vs_vector,
     sequential_vs_centralized,
     sharded_vs_monolithic,
 )
@@ -52,6 +54,7 @@ __all__ = [
     "replay_corpus_entry",
     "run_all_oracles",
     "run_fuzz",
+    "scalar_vs_vector",
     "sequential_vs_centralized",
     "sharded_vs_monolithic",
     "shrink_scenario",

@@ -419,19 +419,25 @@ def load_corpus_entry(path: str) -> tuple[dict, Scenario]:
 
 
 def replay_corpus_entry(
-    path: str, *, exact_max_users: int = DEFAULT_EXACT_MAX_USERS
+    path: str,
+    *,
+    exact_max_users: int = DEFAULT_EXACT_MAX_USERS,
+    oracles: bool = True,
 ) -> list[FuzzFailure]:
     """Re-run the full property set on a corpus entry's scenario.
 
     Returns the current failures — an empty list means the recorded bug
     (if any) no longer reproduces and the entry now acts as a pure
-    regression pin.
+    regression pin. ``oracles=False`` keeps only the certificate checks —
+    the right replay for large-instance pins, whose oracle runs (engine
+    churn sequences, sequential dynamics) take minutes, not seconds.
     """
     entry, scenario = load_corpus_entry(path)
     return check_scenario(
         scenario,
         seed=int(entry.get("case_seed", 0)),
         exact_max_users=exact_max_users,
+        oracles=oracles,
     )
 
 

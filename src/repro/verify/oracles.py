@@ -1,8 +1,13 @@
 """Differential oracles: independent computation paths must agree.
 
-Three cross-checks, each pitting two implementations of the same
+Four cross-checks, each pitting two implementations of the same
 mathematical object against each other:
 
+* :func:`scalar_vs_vector` — the dual-strategy contract: every solver
+  forced onto its array-backed (vectorized) hot path must reproduce the
+  scalar reference implementation bit for bit — the user→AP map, the
+  per-AP load vector down to ``float.hex``, and the instrumentation
+  counters (strategy-switch markers aside).
 * :func:`sharded_vs_monolithic` — the sharded engine's exactness contract:
   stitched solves must equal :func:`~repro.core.mnu.solve_mnu` /
   :func:`~repro.core.bla.solve_bla` / :func:`~repro.core.mla.solve_mla`
@@ -36,6 +41,7 @@ from repro.core.mla import solve_mla
 from repro.core.mnu import solve_mnu
 from repro.core.problem import MulticastAssociationProblem
 from repro.engine import ShardedEngine
+from repro.obs import collecting
 from repro.verify.certificates import verify_assignment
 
 DEFAULT_TOL = 1e-9
@@ -107,6 +113,92 @@ def _eligible_objectives(
             continue
         chosen.append(objective)
     return chosen
+
+
+_STRATEGY_SOLVERS = {
+    "mnu": lambda p, s: solve_mnu(p, strategy=s).assignment,
+    "bla": lambda p, s: solve_bla(p, strategy=s).assignment,
+    "mla": lambda p, s: solve_mla(p, strategy=s).assignment,
+}
+
+
+def _solve_with_counters(
+    objective: str, problem: MulticastAssociationProblem, strategy: str
+) -> tuple[Assignment, dict[str, float]]:
+    """One forced-strategy solve plus its counters, switch markers dropped."""
+    with collecting() as session:
+        assignment = _STRATEGY_SOLVERS[objective](problem, strategy)
+    counters = {
+        name: value
+        for name, value in session.metrics.counters().items()
+        if not name.endswith(".strategy_switches")
+    }
+    return assignment, counters
+
+
+def scalar_vs_vector(
+    problem: MulticastAssociationProblem,
+    objectives: Sequence[str] = ("mnu", "bla", "mla"),
+) -> OracleReport:
+    """Cross-check each solver's vectorized twin against its scalar one.
+
+    Both strategies are forced explicitly (no auto threshold), and the
+    comparison is exact — user→AP maps must be equal, per-AP loads must
+    match on ``float.hex`` (bit identity, not tolerance), and the
+    instrumentation counters must agree except for the
+    ``*.strategy_switches`` markers that record the dispatch itself.
+    """
+    discrepancies: list[Discrepancy] = []
+    stats: dict[str, float] = {}
+    for objective in _eligible_objectives(problem, objectives):
+        scalar, scalar_counters = _solve_with_counters(
+            objective, problem, "scalar"
+        )
+        vector, vector_counters = _solve_with_counters(
+            objective, problem, "vector"
+        )
+        stats[f"{objective}_value"] = _objective_value(objective, scalar)
+        if scalar.ap_of_user != vector.ap_of_user:
+            discrepancies.append(
+                Discrepancy(
+                    "scalar-vs-vector",
+                    f"{objective}-map-mismatch",
+                    f"vectorized {objective} user→AP map differs from the "
+                    "scalar reference",
+                )
+            )
+        scalar_hex = [load.hex() for load in scalar.loads()]
+        vector_hex = [load.hex() for load in vector.loads()]
+        if scalar_hex != vector_hex:
+            first = next(
+                index
+                for index, (a, b) in enumerate(zip(scalar_hex, vector_hex))
+                if a != b
+            )
+            discrepancies.append(
+                Discrepancy(
+                    "scalar-vs-vector",
+                    f"{objective}-load-mismatch",
+                    f"{objective} load of AP {first} differs bitwise: "
+                    f"scalar {scalar_hex[first]} != vector "
+                    f"{vector_hex[first]}",
+                )
+            )
+        if scalar_counters != vector_counters:
+            differing = sorted(
+                name
+                for name in scalar_counters.keys() | vector_counters.keys()
+                if scalar_counters.get(name) != vector_counters.get(name)
+            )
+            discrepancies.append(
+                Discrepancy(
+                    "scalar-vs-vector",
+                    f"{objective}-counter-mismatch",
+                    f"{objective} instrumentation counters diverge: "
+                    f"{', '.join(differing)}",
+                )
+            )
+    return OracleReport("scalar-vs-vector", tuple(discrepancies), stats)
 
 
 def sharded_vs_monolithic(
@@ -330,6 +422,7 @@ def run_all_oracles(
 ) -> list[OracleReport]:
     """Every oracle on one instance; the fuzz harness's one-stop call."""
     return [
+        scalar_vs_vector(problem, objectives),
         sharded_vs_monolithic(problem, objectives),
         incremental_vs_cold(problem, objectives=objectives, seed=seed),
         sequential_vs_centralized(problem, objectives, seed=seed),

@@ -25,6 +25,23 @@ def pytest_report_header(config):
     )
 
 
+def pytest_collection_modifyitems(config, items):
+    """Skip ``scale``-marked items unless the -m expression asks for them.
+
+    The 50k/100k-user cells allocate hundred-MB rate matrices and run for
+    tens of seconds — strictly opt-in (``-m scale``), unlike ``slow``
+    which stays in the default run.
+    """
+    if "scale" in (config.option.markexpr or ""):
+        return
+    skip_scale = pytest.mark.skip(
+        reason="large-instance benchmark; opt in with -m scale"
+    )
+    for item in items:
+        if "scale" in item.keywords:
+            item.add_marker(skip_scale)
+
+
 @pytest.fixture(autouse=True)
 def _seed_global_rngs():
     """Seed the global RNGs before every test, deterministically."""

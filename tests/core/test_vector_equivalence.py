@@ -1,0 +1,298 @@
+"""Scalar == vector, bit for bit, on every array-backed hot path.
+
+The dual-strategy contract (docs/architecture.md, "vectorized
+strategies"): every solver hot path ships a scalar reference loop and an
+array-backed twin, and the two must be *indistinguishable* — same
+user→AP maps, same ``float.hex`` loads, same selection orders, same
+instrumentation counters (the ``*.strategy_switches`` dispatch markers
+aside), same error messages. Hypothesis drives ≥200 random instances
+through each path, and every comparison runs under both
+``REPRO_VEC_NUMPY`` settings so the pure-stdlib fallback is held to the
+same standard as the numpy backend.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import from_selected_sets
+from repro.core.bla import solve_bla
+from repro.core.candidates import build_candidates, build_family
+from repro.core.errors import CoverageError, ModelError
+from repro.core.mcg import greedy_mcg, greedy_mcg_flat
+from repro.core.mla import solve_mla
+from repro.core.mnu import solve_mnu
+from repro.core.problem import MulticastAssociationProblem, Session
+from repro.core.setcover import greedy_set_cover, greedy_set_cover_flat
+from repro.engine.shard import stitch_assignment
+from repro.obs import collecting
+
+RATES = (6.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+BUDGETS = (math.inf, 1.5, 0.9, 0.5)
+
+N_EXAMPLES = 200
+
+
+@contextmanager
+def numpy_backend(enabled: bool):
+    """Force ``REPRO_VEC_NUMPY`` for the duration of the block."""
+    previous = os.environ.get("REPRO_VEC_NUMPY")
+    os.environ["REPRO_VEC_NUMPY"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["REPRO_VEC_NUMPY"]
+        else:
+            os.environ["REPRO_VEC_NUMPY"] = previous
+
+
+def run_with_counters(fn):
+    """Call ``fn`` under a fresh obs session; drop the dispatch markers."""
+    with collecting() as session:
+        result = fn()
+    counters = {
+        name: value
+        for name, value in session.metrics.counters().items()
+        if not name.endswith(".strategy_switches")
+    }
+    return result, counters
+
+
+@st.composite
+def problems(draw, max_aps=5, max_users=12, budgets=BUDGETS):
+    """Random covered instances with ladder link rates."""
+    n_aps = draw(st.integers(min_value=1, max_value=max_aps))
+    n_users = draw(st.integers(min_value=1, max_value=max_users))
+    n_sessions = draw(st.integers(min_value=1, max_value=3))
+    budget = draw(st.sampled_from(budgets))
+    link = [[0.0] * n_users for _ in range(n_aps)]
+    for u in range(n_users):
+        n_links = draw(st.integers(min_value=1, max_value=n_aps))
+        aps = draw(
+            st.permutations(range(n_aps)).map(lambda p: list(p)[:n_links])
+        )
+        for a in aps:
+            link[a][u] = draw(st.sampled_from(RATES))
+    sessions = [Session(i, 1.0) for i in range(n_sessions)]
+    user_sessions = [
+        draw(st.integers(min_value=0, max_value=n_sessions - 1))
+        for _ in range(n_users)
+    ]
+    return MulticastAssociationProblem(link, user_sessions, sessions, budget)
+
+
+def assert_same_assignment(scalar, vector):
+    assert scalar.ap_of_user == vector.ap_of_user
+    assert [x.hex() for x in scalar.loads()] == [
+        x.hex() for x in vector.loads()
+    ]
+
+
+# -- candidate-set construction -----------------------------------------------
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems())
+def test_build_family_identical(problem):
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            scalar = build_family(problem, strategy="scalar")
+            vector = build_family(problem, strategy="vector")
+        assert list(scalar.ap) == list(vector.ap)
+        assert list(scalar.session) == list(vector.session)
+        assert [x.hex() for x in scalar.tx_rate] == [
+            x.hex() for x in vector.tx_rate
+        ]
+        assert [x.hex() for x in scalar.cost] == [
+            x.hex() for x in vector.cost
+        ]
+        assert list(scalar.offsets) == list(vector.offsets)
+        assert list(scalar.members) == list(vector.members)
+
+
+# -- MCG greedy coverage ------------------------------------------------------
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems(), st.booleans())
+def test_mcg_flat_matches_scalar(problem, split):
+    candidates = build_candidates(problem)
+    ground = set(range(problem.n_users))
+    budgets = list(problem.budgets)
+    scalar, scalar_counters = run_with_counters(
+        lambda: greedy_mcg(candidates, budgets, ground, split=split)
+    )
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            family = build_family(problem, strategy="scalar")
+            flat, flat_counters = run_with_counters(
+                lambda: greedy_mcg_flat(family, budgets, split=split)
+            )
+            vector = flat.to_mcg_result(family)
+        assert vector.selected == scalar.selected
+        assert vector.within_budget == scalar.within_budget
+        assert vector.overshooting == scalar.overshooting
+        assert vector.chosen == scalar.chosen
+        assert vector.covered == scalar.covered
+        assert flat_counters == scalar_counters
+
+
+# -- set cover ----------------------------------------------------------------
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems())
+def test_setcover_flat_matches_scalar(problem):
+    candidates = build_candidates(problem)
+    ground = set(range(problem.n_users))
+    scalar, scalar_counters = run_with_counters(
+        lambda: greedy_set_cover(candidates, ground)
+    )
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            family = build_family(problem, strategy="scalar")
+            (chosen, total_cost), flat_counters = run_with_counters(
+                lambda: greedy_set_cover_flat(family)
+            )
+        assert [family.candidate(k) for k in chosen] == list(scalar.selected)
+        assert total_cost.hex() == scalar.total_cost.hex()
+        assert flat_counters == scalar_counters
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems(max_users=8), st.integers(min_value=0, max_value=7))
+def test_setcover_coverage_error_parity(problem, isolated):
+    """An isolated user raises the same CoverageError from both twins."""
+    isolated %= problem.n_users
+    link = [
+        [
+            0.0 if u == isolated else problem.link_rates[a][u]
+            for u in range(problem.n_users)
+        ]
+        for a in range(problem.n_aps)
+    ]
+    broken = MulticastAssociationProblem(
+        link,
+        list(problem.user_sessions),
+        problem.sessions,
+        problem.budgets,
+    )
+    ground = set(range(broken.n_users))
+    with pytest.raises(CoverageError) as scalar_error:
+        greedy_set_cover(build_candidates(broken), ground)
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            family = build_family(broken, strategy="scalar")
+            with pytest.raises(CoverageError) as flat_error:
+                greedy_set_cover_flat(family)
+        assert str(flat_error.value) == str(scalar_error.value)
+
+
+# -- the solvers end to end ---------------------------------------------------
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems(), st.booleans())
+def test_solve_mnu_equivalence(problem, augment):
+    if not all(map(math.isfinite, problem.budgets)):
+        return  # MNU needs finite budgets to be meaningful
+    scalar, scalar_counters = run_with_counters(
+        lambda: solve_mnu(problem, augment=augment, strategy="scalar")
+    )
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            vector, vector_counters = run_with_counters(
+                lambda: solve_mnu(problem, augment=augment, strategy="vector")
+            )
+        assert_same_assignment(scalar.assignment, vector.assignment)
+        assert vector_counters == scalar_counters
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems())
+def test_solve_mla_equivalence(problem):
+    scalar, scalar_counters = run_with_counters(
+        lambda: solve_mla(problem, strategy="scalar")
+    )
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            vector, vector_counters = run_with_counters(
+                lambda: solve_mla(problem, strategy="vector")
+            )
+        assert_same_assignment(scalar.assignment, vector.assignment)
+        assert vector_counters == scalar_counters
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems(max_aps=4, max_users=8), st.booleans())
+def test_solve_bla_equivalence(problem, local_search):
+    scalar, scalar_counters = run_with_counters(
+        lambda: solve_bla(
+            problem, local_search=local_search, strategy="scalar"
+        )
+    )
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            vector, vector_counters = run_with_counters(
+                lambda: solve_bla(
+                    problem, local_search=local_search, strategy="vector"
+                )
+            )
+        assert_same_assignment(scalar.assignment, vector.assignment)
+        assert vector_counters == scalar_counters
+
+
+# -- assignment materialization and stitching ---------------------------------
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems())
+def test_from_selected_sets_equivalence(problem):
+    selections = [
+        (c.ap, c.session, c.tx_rate, c.users)
+        for c in build_candidates(problem)
+    ]
+    scalar = from_selected_sets(problem, selections, strategy="scalar")
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            vector = from_selected_sets(
+                problem, selections, strategy="vector"
+            )
+        assert_same_assignment(scalar, vector)
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None)
+@given(problems(), st.randoms(use_true_random=False))
+def test_stitch_equivalence(problem, rng):
+    assignment = solve_mla(problem, strategy="scalar").assignment
+    pairs = [
+        (user, ap)
+        for user, ap in enumerate(assignment.ap_of_user)
+        if ap is not None
+    ]
+    rng.shuffle(pairs)
+    scalar = stitch_assignment(problem, pairs, strategy="scalar")
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            vector = stitch_assignment(problem, pairs, strategy="vector")
+        assert_same_assignment(scalar, vector)
+
+    if not pairs or problem.n_aps < 2:
+        return
+    # Conflicting duplicate: both twins must blame the same first pair.
+    user, ap = pairs[0]
+    conflicting = pairs + [(user, (ap + 1) % problem.n_aps)]
+    with pytest.raises(ModelError) as scalar_error:
+        stitch_assignment(problem, conflicting, strategy="scalar")
+    for use_numpy in (True, False):
+        with numpy_backend(use_numpy):
+            with pytest.raises(ModelError) as vector_error:
+                stitch_assignment(problem, conflicting, strategy="vector")
+        assert str(vector_error.value) == str(scalar_error.value)

@@ -1,0 +1,7 @@
+"""Fixture: a vec kernel importing only within its own leaf layer."""
+
+from repro.vec import bitset
+
+
+def popcount(mask):
+    return bitset.mask_count(mask)

@@ -102,6 +102,30 @@ def test_rpl002_service_is_a_top_layer() -> None:
     assert [d.code for d in flagged.diagnostics] == ["RPL002"]
 
 
+def test_rpl002_vec_is_a_leaf() -> None:
+    """vec -> core inverts the DAG and fires; core/engine -> vec is the
+    sanctioned direction (the dual-strategy dispatch)."""
+    report = lint_file(
+        FIXTURES / "rpl002_vec_bad.py", module_name="repro.vec.helper"
+    )
+    assert [d.code for d in report.diagnostics] == ["RPL002"]
+    assert "repro.core" in report.diagnostics[0].message
+
+    clean = lint_file(
+        FIXTURES / "rpl002_vec_good.py", module_name="repro.vec.helper"
+    )
+    assert clean.ok, [d.format() for d in clean.diagnostics]
+
+    from repro.lint.engine import lint_source
+
+    downward = "from repro.vec import strategy\n_ = strategy\n"
+    assert lint_source(downward, "x.py", "repro.core.helper").ok
+    assert lint_source(downward, "x.py", "repro.engine.helper").ok
+    upward = "from repro.obs import counters\n_ = counters\n"
+    flagged = lint_source(upward, "x.py", "repro.vec.helper")
+    assert [d.code for d in flagged.diagnostics] == ["RPL002"]
+
+
 def test_rpl002_lazy_import_grant() -> None:
     from repro.lint.engine import lint_source
 

@@ -28,14 +28,48 @@ from repro.verify.fuzz import load_corpus_entry
 CORPUS_DIR = Path(__file__).parent / "corpus"
 ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
 
+#: Entries at or above this user count replay with certificates only in
+#: the default run; their full-oracle replay (engine churn sequences,
+#: sequential dynamics) is opt-in behind ``-m scale``.
+LARGE_USER_THRESHOLD = 1000
+
+
+def _n_users(path: Path) -> int:
+    _, scenario = load_corpus_entry(str(path))
+    return scenario.n_users
+
+
+SMALL_ENTRIES = [p for p in ENTRIES if _n_users(p) < LARGE_USER_THRESHOLD]
+LARGE_ENTRIES = [p for p in ENTRIES if _n_users(p) >= LARGE_USER_THRESHOLD]
+
 
 def test_corpus_directory_exists():
     assert CORPUS_DIR.is_dir(), "tests/corpus/ regression directory missing"
     assert ENTRIES, "the corpus should hold at least the pinned scenarios"
+    assert LARGE_ENTRIES, "the corpus should hold a large-instance pin"
 
 
-@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("path", SMALL_ENTRIES, ids=lambda p: p.stem)
 def test_corpus_entry_replays_clean(path):
+    failures = replay_corpus_entry(str(path))
+    details = "\n".join(f.format() for f in failures)
+    assert not failures, (
+        f"corpus entry {path.name} reproduces a failure again:\n{details}"
+    )
+
+
+@pytest.mark.parametrize("path", LARGE_ENTRIES, ids=lambda p: p.stem)
+def test_corpus_large_entry_certificates_clean(path):
+    failures = replay_corpus_entry(str(path), oracles=False)
+    details = "\n".join(f.format() for f in failures)
+    assert not failures, (
+        f"corpus entry {path.name} reproduces a failure again:\n{details}"
+    )
+
+
+@pytest.mark.scale
+@pytest.mark.parametrize("path", LARGE_ENTRIES, ids=lambda p: p.stem)
+def test_corpus_large_entry_oracles_clean(path):
     failures = replay_corpus_entry(str(path))
     details = "\n".join(f.format() for f in failures)
     assert not failures, (
@@ -66,8 +100,19 @@ def _expectation_cases():
             )
 
 
+@pytest.mark.parametrize("strategy", ["scalar", "vector"])
 @pytest.mark.parametrize("path,solver_name", list(_expectation_cases()))
-def test_corpus_expectations_byte_identical(path, solver_name):
+def test_corpus_expectations_byte_identical(
+    path, solver_name, strategy, monkeypatch
+):
+    """Replay recorded expectations under BOTH solver strategies.
+
+    The expectations were recorded once (scalar path); the dual-strategy
+    contract says the array-backed twins must reproduce them bit for bit
+    too — so the same byte-exact assertions run with ``REPRO_STRATEGY``
+    forced each way.
+    """
+    monkeypatch.setenv("REPRO_STRATEGY", strategy)
     entry, scenario = load_corpus_entry(str(path))
     expected = entry["expectations"][solver_name]
     problem = scenario.problem()

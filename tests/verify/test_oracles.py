@@ -110,6 +110,11 @@ class TestSequentialVsCentralized:
 class TestRunAll:
     def test_all_oracles_on_one_federation(self):
         reports = run_all_oracles(federation_problem(1), seed=1)
-        assert len(reports) == 3
+        assert [r.oracle for r in reports] == [
+            "scalar-vs-vector",
+            "sharded-vs-monolithic",
+            "incremental-vs-cold",
+            "sequential-vs-centralized",
+        ]
         for report in reports:
             assert report.ok, report.format()
