@@ -29,7 +29,9 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "net": frozenset({"core", "radio", "scenarios"}),
     "engine": frozenset({"core", "obs", "vec"}),
     "verify": frozenset({"core", "engine", "obs", "radio", "scenarios"}),
-    "eval": frozenset({"core", "engine", "obs", "scenarios"}),
+    # eval reads the net substrate's handover cost model for the
+    # mobility study; net never imports eval back, so the DAG holds
+    "eval": frozenset({"core", "engine", "net", "obs", "scenarios"}),
     "lint": frozenset({"obs"}),
     # the long-running controller: a top layer — it may drive the whole
     # stack below it, and nothing below may import it back

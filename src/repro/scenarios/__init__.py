@@ -27,6 +27,19 @@ from repro.scenarios.mobility import (
     QuasiStaticMobility,
     scenario_epochs,
 )
+from repro.scenarios.motion import (
+    MOTION_MODELS,
+    Handover,
+    LinkSample,
+    MotionModel,
+    MotionTrace,
+    RandomWaypoint,
+    VehicularGrid,
+    handover_events,
+    link_timeseries,
+    make_motion_model,
+    motion_scenario_epochs,
+)
 from repro.scenarios.presets import (
     FIG11_BUDGETS,
     FIG12C_BUDGET,
@@ -52,14 +65,21 @@ __all__ = [
     "FIG11_BUDGETS",
     "FIG12C_BUDGET",
     "GRID_PITCH_M",
+    "Handover",
+    "LinkSample",
+    "MOTION_MODELS",
     "MobilityEpoch",
+    "MotionModel",
+    "MotionTrace",
     "PAPER_AREA",
     "PAPER_BUDGET",
     "PAPER_N_SCENARIOS",
     "QuasiStaticMobility",
+    "RandomWaypoint",
     "SMALL_AREA",
     "Scenario",
     "SweepPoint",
+    "VehicularGrid",
     "assign_sessions",
     "cluster_centers",
     "clustered_users",
@@ -74,7 +94,11 @@ __all__ = [
     "generate_hotspot",
     "generate_largescale",
     "grid_aps",
+    "handover_events",
+    "link_timeseries",
+    "make_motion_model",
     "mixed_catalog",
+    "motion_scenario_epochs",
     "random_points",
     "scenario_epochs",
     "tv_lineup",

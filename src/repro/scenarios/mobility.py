@@ -26,6 +26,18 @@ class MobilityEpoch:
     user_positions: tuple[Point, ...]
     moved_users: tuple[int, ...]
 
+    @property
+    def initial(self) -> bool:
+        """True for epoch 0 — the unmodified starting placement.
+
+        Epoch 0's ``moved_users`` is empty because *nothing has moved
+        yet*, not because the epoch is a steady-state no-op. Consumers
+        integrating epochs into churn must branch on this flag rather
+        than on ``not moved_users``: the initial epoch needs its first
+        full solve, while a later empty epoch needs no re-solve at all.
+        """
+        return self.index == 0
+
 
 class QuasiStaticMobility:
     """Epoch-based relocation: each epoch, each user moves w.p. ``p_move``.

@@ -37,7 +37,14 @@ bootstrap, tick, and algorithm knobs); the architecture is documented in
 from __future__ import annotations
 
 from repro.service.control import ControlService, TickReport
-from repro.service.driver import generate_event_stream, replay, stream_bytes
+from repro.service.driver import (
+    batches_bytes,
+    compile_motion_trace,
+    generate_event_stream,
+    generate_mobility_batches,
+    replay,
+    stream_bytes,
+)
 from repro.service.events import (
     Event,
     EventError,
@@ -56,8 +63,11 @@ __all__ = [
     "ServiceConfig",
     "TickPlan",
     "TickReport",
+    "batches_bytes",
     "coalesce",
+    "compile_motion_trace",
     "generate_event_stream",
+    "generate_mobility_batches",
     "parse_event",
     "parse_events",
     "replay",

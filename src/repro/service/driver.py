@@ -15,6 +15,14 @@ Two halves, split so determinism is checkable in isolation:
   not just socket buffering. This is what the bench harness and the
   end-to-end tests drive.
 
+A third, mobility-flavored source sits alongside:
+:func:`generate_mobility_batches` compiles a seeded motion trace
+(:mod:`repro.scenarios.motion`) into per-epoch event batches — coverage
+transitions become join/leave and a seeded fraction of handovers become
+session zaps — so the service replays *physically grounded* churn. The
+compilation is a pure function of (scenario, trace parameters, seed):
+same inputs, byte-identical batches.
+
 No wall clocks here: pacing comes from the service's tick loop and all
 timing measurement lives in the obs span layer (RPL003 hygiene).
 """
@@ -28,6 +36,12 @@ from typing import Sequence
 from urllib.request import Request as UrlRequest
 from urllib.request import urlopen
 
+from repro.scenarios.generator import Scenario
+from repro.scenarios.motion import (
+    MotionTrace,
+    link_timeseries,
+    make_motion_model,
+)
 from repro.service.events import Event
 
 #: The rate grid rate-change events draw from (Mbps). A fixed grid keeps
@@ -111,6 +125,117 @@ def stream_bytes(events: Sequence[Event]) -> bytes:
     checks and POST bodies): one compact JSON array, sorted keys."""
     return json.dumps(
         [event.to_wire() for event in events],
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def compile_motion_trace(
+    scenario: Scenario,
+    trace: MotionTrace,
+    *,
+    zap_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[list[Event]]:
+    """Compile a motion trace into one event batch per epoch.
+
+    The service's event vocabulary is membership churn on a fixed
+    deployment, so motion maps onto it through *coverage*: a user whose
+    best AP disappears leaves its group, a user re-entering coverage
+    joins again, and with probability ``zap_fraction`` a handover
+    doubles as a session zap (drive-by viewers switching streams). The
+    epoch-0 batch is special-cased explicitly: it reconciles the
+    service's boot state (everyone active) with the trace's *initial*
+    coverage — it is not churn, and for a fully covered placement it is
+    empty. A zero-motion trace therefore compiles to empty batches
+    after epoch 0 and never dirties a shard post-boot.
+
+    Pure and seeded: equal (scenario, trace, zap_fraction, seed) yield
+    byte-identical batches under :func:`stream_bytes`.
+    """
+    if not 0.0 <= zap_fraction <= 1.0:
+        raise ValueError("zap_fraction must be a probability")
+    series = link_timeseries(trace, scenario)
+    n_sessions = len(scenario.sessions)
+    rng = random.Random(seed)
+    batches: list[list[Event]] = []
+    for epoch, samples in enumerate(series):
+        batch: list[Event] = []
+        if epoch == 0:
+            # Initial reconciliation, not churn (see docstring).
+            for user, sample in enumerate(samples):
+                if not sample.covered:
+                    batch.append(Event(kind="leave", user=user))
+            batches.append(batch)
+            continue
+        previous = series[epoch - 1]
+        for user, sample in enumerate(samples):
+            was_covered = previous[user].covered
+            if sample.covered and not was_covered:
+                batch.append(Event(kind="join", user=user))
+            elif was_covered and not sample.covered:
+                batch.append(Event(kind="leave", user=user))
+            elif (
+                sample.covered
+                and sample.best_ap != previous[user].best_ap
+                and zap_fraction > 0.0
+                and rng.random() < zap_fraction
+            ):
+                batch.append(
+                    Event(
+                        kind="move",
+                        user=user,
+                        session=rng.randrange(n_sessions),
+                    )
+                )
+        batches.append(batch)
+    return batches
+
+
+def generate_mobility_batches(
+    scenario: Scenario,
+    *,
+    model: str = "vehicular",
+    n_epochs: int,
+    speed_mps: float,
+    epoch_s: float = 1.0,
+    seed: int = 0,
+    zap_fraction: float = 0.0,
+    lane_pitch_m: float = 150.0,
+    p_turn: float = 0.2,
+    pause_epochs: int = 0,
+) -> list[list[Event]]:
+    """The mobility preset: motion model -> trace -> per-epoch batches.
+
+    Builds the named motion model over the scenario's area, runs it from
+    the scenario's user placement and compiles the resulting trace with
+    :func:`compile_motion_trace`. Deterministic in ``seed``.
+    """
+    motion = make_motion_model(
+        model,
+        scenario.area,
+        speed_mps=speed_mps,
+        epoch_s=epoch_s,
+        seed=seed,
+        pause_epochs=pause_epochs,
+        lane_pitch_m=lane_pitch_m,
+        p_turn=p_turn,
+    )
+    trace = motion.trace(scenario.user_positions, n_epochs)
+    return compile_motion_trace(
+        scenario, trace, zap_fraction=zap_fraction, seed=seed
+    )
+
+
+def batches_bytes(batches: Sequence[Sequence[Event]]) -> bytes:
+    """Canonical serialization of per-epoch batches (byte-identity pin).
+
+    Epoch boundaries are part of the contract — two batch lists with the
+    same flattened stream but different tick boundaries serialize
+    differently.
+    """
+    return json.dumps(
+        [[event.to_wire() for event in batch] for batch in batches],
         sort_keys=True,
         separators=(",", ":"),
     ).encode("utf-8")

@@ -32,14 +32,18 @@ def pytest_collection_modifyitems(config, items):
     tens of seconds — strictly opt-in (``-m scale``), unlike ``slow``
     which stays in the default run.
     """
-    if "scale" in (config.option.markexpr or ""):
-        return
-    skip_scale = pytest.mark.skip(
-        reason="large-instance benchmark; opt in with -m scale"
-    )
-    for item in items:
-        if "scale" in item.keywords:
-            item.add_marker(skip_scale)
+    markexpr = config.option.markexpr or ""
+    opt_in_only = {
+        "scale": "large-instance benchmark; opt in with -m scale",
+        "mobility": "full mobility ladder; opt in with -m mobility",
+    }
+    for marker, reason in opt_in_only.items():
+        if marker in markexpr:
+            continue
+        skip = pytest.mark.skip(reason=reason)
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,197 @@
+"""Tests for the churn-vs-cadence mobility eval (ISSUE 8 tentpole c).
+
+A quick two-speed study pins the structural contract (one series per
+speed x policy cell, per-epoch arrays, monotone cumulative cost) and the
+byte-identity of :func:`study_bytes`; the full default ladder runs behind
+the ``mobility`` marker, mirroring how ``scale`` gates the big
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.eval.mobility import (
+    DEFAULT_CADENCES,
+    DEFAULT_POLICIES,
+    DEFAULT_SPEEDS,
+    format_study,
+    mobility_pin_record,
+    replay_mobility_pin,
+    run_mobility_study,
+    study_bytes,
+    write_study_csv,
+)
+from repro.net.handoff import HandoffCostModel
+
+QUICK = dict(
+    n_aps=6,
+    n_users=16,
+    n_sessions=2,
+    n_epochs=6,
+    speeds=(5.0, 20.0),
+    cadences=(1, 3),
+    policies=("d-mla",),
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_study():
+    return run_mobility_study(**QUICK)
+
+
+class TestStudyStructure:
+    def test_one_series_per_speed_policy_cell(self, quick_study):
+        n_speeds = len(QUICK["speeds"])
+        n_policies = len(QUICK["cadences"]) + len(QUICK["policies"])
+        assert len(quick_study.series) == n_speeds * n_policies
+        names = {
+            (cell.speed_mps, cell.policy) for cell in quick_study.series
+        }
+        assert len(names) == len(quick_study.series)
+        policies = {cell.policy for cell in quick_study.series}
+        assert policies == {"c-mla/k1", "c-mla/k3", "d-mla"}
+
+    def test_series_arrays_span_every_epoch(self, quick_study):
+        n_epochs = QUICK["n_epochs"]
+        for cell in quick_study.series:
+            assert len(cell.max_load) == n_epochs
+            assert len(cell.n_unserved) == n_epochs
+            assert len(cell.handoffs) == n_epochs
+            assert len(cell.cum_handoff_cost_s) == n_epochs
+
+    def test_epoch_zero_charges_nothing(self, quick_study):
+        for cell in quick_study.series:
+            assert cell.handoffs[0] == 0
+            assert float(cell.cum_handoff_cost_s[0]).hex() == (
+                float(0.0).hex()
+            )
+
+    def test_cumulative_cost_is_non_decreasing(self, quick_study):
+        for cell in quick_study.series:
+            costs = cell.cum_handoff_cost_s
+            assert all(
+                later >= earlier
+                for earlier, later in zip(costs, costs[1:])
+            )
+
+    def test_solve_counts(self, quick_study):
+        n_epochs = QUICK["n_epochs"]
+        assert quick_study.series_for(5.0, "c-mla/k1").n_solves == n_epochs
+        # cadence 3 over 6 epochs solves at epochs 0 and 3
+        assert quick_study.series_for(5.0, "c-mla/k3").n_solves == 2
+        assert quick_study.series_for(5.0, "d-mla").n_solves == n_epochs
+
+    def test_every_epoch_cadence_never_pays_more_handoffs_than_sparser(
+        self, quick_study
+    ):
+        # Not a theorem, but on this pinned seed the k=1 controller churns
+        # at least as much as k=3 at the fast speed — the study's
+        # qualitative story.
+        fast = QUICK["speeds"][-1]
+        k1 = quick_study.series_for(fast, "c-mla/k1")
+        k3 = quick_study.series_for(fast, "c-mla/k3")
+        assert k1.total_handoffs >= k3.total_handoffs
+
+    def test_series_for_unknown_cell_raises(self, quick_study):
+        with pytest.raises(KeyError):
+            quick_study.series_for(999.0, "c-mla/k1")
+
+
+class TestDeterminism:
+    def test_same_seed_study_bytes_identical(self, quick_study):
+        again = run_mobility_study(**QUICK)
+        assert study_bytes(quick_study) == study_bytes(again)
+
+    def test_different_seed_differs(self, quick_study):
+        other = run_mobility_study(**{**QUICK, "seed": 4})
+        assert study_bytes(quick_study) != study_bytes(other)
+
+    def test_study_bytes_is_canonical_json(self, quick_study):
+        payload = json.loads(study_bytes(quick_study))
+        assert payload["model"] == "vehicular"
+        assert len(payload["series"]) == len(quick_study.series)
+        for cell in payload["series"]:
+            for hex_load in cell["max_load"]:
+                float.fromhex(hex_load)  # well-formed float.hex
+
+
+class TestValidationAndRendering:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run_mobility_study(**{**QUICK, "n_epochs": 0})
+        with pytest.raises(ValueError):
+            run_mobility_study(**{**QUICK, "speeds": ()})
+        with pytest.raises(ValueError):
+            run_mobility_study(**{**QUICK, "cadences": (0,)})
+        with pytest.raises(ValueError):
+            run_mobility_study(**{**QUICK, "policies": ("centralized",)})
+
+    def test_format_study_lists_every_cell(self, quick_study):
+        text = format_study(quick_study)
+        for cell in quick_study.series:
+            assert cell.policy in text
+        assert "seed=3" in text
+
+    def test_csv_has_one_row_per_epoch_cell(self, quick_study):
+        stream = io.StringIO()
+        write_study_csv(quick_study, stream)
+        lines = stream.getvalue().strip().splitlines()
+        expected = len(quick_study.series) * QUICK["n_epochs"]
+        assert len(lines) == 1 + expected
+        assert lines[0].startswith("speed_mps,policy,epoch")
+
+    def test_syncscan_study_costs_less(self, quick_study):
+        sync = run_mobility_study(
+            **QUICK, cost_model=HandoffCostModel.syncscan()
+        )
+        for cell in quick_study.series:
+            twin = sync.series_for(cell.speed_mps, cell.policy)
+            # identical trajectories, cheaper airtime
+            assert twin.handoffs == cell.handoffs
+            assert twin.final_cost_s <= cell.final_cost_s
+
+
+class TestMobilityPin:
+    PIN = dict(
+        n_aps=4,
+        n_users=8,
+        n_sessions=2,
+        n_epochs=5,
+        speed_mps=15.0,
+        cadence=2,
+        seed=7,
+    )
+
+    def test_pin_roundtrips_clean(self):
+        record = mobility_pin_record(**self.PIN)
+        assert record["kind"] == "repro-mobility-pin"
+        assert record["policy"] == "c-mla/k2"
+        assert replay_mobility_pin(record) == []
+
+    def test_replay_reports_mismatches(self):
+        record = mobility_pin_record(**self.PIN)
+        record["handoffs"] = [99] * self.PIN["n_epochs"]
+        mismatches = replay_mobility_pin(record)
+        assert any("handoffs" in m for m in mismatches)
+
+    def test_replay_rejects_foreign_kinds(self):
+        with pytest.raises(ValueError, match="not a mobility pin"):
+            replay_mobility_pin({"kind": "repro-fuzz-corpus"})
+
+
+@pytest.mark.mobility
+def test_full_default_ladder():
+    """The acceptance-criteria configuration: >=3 speeds x (cadence
+    ladder + >=2 distributed policies), deterministic in the seed."""
+    study = run_mobility_study(seed=0)
+    assert study.speeds == DEFAULT_SPEEDS
+    cells = len(DEFAULT_SPEEDS) * (
+        len(DEFAULT_CADENCES) + len(DEFAULT_POLICIES)
+    )
+    assert len(study.series) == cells
+    assert study_bytes(study) == study_bytes(run_mobility_study(seed=0))

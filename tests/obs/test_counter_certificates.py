@@ -11,6 +11,7 @@ different solution than the one actually produced.
 
 from __future__ import annotations
 
+import json
 import math
 import random
 from pathlib import Path
@@ -22,12 +23,19 @@ from repro.core.bla import solve_bla
 from repro.core.mla import solve_mla
 from repro.core.mnu import solve_mnu
 from repro.verify.certificates import verify_assignment
-from repro.verify.fuzz import load_corpus_entry
+from repro.verify.fuzz import CORPUS_KIND, load_corpus_entry
 
 from tests.conftest import random_problem
 
 CORPUS_DIR = Path(__file__).parent.parent / "corpus"
-CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _is_fuzz_entry(path: Path) -> bool:
+    with path.open() as fh:
+        return json.load(fh).get("kind") == CORPUS_KIND
+
+
+CORPUS = [p for p in sorted(CORPUS_DIR.glob("*.json")) if _is_fuzz_entry(p)]
 
 SOLVERS = {
     "c-mnu": ("mnu", lambda p: solve_mnu(p).assignment),

@@ -25,6 +25,15 @@ class TestQuasiStaticMobility:
         epochs = list(mobility.epochs(INITIAL, 5))
         assert [e.index for e in epochs] == [0, 1, 2, 3, 4]
 
+    def test_epoch_zero_is_flagged_initial(self):
+        # Epoch 0's empty ``moved_users`` means "nothing moved yet", not
+        # "steady-state no-op"; the explicit flag is what churn
+        # integrations must branch on (ISSUE 8 satellite fix).
+        mobility = QuasiStaticMobility(AREA, p_move=1.0, seed=0)
+        epochs = list(mobility.epochs(INITIAL, 4))
+        assert epochs[0].initial
+        assert all(not e.initial for e in epochs[1:])
+
     def test_zero_probability_never_moves(self):
         mobility = QuasiStaticMobility(AREA, p_move=0.0, seed=0)
         for epoch in mobility.epochs(INITIAL, 5):

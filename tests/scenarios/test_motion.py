@@ -1,0 +1,246 @@
+"""Property suite for the motion-model subsystem (ISSUE 8 satellite 1).
+
+Four Hypothesis properties at 200 examples each pin the contracts the
+rest of the mobility stack builds on: byte-identical same-seed traces,
+in-bounds positions under both models, rate series consistent with the
+squared-distance ladder, and handover events exactly at the argmax
+change points of the signal time-series.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import Session
+from repro.radio.geometry import Area, Point
+from repro.radio.propagation import ThresholdPropagation
+from repro.scenarios.generator import Scenario
+from repro.scenarios.motion import (
+    MOTION_MODELS,
+    RandomWaypoint,
+    VehicularGrid,
+    handover_events,
+    link_timeseries,
+    make_motion_model,
+    motion_scenario_epochs,
+)
+
+#: The paper's Table-1 ladder as (distance threshold, rate) pairs,
+#: ascending by distance — the squared-distance comparisons below mirror
+#: the ``largescale`` vector quantizer, not ``RateTable.rate_at``.
+LADDER = (
+    (35.0, 54.0),
+    (40.0, 48.0),
+    (60.0, 36.0),
+    (85.0, 24.0),
+    (105.0, 18.0),
+    (145.0, 12.0),
+    (200.0, 6.0),
+)
+
+
+def ladder_rate_sq(distance_sq: float) -> float:
+    """Ladder rate from a *squared* distance (0.0 = out of range)."""
+    for threshold, rate in LADDER:
+        if distance_sq <= threshold * threshold:
+            return rate
+    return 0.0
+
+
+@st.composite
+def motion_cases(draw, max_users: int = 5, max_epochs: int = 10):
+    """(area, model kind, seeded model, initial positions, n_epochs)."""
+    side = draw(
+        st.floats(min_value=80.0, max_value=500.0, allow_nan=False)
+    )
+    area = Area.square(side)
+    n_users = draw(st.integers(min_value=1, max_value=max_users))
+    n_epochs = draw(st.integers(min_value=1, max_value=max_epochs))
+    kind = draw(st.sampled_from(MOTION_MODELS))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    speed = draw(st.floats(min_value=0.0, max_value=40.0, allow_nan=False))
+    epoch_s = draw(st.sampled_from((0.5, 1.0, 2.0)))
+    coords = st.floats(min_value=0.0, max_value=side, allow_nan=False)
+    initial = tuple(
+        Point(draw(coords), draw(coords)) for _ in range(n_users)
+    )
+    model = make_motion_model(
+        kind, area, speed_mps=speed, epoch_s=epoch_s, seed=seed
+    )
+    return area, kind, model, initial, n_epochs, speed, epoch_s, seed
+
+
+@st.composite
+def scenario_cases(draw):
+    """A motion case plus 1-4 AP positions forming a tiny scenario."""
+    area, kind, model, initial, n_epochs, speed, epoch_s, seed = draw(
+        motion_cases()
+    )
+    side = area.x_max
+    coords = st.floats(min_value=0.0, max_value=side, allow_nan=False)
+    n_aps = draw(st.integers(min_value=1, max_value=4))
+    aps = tuple(Point(draw(coords), draw(coords)) for _ in range(n_aps))
+    scenario = Scenario(
+        ap_positions=aps,
+        user_positions=initial,
+        model=ThresholdPropagation(),
+        sessions=(Session(0, 1.0),),
+        user_sessions=(0,) * len(initial),
+        budget=math.inf,
+        area=area,
+    )
+    return scenario, model, initial, n_epochs
+
+
+@settings(max_examples=200, deadline=None)
+@given(motion_cases())
+def test_same_seed_traces_byte_identical(case):
+    area, kind, model, initial, n_epochs, speed, epoch_s, seed = case
+    first = model.trace(initial, n_epochs)
+    rebuilt = make_motion_model(
+        kind, area, speed_mps=speed, epoch_s=epoch_s, seed=seed
+    )
+    second = rebuilt.trace(initial, n_epochs)
+    assert first.trace_bytes() == second.trace_bytes()
+
+
+@settings(max_examples=200, deadline=None)
+@given(motion_cases())
+def test_positions_stay_in_bounds(case):
+    area, _, model, initial, n_epochs, *_ = case
+    trace = model.trace(initial, n_epochs)
+    assert trace.n_epochs == n_epochs
+    assert trace.n_users == len(initial)
+    for epoch_positions in trace.positions:
+        for point in epoch_positions:
+            assert area.contains(point)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenario_cases())
+def test_rate_series_matches_squared_distance_ladder(case):
+    scenario, model, initial, n_epochs = case
+    trace = model.trace(initial, n_epochs)
+    series = link_timeseries(trace, scenario)
+    for epoch, samples in enumerate(series):
+        positions = trace.positions_at(epoch)
+        for user, sample in enumerate(samples):
+            distance_sq = min(
+                (ap.x - positions[user].x) ** 2
+                + (ap.y - positions[user].y) ** 2
+                for ap in scenario.ap_positions
+            )
+            expected = ladder_rate_sq(distance_sq)
+            assert float(sample.rate_mbps).hex() == float(expected).hex()
+            assert sample.covered == (expected > 0.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenario_cases())
+def test_handovers_are_exactly_argmax_changes(case):
+    scenario, model, initial, n_epochs = case
+    trace = model.trace(initial, n_epochs)
+    prop = scenario.model
+
+    def best_ap(position: Point) -> int | None:
+        best: int | None = None
+        best_rssi = -math.inf
+        for index, ap in enumerate(scenario.ap_positions):
+            if prop.link_rate(ap, position) is None:
+                continue
+            rssi = prop.signal_strength(ap, position)
+            if rssi > best_rssi:
+                best_rssi = rssi
+                best = index
+        return best
+
+    expected = []
+    for epoch in range(1, trace.n_epochs):
+        for user in range(trace.n_users):
+            old = best_ap(trace.positions_at(epoch - 1)[user])
+            new = best_ap(trace.positions_at(epoch)[user])
+            if old != new:
+                expected.append((epoch, user, old, new))
+    events = handover_events(trace, scenario)
+    assert [
+        (e.epoch, e.user, e.old_ap, e.new_ap) for e in events
+    ] == expected
+    assert all(e.epoch >= 1 for e in events)
+
+
+# -- deterministic unit checks ----------------------------------------------
+
+
+def test_vehicular_positions_ride_the_lane_grid():
+    area = Area.square(300.0)
+    model = VehicularGrid(
+        area, speed_mps=17.0, lane_pitch_m=75.0, p_turn=0.5, seed=9
+    )
+    initial = [Point(12.0, 211.0), Point(290.0, 34.0), Point(150.0, 150.0)]
+    trace = model.trace(initial, 20)
+    lanes = {0.0, 75.0, 150.0, 225.0, 300.0}
+    for epoch_positions in trace.positions:
+        for point in epoch_positions:
+            # A vehicle is always *on* a street: at least one coordinate
+            # sits exactly on the lane grid.
+            on_lane = point.x in lanes or point.y in lanes
+            assert on_lane, (point, epoch_positions)
+
+
+def test_zero_speed_trace_is_frozen():
+    area = Area.square(200.0)
+    initial = [Point(10.0, 20.0), Point(180.0, 90.0)]
+    for kind in MOTION_MODELS:
+        model = make_motion_model(kind, area, speed_mps=0.0, seed=4)
+        trace = model.trace(initial, 6)
+        for epoch_positions in trace.positions:
+            assert epoch_positions == trace.positions_at(0)
+
+
+def test_waypoint_walks_toward_its_target():
+    area = Area.square(400.0)
+    model = RandomWaypoint(area, speed_mps=5.0, seed=7)
+    initial = [Point(200.0, 200.0)]
+    trace = model.trace(initial, 8)
+    steps = [
+        trace.positions_at(e)[0].distance_to(trace.positions_at(e + 1)[0])
+        for e in range(trace.n_epochs - 1)
+    ]
+    # Per-leg speed is uniform in [0.5, 1.5] * speed; an epoch's stride
+    # never exceeds the fastest leg (it is shorter only on arrival).
+    assert all(step <= 1.5 * 5.0 + 1e-9 for step in steps)
+    assert any(step > 0 for step in steps)
+
+
+def test_motion_scenario_epochs_track_the_trace():
+    from repro.scenarios.generator import generate
+
+    scenario = generate(n_aps=4, n_users=6, seed=2, area=Area.square(300.0))
+    model = VehicularGrid(scenario.area, speed_mps=20.0, seed=2)
+    trace = model.trace(scenario.user_positions, 5)
+    variants = list(motion_scenario_epochs(scenario, trace))
+    assert len(variants) == trace.n_epochs
+    for epoch, variant in enumerate(variants):
+        assert variant.user_positions == trace.positions_at(epoch)
+        assert variant.ap_positions == scenario.ap_positions
+
+
+def test_make_motion_model_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown motion model"):
+        make_motion_model("teleport", Area.square(100.0), speed_mps=1.0)
+
+
+def test_model_parameter_validation():
+    area = Area.square(100.0)
+    with pytest.raises(ValueError):
+        RandomWaypoint(area, speed_mps=-1.0)
+    with pytest.raises(ValueError):
+        VehicularGrid(area, lane_pitch_m=0.0)
+    with pytest.raises(ValueError):
+        VehicularGrid(area, p_turn=1.5)
+    with pytest.raises(ValueError):
+        RandomWaypoint(area).trace([Point(1.0, 1.0)], 0)

@@ -9,10 +9,17 @@ once a fuzz finding is fixed, its corpus entry keeps it fixed forever.
 
 Add entries with ``python -m repro fuzz --budget N --corpus tests/corpus``
 or :func:`repro.verify.pin_scenario`.
+
+The directory also hosts **mobility pins** (``kind`` =
+``repro-mobility-pin``): frozen per-epoch load/handover trajectories of
+one motion-driven eval cell, replayed bit-exactly by
+:func:`repro.eval.replay_mobility_pin`. Entries are dispatched on their
+``kind`` tag, so the two families coexist in one corpus directory.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from pathlib import Path
 
@@ -21,12 +28,24 @@ import pytest
 from repro.core.bla import solve_bla
 from repro.core.mla import solve_mla
 from repro.core.mnu import solve_mnu
+from repro.eval.mobility import MOBILITY_PIN_KIND, replay_mobility_pin
 from repro.verify import replay_corpus_entry
 from repro.verify.certificates import verify_assignment
-from repro.verify.fuzz import load_corpus_entry
+from repro.verify.fuzz import CORPUS_KIND, load_corpus_entry
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
-ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+ALL_ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _kind_of(path: Path) -> str:
+    with path.open() as fh:
+        return str(json.load(fh).get("kind", ""))
+
+
+ENTRIES = [p for p in ALL_ENTRIES if _kind_of(p) == CORPUS_KIND]
+MOBILITY_ENTRIES = [
+    p for p in ALL_ENTRIES if _kind_of(p) == MOBILITY_PIN_KIND
+]
 
 #: Entries at or above this user count replay with certificates only in
 #: the default run; their full-oracle replay (engine churn sequences,
@@ -47,6 +66,9 @@ def test_corpus_directory_exists():
     assert CORPUS_DIR.is_dir(), "tests/corpus/ regression directory missing"
     assert ENTRIES, "the corpus should hold at least the pinned scenarios"
     assert LARGE_ENTRIES, "the corpus should hold a large-instance pin"
+    assert len(ENTRIES) + len(MOBILITY_ENTRIES) == len(ALL_ENTRIES), (
+        "corpus entry with an unrecognized kind tag"
+    )
 
 
 @pytest.mark.parametrize("path", SMALL_ENTRIES, ids=lambda p: p.stem)
@@ -142,6 +164,25 @@ def test_corpus_expectations_byte_identical(
         expected["certificate_checks"]
     )
     assert list(certificate.codes) == expected["violation_codes"]
+
+
+def test_mobility_pin_present():
+    assert MOBILITY_ENTRIES, (
+        "the corpus should hold at least one mobility trajectory pin"
+    )
+
+
+@pytest.mark.parametrize("path", MOBILITY_ENTRIES, ids=lambda p: p.stem)
+def test_mobility_pin_replays_clean(path):
+    """The motion -> per-epoch problems -> cadence solver -> handover
+    accounting pipeline reproduces the pinned trajectory bit for bit."""
+    with path.open() as fh:
+        record = json.load(fh)
+    mismatches = replay_mobility_pin(record)
+    details = "\n".join(mismatches)
+    assert not mismatches, (
+        f"mobility pin {path.name} no longer replays bit-exactly:\n{details}"
+    )
 
 
 def test_corpus_expectations_present():
