@@ -23,7 +23,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core import instrument
-from repro.core.problem import MulticastAssociationProblem
+from repro.core.ledger import policy_airtime
+from repro.core.problem import TX_LEGACY, MulticastAssociationProblem
 from repro.vec import strategy as vec_strategy
 
 
@@ -88,16 +89,25 @@ def build_candidates(
                     raise ValueError("prune=False requires a rate_grid")
                 max_link = max(rate for rate, _ in listeners)
                 rates = [r for r in rate_grid if r <= max_link]
+            policy = problem.policy_of(session)
             for tx_rate in rates:
                 users = frozenset(u for rate, u in listeners if rate >= tx_rate)
                 if not users:
                     continue
+                if policy == TX_LEGACY:
+                    cost = problem.transmission_cost(session, tx_rate)
+                else:
+                    cost = policy_airtime(
+                        policy,
+                        problem.session_rate(session),
+                        [rate for rate, _ in listeners if rate >= tx_rate],
+                    )
                 candidates.append(
                     CandidateSet(
                         ap=ap,
                         session=session,
                         tx_rate=tx_rate,
-                        cost=problem.transmission_cost(session, tx_rate),
+                        cost=cost,
                         users=users,
                     )
                 )
@@ -305,14 +315,24 @@ def _build_family_numpy(
                 tx_rates = np.asarray(
                     [r for r in rate_grid if r <= max_link], dtype=np.float64
                 )
+            policy = problem.policy_of(session)
             for tx in tx_rates:
-                covered = listeners[listener_rates >= tx]
+                keep = listener_rates >= tx
+                covered = listeners[keep]
                 if covered.size == 0:
                     continue
+                if policy == TX_LEGACY:
+                    cand_cost = problem.transmission_cost(session, float(tx))
+                else:
+                    cand_cost = policy_airtime(
+                        policy,
+                        problem.session_rate(session),
+                        [float(r) for r in listener_rates[keep]],
+                    )
                 ap_col.append(ap)
                 session_col.append(session)
                 tx_col.append(float(tx))
-                cost_col.append(problem.transmission_cost(session, float(tx)))
+                cost_col.append(cand_cost)
                 member_chunks.append(covered)
                 lengths.append(int(covered.size))
     offsets = array("q", [0] * (len(lengths) + 1))
@@ -387,24 +407,41 @@ def coverable_users(candidates: Iterable[CandidateSet]) -> set[int]:
 
 
 def restrict_to_users(
-    candidates: Iterable[CandidateSet], users: set[int]
+    candidates: Iterable[CandidateSet],
+    users: set[int],
+    *,
+    problem: MulticastAssociationProblem | None = None,
 ) -> list[CandidateSet]:
     """Candidates intersected with ``users``; empty intersections dropped.
 
     Used by the iterated-MNU loop of Centralized BLA, which removes covered
-    elements from the ground set between iterations.
+    elements from the ground set between iterations. Under the legacy
+    policy a set's cost depends only on its transmit rate, so the cost is
+    carried over unchanged. Non-legacy costs depend on the member multiset;
+    pass ``problem`` to re-price shrunk sets under the session's policy
+    (legacy candidates are still carried over bit-identically).
     """
     restricted: list[CandidateSet] = []
     for candidate in candidates:
         remaining = candidate.users & users
-        if remaining:
-            restricted.append(
-                CandidateSet(
-                    ap=candidate.ap,
-                    session=candidate.session,
-                    tx_rate=candidate.tx_rate,
-                    cost=candidate.cost,
-                    users=frozenset(remaining),
+        if not remaining:
+            continue
+        cost = candidate.cost
+        if problem is not None and len(remaining) < len(candidate.users):
+            policy = problem.policy_of(candidate.session)
+            if policy != TX_LEGACY:
+                cost = policy_airtime(
+                    policy,
+                    problem.session_rate(candidate.session),
+                    [problem.link_rate(candidate.ap, u) for u in sorted(remaining)],
                 )
+        restricted.append(
+            CandidateSet(
+                ap=candidate.ap,
+                session=candidate.session,
+                tx_rate=candidate.tx_rate,
+                cost=cost,
+                users=frozenset(remaining),
             )
+        )
     return restricted

@@ -19,6 +19,15 @@ greedy solvers, the online controller, and the evaluation metrics.
 * :class:`CandidateGainIndex` batches the MCG greedy's per-round
   cost-effectiveness scan over all candidate sets into numpy vector ops.
 
+**Transmission policies.** The kernel is parameterized by each session's
+transmission policy (:data:`repro.core.problem.TX_POLICIES`): ``legacy``
+prices a group as ``session_rate / min(member rates)`` (Definition 1,
+:func:`multicast_airtime`), ``dms`` as per-user unicast copies
+(:func:`dms_airtime`), and ``hybrid`` as the airtime-minimizing rate
+split (:func:`hybrid_split`). Legacy sessions take the exact pre-policy
+code path — same expressions on the same floats — so an all-legacy
+ledger is bit-identical to the unparameterized kernel it replaced.
+
 **Exactness contract.** A per-AP load is always ``math.fsum`` of its
 per-session transmission costs. ``fsum`` is exactly rounded and therefore
 order-independent, so the ledger's loads are a *pure function of the
@@ -45,7 +54,12 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.core.errors import ModelError
-from repro.core.problem import MulticastAssociationProblem
+from repro.core.problem import (
+    TX_DMS,
+    TX_HYBRID,
+    TX_LEGACY,
+    MulticastAssociationProblem,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.assignment import Assignment
@@ -93,6 +107,91 @@ def local_ap_load(
         multicast_airtime(session_rate, member_rates)
         for session_rate, member_rates in groups
     )
+
+
+def dms_airtime(
+    session_rate: float, member_rates: Iterable[float]
+) -> float:
+    """Airtime of one group under DMS: per-user unicast copies.
+
+    Each member receives its own copy at its own link rate, so the group
+    airtime is the exactly rounded (``fsum``) sum of ``session_rate /
+    rate`` over the member-rate *multiset*. ``fsum`` is order-independent,
+    which keeps this — like the legacy kernel — a pure function of the
+    membership. An out-of-range member (rate ≤ 0) makes the group
+    unservable (``inf``). ``member_rates`` must be non-empty.
+    """
+    terms: list[float] = []
+    for rate in member_rates:
+        if rate <= 0:
+            return math.inf
+        terms.append(session_rate / rate)
+    if not terms:
+        raise ValueError("a multicast group must have at least one member")
+    return math.fsum(terms)
+
+
+def hybrid_split(
+    session_rate: float, member_rates: Iterable[float]
+) -> tuple[float, float]:
+    """The airtime-minimizing rate split of one group: ``(threshold,
+    airtime)``.
+
+    The SDN@Play-style hybrid policy serves members at or above a
+    threshold rate ``T`` with one multicast transmission at ``T`` and the
+    slow tail (rate < ``T``) with per-user unicast copies. Only thresholds
+    equal to some member's link rate are useful (raising ``T`` between two
+    member rates shrinks nothing out of the tail but slows nobody down —
+    the multicast cost ``session_rate / T`` only improves at the next
+    member rate), so the search scans the distinct member rates ascending
+    and keeps the strictly best airtime; ties break toward the *lowest*
+    threshold, making the choice deterministic. ``T = min(member_rates)``
+    reproduces the legacy airtime bit for bit, so the optimum is never
+    worse than legacy; ``T = max`` is never worse than DMS — which is the
+    ``hybrid ≤ min(legacy, DMS)`` property the tests pin down.
+
+    Returns ``(0.0, inf)`` when any member is out of range (rate ≤ 0).
+    """
+    rates = sorted(member_rates)
+    if not rates:
+        raise ValueError("a multicast group must have at least one member")
+    if rates[0] <= 0:
+        return 0.0, math.inf
+    best_threshold = rates[0]
+    best_cost = session_rate / rates[0]  # T = min: exactly the legacy cost
+    for i in range(1, len(rates)):
+        threshold = rates[i]
+        if threshold == rates[i - 1]:
+            continue
+        cost = math.fsum(
+            [session_rate / r for r in rates[:i]] + [session_rate / threshold]
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_threshold = threshold
+    return best_threshold, best_cost
+
+
+def hybrid_airtime(
+    session_rate: float, member_rates: Iterable[float]
+) -> float:
+    """Airtime of one group under the hybrid rate-split policy (the
+    minimum of :func:`hybrid_split`'s threshold search)."""
+    return hybrid_split(session_rate, member_rates)[1]
+
+
+def policy_airtime(
+    policy: str, session_rate: float, member_rates: Iterable[float]
+) -> float:
+    """One group's airtime under ``policy`` — the kernel dispatch every
+    policy-aware layer prices through (replint rule RPL001)."""
+    if policy == TX_LEGACY:
+        return multicast_airtime(session_rate, member_rates)
+    if policy == TX_DMS:
+        return dms_airtime(session_rate, member_rates)
+    if policy == TX_HYBRID:
+        return hybrid_airtime(session_rate, member_rates)
+    raise ModelError(f"unknown transmission policy {policy!r}")
 
 
 class _RateGroup:
@@ -146,6 +245,13 @@ class _RateGroup:
         # ``rate`` is the unique minimum: the next distinct rate takes over.
         return self.rates[1]
 
+    def expanded_rates(self) -> list[float]:
+        """The member-rate multiset as a flat list (ascending), the form
+        the non-legacy policy kernels price over."""
+        return [
+            rate for rate in self.rates for _ in range(self.counts[rate])
+        ]
+
     def copy(self) -> "_RateGroup":
         clone = _RateGroup.__new__(_RateGroup)
         clone.members = set(self.members)
@@ -172,9 +278,12 @@ class LoadLedger:
         "_session_costs",
         "_loads",
         "_check",
+        "_policies",
+        "_all_legacy",
         "op_moves",
         "op_gain_queries",
         "op_load_recomputes",
+        "op_policy_costs",
     )
 
     def __init__(
@@ -201,9 +310,12 @@ class LoadLedger:
         ]
         self._loads = np.zeros(problem.n_aps, dtype=np.float64)
         self._check = ledger_check_enabled() if check is None else check
+        self._policies = problem.session_policies
+        self._all_legacy = problem.all_legacy
         self.op_moves = 0
         self.op_gain_queries = 0
         self.op_load_recomputes = 0
+        self.op_policy_costs: dict[str, int] = {}
 
         touched: set[int] = set()
         for user, ap in enumerate(self._map):
@@ -216,9 +328,7 @@ class LoadLedger:
             )
             touched.add(ap)
         for (ap, session), group in self._groups.items():
-            self._session_costs[ap][session] = self._group_cost(
-                session, group.min_rate
-            )
+            self._session_costs[ap][session] = self._cost_of(session, group)
         for ap in touched:
             self._refresh_load(ap)
         if self._check:
@@ -236,10 +346,31 @@ class LoadLedger:
     def _group_cost(self, session: int, min_rate: float) -> float:
         """Definition 1: the airtime of transmitting ``session`` at the
         group's minimum member rate; an out-of-range member (rate 0)
-        makes the group — and its AP — unservable."""
+        makes the group — and its AP — unservable. The legacy-policy
+        cost, bit-identical to the pre-policy kernel."""
         if min_rate <= 0:
             return math.inf
         return self._problem.transmission_cost(session, min_rate)
+
+    def _policy_cost(self, session: int, member_rates: list[float]) -> float:
+        """A non-legacy session's group cost over an explicit member-rate
+        multiset (counted for the ``ledger.policy_*`` obs family)."""
+        policy = self._policies[session]
+        self.op_policy_costs[policy] = (
+            self.op_policy_costs.get(policy, 0) + 1
+        )
+        return policy_airtime(
+            policy, self._problem.session_rate(session), member_rates
+        )
+
+    def _cost_of(self, session: int, group: _RateGroup) -> float:
+        """The group's airtime under its session's policy. Legacy takes
+        the min-rate fast path — the pre-policy expression on the same
+        floats, so all-legacy ledgers stay bit-identical *and* O(1) per
+        cost; DMS/hybrid price the full rate multiset."""
+        if self._policies[session] == TX_LEGACY:
+            return self._group_cost(session, group.min_rate)
+        return self._policy_cost(session, group.expanded_rates())
 
     def _refresh_load(self, ap: int) -> None:
         """Re-round AP ``ap``'s cached load from its session costs.
@@ -352,6 +483,12 @@ class LoadLedger:
         session = self._problem.session_of(user)
         rate = self._problem.link_rate(ap, user)
         group = self._groups.get((ap, session))
+        if self._policies[session] != TX_LEGACY:
+            rates = group.expanded_rates() if group else []
+            rates.append(rate)
+            return self._load_with_cost(
+                ap, session, self._policy_cost(session, rates)
+            )
         min_rate = group.min_rate_with(rate) if group else rate
         return self._load_with_cost(
             ap, session, self._group_cost(session, min_rate)
@@ -365,7 +502,15 @@ class LoadLedger:
             raise ValueError(f"user {user} is not associated")
         session = self._problem.session_of(user)
         group = self._groups[(ap, session)]
-        min_rate = group.min_rate_without(self._problem.link_rate(ap, user))
+        rate = self._problem.link_rate(ap, user)
+        if self._policies[session] != TX_LEGACY:
+            rates = group.expanded_rates()
+            rates.remove(rate)  # drop ONE copy of the leaver's rate
+            cost = (
+                None if not rates else self._policy_cost(session, rates)
+            )
+            return self._load_with_cost(ap, session, cost)
+        min_rate = group.min_rate_without(rate)
         cost = (
             None if min_rate is None else self._group_cost(session, min_rate)
         )
@@ -403,8 +548,8 @@ class LoadLedger:
             group = self._groups[(old_ap, session)]
             group.remove(user, self._problem.link_rate(old_ap, user))
             if group.members:
-                self._session_costs[old_ap][session] = self._group_cost(
-                    session, group.min_rate
+                self._session_costs[old_ap][session] = self._cost_of(
+                    session, group
                 )
             else:
                 del self._groups[(old_ap, session)]
@@ -415,8 +560,8 @@ class LoadLedger:
                 raise ModelError(f"user {user} assigned to unknown AP {new_ap}")
             group = self._group_for(new_ap, session)
             group.add(user, self._problem.link_rate(new_ap, user))
-            self._session_costs[new_ap][session] = self._group_cost(
-                session, group.min_rate
+            self._session_costs[new_ap][session] = self._cost_of(
+                session, group
             )
             self._refresh_load(new_ap)
         self._map[user] = new_ap
@@ -436,9 +581,12 @@ class LoadLedger:
         clone._session_costs = [dict(d) for d in self._session_costs]
         clone._loads = self._loads.copy()
         clone._check = self._check
+        clone._policies = self._policies
+        clone._all_legacy = self._all_legacy
         clone.op_moves = 0
         clone.op_gain_queries = 0
         clone.op_load_recomputes = 0
+        clone.op_policy_costs = {}
         return clone
 
     def to_assignment(self) -> "Assignment":
@@ -452,12 +600,20 @@ class LoadLedger:
         return tuple(-1 if a is None else a for a in self._map)
 
     def op_counts(self) -> dict[str, int]:
-        """Cheap always-on operation counters, for the obs layer to flush."""
-        return {
+        """Cheap always-on operation counters, for the obs layer to flush.
+
+        Non-legacy group-cost evaluations appear as ``policy_<name>_costs``
+        (the ``ledger.policy_*`` counter family) only when they happened,
+        so all-legacy runs keep their pre-policy counter snapshots.
+        """
+        counts = {
             "moves": self.op_moves,
             "gain_queries": self.op_gain_queries,
             "load_recomputes": self.op_load_recomputes,
         }
+        for policy, n in sorted(self.op_policy_costs.items()):
+            counts[f"policy_{policy}_costs"] = n
+        return counts
 
     # -- the debug invariant ---------------------------------------------
 
@@ -474,8 +630,17 @@ class LoadLedger:
             ).append(user)
         costs: list[list[float]] = [[] for _ in range(self._problem.n_aps)]
         for (ap, session), users in members.items():
-            rate = min(self._problem.link_rate(ap, u) for u in users)
-            costs[ap].append(self._group_cost(session, rate))
+            if self._policies[session] == TX_LEGACY:
+                rate = min(self._problem.link_rate(ap, u) for u in users)
+                costs[ap].append(self._group_cost(session, rate))
+            else:
+                costs[ap].append(
+                    policy_airtime(
+                        self._policies[session],
+                        self._problem.session_rate(session),
+                        [self._problem.link_rate(ap, u) for u in users],
+                    )
+                )
         return [math.fsum(c) if c else 0.0 for c in costs]
 
     def verify_against_recompute(self) -> None:

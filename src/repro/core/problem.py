@@ -27,6 +27,31 @@ from repro.core.errors import ModelError
 from repro.radio.geometry import Point
 from repro.radio.propagation import PropagationModel
 
+#: Per-group transmission policies (the EmPOWER/SDN@Play model).
+#:
+#: * ``"legacy"`` — one multicast transmission at the minimum member link
+#:   rate (the paper's Definition 1; the default everywhere).
+#: * ``"dms"`` — Directed Multicast Service: one unicast copy per member,
+#:   each at that member's own link rate.
+#: * ``"hybrid"`` — SDN@Play-style rate split: members at or above a
+#:   threshold rate share one multicast transmission at the threshold,
+#:   the slow tail gets unicast copies; the threshold is chosen per
+#:   (AP, session) group to minimize total airtime.
+TX_LEGACY = "legacy"
+TX_DMS = "dms"
+TX_HYBRID = "hybrid"
+TX_POLICIES: tuple[str, ...] = (TX_LEGACY, TX_DMS, TX_HYBRID)
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` if it names a known transmission policy."""
+    if policy not in TX_POLICIES:
+        raise ModelError(
+            f"unknown transmission policy {policy!r}; "
+            f"choose from {TX_POLICIES}"
+        )
+    return policy
+
 
 @dataclass(frozen=True, slots=True)
 class Session:
@@ -59,6 +84,10 @@ class MulticastAssociationProblem:
     budgets:
         per-AP multicast load limit; a scalar is broadcast to all APs. Use
         ``math.inf`` for the unbudgeted BLA/MLA settings.
+    policies:
+        per-session transmission policy (see :data:`TX_POLICIES`); a
+        single string is broadcast to every session. Defaults to
+        ``"legacy"`` — the paper's Definition-1 model — for all sessions.
     """
 
     def __init__(
@@ -67,6 +96,7 @@ class MulticastAssociationProblem:
         user_sessions: Sequence[int],
         sessions: Sequence[Session],
         budgets: float | Sequence[float] = math.inf,
+        policies: str | Sequence[str] | None = None,
     ) -> None:
         rates = np.asarray(link_rates, dtype=float)
         if rates.ndim != 2:
@@ -96,6 +126,17 @@ class MulticastAssociationProblem:
                 )
         if np.any(budget_array < 0):
             raise ModelError("budgets must be non-negative")
+        if policies is None:
+            policy_tuple = (TX_LEGACY,) * len(sessions)
+        elif isinstance(policies, str):
+            policy_tuple = (validate_policy(policies),) * len(sessions)
+        else:
+            if len(policies) != len(sessions):
+                raise ModelError(
+                    f"{len(sessions)} sessions but {len(policies)} "
+                    "transmission policies"
+                )
+            policy_tuple = tuple(validate_policy(p) for p in policies)
 
         self._rates = rates
         self._rates.setflags(write=False)
@@ -103,6 +144,8 @@ class MulticastAssociationProblem:
         self._sessions = tuple(sessions)
         self._budgets = budget_array
         self._budgets.setflags(write=False)
+        self._policies = policy_tuple
+        self._all_legacy = all(p == TX_LEGACY for p in policy_tuple)
         # users_of_session[s] = sorted tuple of users requesting session s
         by_session: list[list[int]] = [[] for _ in self._sessions]
         for u, s in enumerate(self._user_sessions):
@@ -120,6 +163,7 @@ class MulticastAssociationProblem:
         sessions: Sequence[Session],
         user_sessions: Sequence[int],
         budgets: float | Sequence[float] = math.inf,
+        policies: str | Sequence[str] | None = None,
     ) -> "MulticastAssociationProblem":
         """Build an instance from node positions and a propagation model."""
         rates = np.zeros((len(ap_positions), len(user_positions)))
@@ -128,7 +172,7 @@ class MulticastAssociationProblem:
                 rate = model.link_rate(ap, user)
                 if rate is not None:
                     rates[a, u] = rate
-        return cls(rates, user_sessions, sessions, budgets)
+        return cls(rates, user_sessions, sessions, budgets, policies)
 
     # -- basic accessors -----------------------------------------------------
 
@@ -170,6 +214,21 @@ class MulticastAssociationProblem:
 
     def session_rate(self, session: int) -> float:
         return self._sessions[session].rate_mbps
+
+    @property
+    def session_policies(self) -> tuple[str, ...]:
+        """Per-session transmission policies (see :data:`TX_POLICIES`)."""
+        return self._policies
+
+    def policy_of(self, session: int) -> str:
+        """The transmission policy of ``session``."""
+        return self._policies[session]
+
+    @property
+    def all_legacy(self) -> bool:
+        """True when every session uses the paper's legacy policy — the
+        fast-path guard that keeps pre-policy code paths bit-identical."""
+        return self._all_legacy
 
     def users_of_session(self, session: int) -> tuple[int, ...]:
         return self._users_of_session[session]
@@ -224,7 +283,27 @@ class MulticastAssociationProblem:
     ) -> "MulticastAssociationProblem":
         """A copy of this instance with different per-AP budgets."""
         return MulticastAssociationProblem(
-            self._rates, self._user_sessions, self._sessions, budgets
+            self._rates,
+            self._user_sessions,
+            self._sessions,
+            budgets,
+            self._policies,
+        )
+
+    def with_policies(
+        self, policies: str | Sequence[str]
+    ) -> "MulticastAssociationProblem":
+        """A copy of this instance under different transmission policies.
+
+        A single string is broadcast to every session — the spelling the
+        registry's ``name@policy`` suffix and the scenario presets use.
+        """
+        return MulticastAssociationProblem(
+            self._rates,
+            self._user_sessions,
+            self._sessions,
+            self._budgets,
+            policies,
         )
 
     def restricted_to_users(
@@ -233,7 +312,7 @@ class MulticastAssociationProblem:
         """Sub-instance on a subset of users; returns it and the user map.
 
         The returned list maps new user indices back to this instance's
-        indices. Sessions and APs are kept as-is.
+        indices. Sessions, policies and APs are kept as-is.
         """
         keep = sorted(set(users))
         for u in keep:
@@ -244,6 +323,7 @@ class MulticastAssociationProblem:
             [self._user_sessions[u] for u in keep],
             self._sessions,
             self._budgets,
+            self._policies,
         )
         return sub, keep
 
@@ -257,7 +337,11 @@ class MulticastAssociationProblem:
             raise ModelError("basic rate must be positive")
         clamped = np.where(self._rates > 0, basic_rate, 0.0)
         return MulticastAssociationProblem(
-            clamped, self._user_sessions, self._sessions, self._budgets
+            clamped,
+            self._user_sessions,
+            self._sessions,
+            self._budgets,
+            self._policies,
         )
 
     # -- dunder --------------------------------------------------------------

@@ -31,7 +31,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.problem import MulticastAssociationProblem
+from repro.core.problem import TX_LEGACY, MulticastAssociationProblem
 from repro.engine.shard import Shard
 from repro.obs import counters as metrics
 
@@ -65,6 +65,18 @@ def shard_fingerprint(
         digest.update(
             f"{session.session_id}:{session.rate_mbps!r};".encode("ascii")
         )
+    # Transmission policies change how the sub-problem prices airtime, so
+    # they are part of the content address — but only the policies of
+    # sessions this shard's active users actually request, and only when
+    # non-legacy. All-legacy fingerprints are byte-identical to the
+    # pre-policy scheme (warm caches survive the upgrade), and a
+    # ``set-policy`` event re-fingerprints only the shards whose users
+    # stream the session it touched.
+    requested = {problem.session_of(u) for u in users}
+    for session_index in sorted(requested):
+        policy = problem.policy_of(session_index)
+        if policy != TX_LEGACY:
+            digest.update(f"policy:{session_index}:{policy};".encode("ascii"))
     return digest.hexdigest()
 
 

@@ -116,7 +116,7 @@ class Shard:
 
         Keeps every session (ids stay stable), slices the rate matrix with
         sorted index vectors (orders stay stable), and carries the per-AP
-        budgets over verbatim.
+        budgets and per-session transmission policies over verbatim.
         """
         users = self.active_users(active)
         rates = self.problem.link_rates[np.ix_(self.aps, users)]
@@ -125,6 +125,7 @@ class Shard:
             [self.problem.session_of(u) for u in users],
             self.problem.sessions,
             self.problem.budgets[list(self.aps)],
+            self.problem.session_policies,
         )
         return ShardProblem(problem=sub, users=users, aps=self.aps)
 

@@ -7,11 +7,14 @@ Usage::
     python -m repro.eval run all --scenarios 3
     python -m repro.eval headline --scenarios 5
     python -m repro.eval --mobility [--quick] [--syncscan] [--csv out.csv]
+    python -m repro.eval --policy [--quick] [--csv out.csv] [--digest]
 
 ``--scenarios 40`` reproduces the paper's averaging exactly (slower).
 ``--mobility`` (an alias for the ``mobility`` subcommand) runs the
 cadence-vs-churn study: centralized re-solve at each cadence vs. the
-distributed policies across a speed ladder.
+distributed policies across a speed ladder. ``--policy`` (alias for the
+``policy`` subcommand) runs the transmission-policy frontier study:
+max AP load vs total airtime under legacy / DMS / hybrid multicast.
 """
 
 from __future__ import annotations
@@ -133,6 +136,48 @@ def _cmd_mobility(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.eval.policies import (
+        format_study,
+        run_policy_study,
+        study_bytes,
+        write_study_csv,
+    )
+
+    user_counts = _ints(args.users)
+    policies = tuple(p for p in args.policies.split(",") if p.strip())
+    algorithms = tuple(a for a in args.algorithms.split(",") if a.strip())
+    n_scenarios = args.scenarios
+    if args.quick:
+        user_counts = tuple(user_counts[:1]) or (40,)
+        n_scenarios = 1
+    study = run_policy_study(
+        n_aps=args.aps,
+        n_sessions=args.sessions,
+        user_counts=user_counts,
+        policies=policies,
+        algorithms=algorithms,
+        n_scenarios=n_scenarios,
+        seed=args.seed,
+        progress=(lambda msg: print(f"  .. {msg}", file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+    print(format_study(study))
+    if args.csv:
+        with open(args.csv, "w", newline="") as stream:
+            write_study_csv(study, stream)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.digest:
+        import hashlib
+
+        print(
+            "figure-data sha256: "
+            + hashlib.sha256(study_bytes(study)).hexdigest()
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.eval")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -177,12 +222,29 @@ def main(argv: list[str] | None = None) -> int:
     mobility.add_argument("--digest", action="store_true")
     mobility.add_argument("--verbose", action="store_true")
 
+    policy = sub.add_parser(
+        "policy", help="transmission-policy frontier study"
+    )
+    policy.add_argument("--users", default="40,80,120")
+    policy.add_argument("--aps", type=int, default=16)
+    policy.add_argument("--sessions", type=int, default=4)
+    policy.add_argument("--policies", default="legacy,dms,hybrid")
+    policy.add_argument("--algorithms", default="c-mla,c-mnu")
+    policy.add_argument("--scenarios", type=int, default=3)
+    policy.add_argument("--seed", type=int, default=0)
+    policy.add_argument("--quick", action="store_true")
+    policy.add_argument("--csv", default=None)
+    policy.add_argument("--digest", action="store_true")
+    policy.add_argument("--verbose", action="store_true")
+
     if argv is None:
         argv = sys.argv[1:]
     if "--mobility" in argv:
         # `repro eval --mobility ...` is the documented spelling; map the
         # flag onto the subcommand.
         argv = ["mobility"] + [a for a in argv if a != "--mobility"]
+    if "--policy" in argv:
+        argv = ["policy"] + [a for a in argv if a != "--policy"]
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -192,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_headline(args)
     if args.command == "mobility":
         return _cmd_mobility(args)
+    if args.command == "policy":
+        return _cmd_policy(args)
     if args.command == "report":
         from repro.eval.suite import write_report
 

@@ -28,7 +28,7 @@ from repro.core.optimal import (
     solve_mla_optimal,
     solve_mnu_optimal,
 )
-from repro.core.problem import MulticastAssociationProblem
+from repro.core.problem import MulticastAssociationProblem, validate_policy
 from repro.core.ssa import solve_ssa
 from repro.engine import ShardedEngine
 from repro.obs import trace as tracing
@@ -183,18 +183,40 @@ ALGORITHMS: dict[str, Solver] = {
 }
 
 
+def split_policy_suffix(name: str) -> tuple[str, str | None]:
+    """Split an ``algo@policy`` registry name into its two halves.
+
+    Plain names pass through as ``(name, None)``. The suffix is
+    validated eagerly so a typo like ``c-mla@dsm`` fails loudly instead
+    of falling through to the unknown-algorithm branch.
+    """
+    base, sep, policy = name.partition("@")
+    if not sep:
+        return name, None
+    validate_policy(policy)
+    return base, policy
+
+
 def run_algorithm(
     name: str,
     problem: MulticastAssociationProblem,
     *,
     seed: int = 0,
 ) -> AlgorithmResult:
-    """Run a registered algorithm and extract the paper's metrics."""
-    if name not in ALGORITHMS:
+    """Run a registered algorithm and extract the paper's metrics.
+
+    ``name`` may carry an ``@policy`` suffix (e.g. ``c-mla@dms``): the
+    base solver runs on the problem re-broadcast to that transmission
+    policy, and the result reports the full suffixed name.
+    """
+    base, policy = split_policy_suffix(name)
+    if base not in ALGORITHMS:
         raise KeyError(
-            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+            f"unknown algorithm {base!r}; choose from {sorted(ALGORITHMS)}"
         )
+    if policy is not None:
+        problem = problem.with_policies(policy)
     rng = random.Random(seed)
     with tracing.timed("algorithm.run", algorithm=name) as timer:
-        assignment = ALGORITHMS[name](problem, rng)
+        assignment = ALGORITHMS[base](problem, rng)
     return _metrics(name, assignment, timer.wall_s)

@@ -1,0 +1,246 @@
+"""The transmission-policy eval: legacy vs DMS vs hybrid frontier.
+
+The paper's figures hold the MAC-layer transmission scheme fixed at the
+legacy multicast service (Definition 1: one copy at the slowest member's
+rate). 802.11aa's Directed Multicast Service and the rate-split hybrid
+in between change the *load kernel* itself, so the natural question is
+how the association algorithms trade total airtime against max AP load
+under each policy on identical deployments.
+
+:func:`run_policy_study` sweeps a user-count ladder; per sweep point,
+per algorithm and per transmission policy it solves the *same* seeded
+scenarios (re-broadcast to the policy via the registry's ``@policy``
+suffix, e.g. ``c-mla@dms``) and averages the paper's metrics. The
+frontier reading: legacy minimizes airtime per transmission but welds
+every member to the slowest rate; DMS unicasts per member — airtime
+grows with group size; the hybrid picks the airtime-minimizing rate
+split per (AP, session), so per cell its load is never above either
+(see ``docs/policies.md``).
+
+Everything serializes canonically (floats ``float.hex()``-encoded) via
+:func:`study_bytes` — same seed, byte-identical figure data; CI uploads
+the sha256 of those bytes as the study digest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TextIO
+
+from repro.core.problem import TX_POLICIES
+from repro.eval.metrics import run_algorithm, split_policy_suffix
+from repro.scenarios.generator import generate
+
+#: The default association algorithms compared across policies: the two
+#: centralized greedy objectives (min total load / min max load).
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("c-mla", "c-mnu")
+#: The default user-count ladder (one deployment size per point).
+DEFAULT_USER_COUNTS: tuple[int, ...] = (40, 80, 120)
+
+
+@dataclass(frozen=True)
+class PolicyCell:
+    """One (policy, algorithm, sweep point), averaged over scenarios."""
+
+    policy: str
+    algorithm: str
+    n_users: int
+    n_scenarios: int
+    total_load: float
+    max_load: float
+    served_fraction: float
+
+
+@dataclass(frozen=True)
+class PolicyStudy:
+    """The full policy comparison across the user-count ladder."""
+
+    name: str
+    seed: int
+    n_aps: int
+    n_sessions: int
+    user_counts: tuple[int, ...]
+    policies: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    cells: tuple[PolicyCell, ...]
+
+    def cell_for(
+        self, policy: str, algorithm: str, n_users: int
+    ) -> PolicyCell:
+        for cell in self.cells:
+            if (
+                cell.policy == policy
+                and cell.algorithm == algorithm
+                and cell.n_users == n_users
+            ):
+                return cell
+        raise KeyError(
+            f"no cell for policy={policy}, algorithm={algorithm}, "
+            f"n_users={n_users}"
+        )
+
+    def frontier(self, n_users: int) -> list[PolicyCell]:
+        """The (total airtime, max load) frontier at one sweep point.
+
+        Cells sorted by total load; reading down the list trades
+        airtime for peak-AP relief (or shows dominated policies).
+        """
+        cells = [c for c in self.cells if c.n_users == n_users]
+        return sorted(cells, key=lambda c: (c.total_load, c.max_load))
+
+
+def run_policy_study(
+    *,
+    n_aps: int = 16,
+    n_sessions: int = 4,
+    user_counts: Sequence[int] = DEFAULT_USER_COUNTS,
+    policies: Sequence[str] = TX_POLICIES,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    n_scenarios: int = 3,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> PolicyStudy:
+    """Run the policy frontier study across the user-count ladder.
+
+    Per sweep point one batch of seeded scenarios hosts *every*
+    (policy, algorithm) cell — differences between cells are purely the
+    policy's and the solver's, never the deployment's. Budgets are
+    disabled so the study isolates the load kernel from admission
+    control. Deterministic in ``seed``.
+    """
+    if n_scenarios < 1:
+        raise ValueError("need at least one scenario per cell")
+    if not user_counts:
+        raise ValueError("need at least one sweep point")
+    if not policies or not algorithms:
+        raise ValueError("need at least one policy and one algorithm")
+    for name in algorithms:
+        base, policy = split_policy_suffix(name)
+        if policy is not None:
+            raise ValueError(
+                f"pass bare algorithm names (got {name!r}); the study "
+                "applies the policy axis itself"
+            )
+    cells: list[PolicyCell] = []
+    for n_users in user_counts:
+        problems = [
+            generate(
+                n_aps=n_aps,
+                n_users=n_users,
+                n_sessions=n_sessions,
+                seed=seed + offset,
+                budget=math.inf,
+            ).problem()
+            for offset in range(n_scenarios)
+        ]
+        for policy in policies:
+            for algorithm in algorithms:
+                name = f"{algorithm}@{policy}"
+                results = [
+                    run_algorithm(name, problem, seed=seed)
+                    for problem in problems
+                ]
+                cells.append(
+                    PolicyCell(
+                        policy=policy,
+                        algorithm=algorithm,
+                        n_users=n_users,
+                        n_scenarios=n_scenarios,
+                        total_load=math.fsum(
+                            r.total_load for r in results
+                        )
+                        / n_scenarios,
+                        max_load=math.fsum(r.max_load for r in results)
+                        / n_scenarios,
+                        served_fraction=math.fsum(
+                            r.satisfied_fraction for r in results
+                        )
+                        / n_scenarios,
+                    )
+                )
+        if progress is not None:
+            progress(f"{n_users} users: {len(policies)} policies done")
+    return PolicyStudy(
+        name="policy-frontier",
+        seed=seed,
+        n_aps=n_aps,
+        n_sessions=n_sessions,
+        user_counts=tuple(user_counts),
+        policies=tuple(policies),
+        algorithms=tuple(algorithms),
+        cells=tuple(cells),
+    )
+
+
+def study_bytes(study: PolicyStudy) -> bytes:
+    """Canonical byte serialization (figure-data identity / CI digest).
+
+    Every float is ``float.hex()``-encoded, keys sorted, JSON compact —
+    two same-seed runs must produce the identical byte string.
+    """
+    payload = {
+        "name": study.name,
+        "seed": study.seed,
+        "n_aps": study.n_aps,
+        "n_sessions": study.n_sessions,
+        "user_counts": list(study.user_counts),
+        "policies": list(study.policies),
+        "algorithms": list(study.algorithms),
+        "cells": [
+            {
+                "policy": cell.policy,
+                "algorithm": cell.algorithm,
+                "n_users": cell.n_users,
+                "n_scenarios": cell.n_scenarios,
+                "total_load": float(cell.total_load).hex(),
+                "max_load": float(cell.max_load).hex(),
+                "served_fraction": float(cell.served_fraction).hex(),
+            }
+            for cell in study.cells
+        ],
+    }
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def format_study(study: PolicyStudy) -> str:
+    """A human-readable frontier table, one block per sweep point."""
+    header = (
+        f"{study.name}: {study.n_aps} APs, {study.n_sessions} sessions, "
+        f"seed={study.seed}"
+    )
+    lines = [header]
+    for n_users in study.user_counts:
+        lines.append("")
+        lines.append(
+            f"{n_users} users "
+            f"({study.cells[0].n_scenarios} scenarios averaged):"
+        )
+        lines.append(
+            f"  {'policy':<8} {'algorithm':<10} {'total airtime':>14} "
+            f"{'max load':>10} {'served':>7}"
+        )
+        for cell in study.frontier(n_users):
+            lines.append(
+                f"  {cell.policy:<8} {cell.algorithm:<10} "
+                f"{cell.total_load:>14.4f} {cell.max_load:>10.4f} "
+                f"{cell.served_fraction:>7.1%}"
+            )
+    return "\n".join(lines)
+
+
+def write_study_csv(study: PolicyStudy, stream: TextIO) -> None:
+    """Long-format CSV: one row per (policy, algorithm, sweep point)."""
+    stream.write(
+        "policy,algorithm,n_users,n_scenarios,total_load,max_load,"
+        "served_fraction\n"
+    )
+    for cell in study.cells:
+        stream.write(
+            f"{cell.policy},{cell.algorithm},{cell.n_users},"
+            f"{cell.n_scenarios},{cell.total_load!r},{cell.max_load!r},"
+            f"{cell.served_fraction!r}\n"
+        )

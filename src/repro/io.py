@@ -112,7 +112,7 @@ def model_from_dict(data: dict) -> PropagationModel:
 
 
 def problem_to_dict(problem: MulticastAssociationProblem) -> dict:
-    return {
+    document = {
         "format": FORMAT,
         "kind": "problem",
         "link_rates": problem.link_rates.tolist(),
@@ -125,6 +125,10 @@ def problem_to_dict(problem: MulticastAssociationProblem) -> dict:
             None if math.isinf(b) else b for b in problem.budgets
         ],
     }
+    # Omitted when all-legacy so pre-policy documents stay byte-identical.
+    if not problem.all_legacy:
+        document["policies"] = list(problem.session_policies)
+    return document
 
 
 def problem_from_dict(document: dict) -> MulticastAssociationProblem:
@@ -132,6 +136,7 @@ def problem_from_dict(document: dict) -> MulticastAssociationProblem:
     budgets = [
         float("inf") if b is None else float(b) for b in data["budgets"]
     ]
+    policies = data.get("policies")
     return MulticastAssociationProblem(
         data["link_rates"],
         data["user_sessions"],
@@ -140,6 +145,7 @@ def problem_from_dict(document: dict) -> MulticastAssociationProblem:
             for s in data["sessions"]
         ],
         budgets,
+        None if policies is None else list(policies),
     )
 
 
@@ -147,7 +153,7 @@ def problem_from_dict(document: dict) -> MulticastAssociationProblem:
 
 
 def scenario_to_dict(scenario: Scenario) -> dict:
-    return {
+    document: dict[str, Any] = {
         "format": FORMAT,
         "kind": "scenario",
         "ap_positions": [p.as_tuple() for p in scenario.ap_positions],
@@ -167,10 +173,19 @@ def scenario_to_dict(scenario: Scenario) -> dict:
             scenario.area.y_max,
         ],
     }
+    # Omitted for legacy so pre-policy documents stay byte-identical.
+    if scenario.policy != "legacy":
+        document["policy"] = (
+            scenario.policy
+            if isinstance(scenario.policy, str)
+            else list(scenario.policy)
+        )
+    return document
 
 
 def scenario_from_dict(document: dict) -> Scenario:
     data = _require(document, "scenario")
+    policy = data.get("policy", "legacy")
     return Scenario(
         ap_positions=tuple(Point(x, y) for x, y in data["ap_positions"]),
         user_positions=tuple(Point(x, y) for x, y in data["user_positions"]),
@@ -183,6 +198,7 @@ def scenario_from_dict(document: dict) -> Scenario:
         budget=float("inf") if data["budget"] is None else data["budget"],
         seed=data["seed"],
         area=Area(*data["area"]),
+        policy=policy if isinstance(policy, str) else tuple(policy),
     )
 
 

@@ -47,23 +47,29 @@ def _module_attr_call(node: ast.Call, module: str) -> str | None:
 
 @register
 class LoadKernelRule:
-    """RPL001 — Definition-1 airtime must come from the load kernel.
+    """RPL001 — per-group airtime must come from the load kernel.
 
-    The per-group airtime ``session_rate / min(member link rates)`` and
-    its fsum over an AP's groups exist exactly twice: in
+    The per-group airtime expressions exist exactly twice: in
     :mod:`repro.core.ledger` (the kernel) and
     :mod:`repro.verify.certificates` (the deliberately independent
     oracle). A third copy re-opens the drift the LoadLedger refactor
-    closed, so any division whose denominator is a ``min(...)`` call —
-    the hand-rolled Definition-1 shape — is flagged everywhere else in
-    ``repro.*``. Use :func:`repro.core.ledger.multicast_airtime` /
-    :func:`repro.core.ledger.local_ap_load` instead.
+    closed, so everywhere else in ``repro.*`` two shapes are flagged:
+
+    * the legacy Definition-1 shape — any division whose denominator is
+      a ``min(...)`` call (``rate / min(member rates)``); use
+      :func:`repro.core.ledger.multicast_airtime` /
+      :func:`repro.core.ledger.local_ap_load` instead;
+    * the DMS/hybrid shape — ``sum``/``fsum`` over a comprehension whose
+      element is a division (``fsum(bits / r for r in rates)``, per-user
+      unicast copies); use :func:`repro.core.ledger.dms_airtime` /
+      :func:`repro.core.ledger.hybrid_airtime` or the
+      :func:`repro.core.ledger.policy_airtime` dispatch instead.
     """
 
     code: ClassVar[str] = "RPL001"
     name: ClassVar[str] = "hand-rolled-load-model"
     summary: ClassVar[str] = (
-        "Definition-1 load computed outside repro.core.ledger / "
+        "per-group airtime computed outside repro.core.ledger / "
         "repro.verify.certificates"
     )
 
@@ -83,6 +89,33 @@ class LoadKernelRule:
                     "use repro.core.ledger.multicast_airtime or "
                     "local_ap_load — the load model has one kernel",
                 )
+            elif self._dms_shape(node):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "hand-rolled DMS-style airtime (sum of bits / rate "
+                    "over members); use repro.core.ledger.dms_airtime, "
+                    "hybrid_airtime or policy_airtime — the load model "
+                    "has one kernel",
+                )
+
+    @staticmethod
+    def _dms_shape(node: ast.AST) -> bool:
+        """``sum``/``fsum``/``math.fsum`` over a per-element division."""
+        if not isinstance(node, ast.Call) or not node.args:
+            return False
+        func = node.func
+        summing = (
+            isinstance(func, ast.Name) and func.id in ("sum", "fsum")
+        ) or (isinstance(func, ast.Attribute) and func.attr == "fsum")
+        if not summing:
+            return False
+        arg = node.args[0]
+        return (
+            isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp))
+            and isinstance(arg.elt, ast.BinOp)
+            and isinstance(arg.elt.op, ast.Div)
+        )
 
 
 @register

@@ -46,9 +46,11 @@ ALLOW_LAZY: dict[str, frozenset[str]] = {
     "repro.obs.bench": frozenset({"eval", "radio", "scenarios"}),
 }
 
-#: The only modules allowed to hand-roll the Definition-1 airtime
-#: expression ``session_rate / min(member rates)`` (RPL001): the load
-#: kernel itself and the deliberately independent certificate oracle.
+#: The only modules allowed to hand-roll the per-group airtime
+#: expressions (RPL001) — the legacy Definition-1 shape ``session_rate /
+#: min(member rates)`` and the DMS/hybrid shape ``fsum(bits / rate for
+#: ...)``: the load kernel itself and the deliberately independent
+#: certificate oracle.
 LOAD_KERNEL_ALLOWLIST: frozenset[str] = frozenset(
     {"repro.core.ledger", "repro.verify.certificates"}
 )
@@ -88,6 +90,12 @@ FLOAT_RETURNING_API: frozenset[str] = frozenset(
         "budget_of",
         "session_rate",
         "fsum",
+        # the policy airtime kernel (repro.core.ledger)
+        "multicast_airtime",
+        "local_ap_load",
+        "dms_airtime",
+        "hybrid_airtime",
+        "policy_airtime",
     }
 )
 

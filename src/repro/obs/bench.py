@@ -38,7 +38,9 @@ BENCH_VERSION = 1
 
 #: The pinned algorithm suite (all registry names; see
 #: :data:`repro.eval.metrics.ALGORITHMS`). Quick keeps the greedy /
-#: distributed / engine families; full adds the baselines.
+#: distributed / engine families plus one per-policy load-kernel cell
+#: per non-legacy transmission policy (the ``@policy`` registry
+#: suffix); full adds the baselines.
 QUICK_ALGORITHMS: tuple[str, ...] = (
     "ssa",
     "c-mnu",
@@ -48,6 +50,9 @@ QUICK_ALGORITHMS: tuple[str, ...] = (
     "e-mnu",
     "e-bla",
     "e-mla",
+    "c-mla@dms",
+    "c-mla@hybrid",
+    "c-mnu@dms",
 )
 FULL_ALGORITHMS: tuple[str, ...] = QUICK_ALGORITHMS + (
     "d-mnu",
@@ -191,7 +196,11 @@ def run_bench(
     algorithms: Sequence[str] | None = None,
 ) -> dict:
     """Run the pinned suite; returns the (JSON-able) report document."""
-    from repro.eval.metrics import ALGORITHMS, run_algorithm
+    from repro.eval.metrics import (
+        ALGORITHMS,
+        run_algorithm,
+        split_policy_suffix,
+    )
 
     if repeats is None:
         repeats = 3 if quick else 5
@@ -200,7 +209,11 @@ def run_bench(
     names = tuple(algorithms) if algorithms else (
         QUICK_ALGORITHMS if quick else FULL_ALGORITHMS
     )
-    unknown = [n for n in names if n not in ALGORITHMS]
+    # Names may carry an @policy suffix (e.g. "c-mla@dms"); the suffix
+    # itself is validated by split_policy_suffix.
+    unknown = [
+        n for n in names if split_policy_suffix(n)[0] not in ALGORITHMS
+    ]
     if unknown:
         raise KeyError(f"unknown algorithm(s): {unknown}")
 

@@ -13,7 +13,12 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.core.problem import MulticastAssociationProblem, Session
+from repro.core.problem import (
+    TX_LEGACY,
+    MulticastAssociationProblem,
+    Session,
+    validate_policy,
+)
 from repro.radio.geometry import Area, Point
 from repro.radio.propagation import PropagationModel, ThresholdPropagation
 from repro.scenarios.sessions import assign_sessions, uniform_catalog
@@ -39,10 +44,20 @@ class Scenario:
     budget: float = math.inf
     seed: int | None = None
     area: Area = field(default=PAPER_AREA)
+    #: Transmission policy: one name broadcast to every session, or one
+    #: name per session (see :data:`repro.core.problem.TX_POLICIES`).
+    policy: str | tuple[str, ...] = TX_LEGACY
 
     def __post_init__(self) -> None:
         if len(self.user_sessions) != len(self.user_positions):
             raise ValueError("one session request per user required")
+        if isinstance(self.policy, str):
+            validate_policy(self.policy)
+        else:
+            if len(self.policy) != len(self.sessions):
+                raise ValueError("one policy per session required")
+            for policy in self.policy:
+                validate_policy(policy)
 
     @property
     def n_aps(self) -> int:
@@ -61,10 +76,18 @@ class Scenario:
             self.sessions,
             self.user_sessions,
             budgets=self.budget,
+            policies=self.policy,
         )
 
     def with_budget(self, budget: float) -> "Scenario":
         return replace(self, budget=budget)
+
+    def with_policy(self, policy: str | Sequence[str]) -> "Scenario":
+        """This deployment under a different transmission policy."""
+        resolved = (
+            policy if isinstance(policy, str) else tuple(policy)
+        )
+        return replace(self, policy=resolved)
 
     def with_user_positions(
         self, user_positions: Sequence[Point]
@@ -96,6 +119,7 @@ def generate(
     budget: float = PAPER_BUDGET,
     session_weights: Sequence[float] | None = None,
     ensure_coverage: bool = True,
+    policy: str | Sequence[str] = TX_LEGACY,
 ) -> Scenario:
     """Generate one random scenario with the paper's defaults.
 
@@ -138,6 +162,7 @@ def generate(
         budget=budget,
         seed=seed,
         area=area,
+        policy=policy if isinstance(policy, str) else tuple(policy),
     )
 
 

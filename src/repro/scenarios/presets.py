@@ -51,6 +51,7 @@ def fig9a_users_sweep(
     n_scenarios: int = PAPER_N_SCENARIOS,
     base_seed: int = 0,
     users: Sequence[int] = (50, 100, 150, 200, 250, 300, 350, 400),
+    policy: str | tuple[str, ...] = "legacy",
 ) -> list[SweepPoint]:
     """Fig 9(a)/10(a): vary users, 200 APs, 5 sessions, 1.2 km^2."""
     return _points(
@@ -59,7 +60,7 @@ def fig9a_users_sweep(
         base_seed,
         lambda u: dict(
             n_aps=200, n_users=int(u), n_sessions=5, area=PAPER_AREA,
-            budget=math.inf,
+            budget=math.inf, policy=policy,
         ),
     )
 
@@ -68,6 +69,7 @@ def fig9b_aps_sweep(
     n_scenarios: int = PAPER_N_SCENARIOS,
     base_seed: int = 0,
     aps: Sequence[int] = (50, 75, 100, 125, 150, 175, 200),
+    policy: str | tuple[str, ...] = "legacy",
 ) -> list[SweepPoint]:
     """Fig 9(b)/10(b): vary APs, 100 users, 5 sessions."""
     return _points(
@@ -76,7 +78,7 @@ def fig9b_aps_sweep(
         base_seed,
         lambda a: dict(
             n_aps=int(a), n_users=100, n_sessions=5, area=PAPER_AREA,
-            budget=math.inf,
+            budget=math.inf, policy=policy,
         ),
     )
 
@@ -85,15 +87,20 @@ def fig9c_sessions_sweep(
     n_scenarios: int = PAPER_N_SCENARIOS,
     base_seed: int = 0,
     sessions: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    policy: str = "legacy",
 ) -> list[SweepPoint]:
-    """Fig 9(c)/10(c): vary sessions, 200 APs, 200 users."""
+    """Fig 9(c)/10(c): vary sessions, 200 APs, 200 users.
+
+    ``policy`` must be a single name here: the session count is the
+    swept variable, so a per-session tuple cannot fit every point.
+    """
     return _points(
         sessions,
         n_scenarios,
         base_seed,
         lambda s: dict(
             n_aps=200, n_users=200, n_sessions=int(s), area=PAPER_AREA,
-            budget=math.inf,
+            budget=math.inf, policy=policy,
         ),
     )
 
@@ -101,6 +108,7 @@ def fig9c_sessions_sweep(
 def fig11_budget_scenarios(
     n_scenarios: int = PAPER_N_SCENARIOS,
     base_seed: int = 0,
+    policy: str | tuple[str, ...] = "legacy",
 ) -> list[Scenario]:
     """Fig 11 base scenarios: 400 users, 100 APs, 18 sessions.
 
@@ -115,6 +123,7 @@ def fig11_budget_scenarios(
             n_sessions=18,
             area=PAPER_AREA,
             budget=PAPER_BUDGET,
+            policy=policy,
         )
         for i in range(n_scenarios)
     ]
@@ -129,6 +138,7 @@ def fig12_users_sweep(
     base_seed: int = 0,
     users: Sequence[int] = (10, 20, 30, 40, 50),
     budget: float = math.inf,
+    policy: str | tuple[str, ...] = "legacy",
 ) -> list[SweepPoint]:
     """Fig 12: small networks for the ILP optimality study.
 
@@ -142,7 +152,7 @@ def fig12_users_sweep(
         base_seed,
         lambda u: dict(
             n_aps=30, n_users=int(u), n_sessions=5, area=SMALL_AREA,
-            budget=budget,
+            budget=budget, policy=policy,
         ),
     )
 

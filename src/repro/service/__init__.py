@@ -7,7 +7,8 @@ streams changing rate, at WLAN scale. :mod:`repro.service` turns the
 sharded engine into exactly that kind of controller:
 
 * :mod:`repro.service.events` — the typed control-plane event model
-  (``join`` / ``leave`` / ``move`` / ``rate-change``), JSON parsing and
+  (``join`` / ``leave`` / ``move`` / ``rate-change`` / ``set-policy``),
+  JSON parsing and
   validation, and per-tick coalescing (last writer wins per user, so a
   join-then-leave inside one tick collapses to nothing).
 * :mod:`repro.service.control` — :class:`ControlService`, the

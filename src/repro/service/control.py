@@ -10,11 +10,13 @@ driving *incremental* re-solves through a
   changes, every other shard keeps hitting the engine cache, so the
   re-solve cost of a tick is the blast radius of its events, never the
   deployment size.
-* move (session switch) and rate-change rebuild the (immutable) problem
-  instance and :meth:`~repro.engine.ShardedEngine.swap_problem` it into
-  the engine — the cache survives, content addressing evicts exactly
-  the shards whose sub-problem actually changed (one shard for a move,
-  everything for a rate change).
+* move (session switch), rate-change and set-policy rebuild the
+  (immutable) problem instance and
+  :meth:`~repro.engine.ShardedEngine.swap_problem` it into the engine —
+  the cache survives, content addressing evicts exactly the shards whose
+  sub-problem actually changed (one shard for a move, everything for a
+  rate change, the shards whose active users stream the session for a
+  policy flip).
 * with ``repair != "none"`` an :class:`~repro.core.online.OnlineController`
   additionally runs the paper's local decision dynamics on every
   membership change and its
@@ -61,6 +63,7 @@ class TickReport:
     n_leaves: int
     n_moves: int
     n_rate_changes: int
+    n_policy_changes: int
     dirty_shards: int
     resolved_shards: int
     cache_hits: int
@@ -80,6 +83,7 @@ class TickReport:
             "n_leaves": self.n_leaves,
             "n_moves": self.n_moves,
             "n_rate_changes": self.n_rate_changes,
+            "n_policy_changes": self.n_policy_changes,
             "dirty_shards": self.dirty_shards,
             "resolved_shards": self.resolved_shards,
             "cache_hits": self.cache_hits,
@@ -116,6 +120,7 @@ class ControlService:
             s.rate_mbps for s in problem.sessions
         ]
         self._session_names: list[str] = [s.name for s in problem.sessions]
+        self._session_policies: list[str] = list(problem.session_policies)
         self.problem = problem
         self.engine = ShardedEngine(
             problem,
@@ -196,6 +201,11 @@ class ControlService:
             for s, r in plan.rates.items()
             if r != self._session_rates[s]
         }
+        policy_changes = {
+            s: p
+            for s, p in plan.policies.items()
+            if p != self._session_policies[s]
+        }
         moves = {
             u: s for u, s in plan.moves.items() if s != self._user_sessions[u]
         }
@@ -209,18 +219,43 @@ class ControlService:
             for u, want in plan.membership.items()
             if not want and u in self._active
         )
-        n_applied = len(rate_changes) + len(moves) + len(joins) + len(leaves)
+        n_applied = (
+            len(rate_changes)
+            + len(policy_changes)
+            + len(moves)
+            + len(joins)
+            + len(leaves)
+        )
 
         dirty: set[int] = set()
         for user in list(moves) + joins + leaves:
             shard = self.engine.shard_of_user(user)
             if shard is not None:
                 dirty.add(shard)
+        # A policy flip re-prices exactly the shards whose active users
+        # stream the flipped session — unlike a rate change, whose rate
+        # sits in every fingerprint via the session catalog.
+        policy_dirty: set[int] = set()
+        for user in self._active:
+            if self._user_sessions[user] in policy_changes:
+                shard = self.engine.shard_of_user(user)
+                if shard is not None:
+                    policy_dirty.add(shard)
+        dirty |= policy_dirty
         if rate_changes:
             dirty = set(range(self.engine.plan.n_shards))
 
-        if rate_changes or moves:
-            self._mutate_problem(rate_changes, moves)
+        if rate_changes or moves or policy_changes:
+            self._mutate_problem(rate_changes, moves, policy_changes)
+        if policy_dirty:
+            # Fingerprints already catch the policy bytes; marking the
+            # affected APs dirty additionally surfaces the blast radius
+            # on ``engine.aps_marked_dirty`` for operators and the e2e
+            # differential tests.
+            affected_aps: set[int] = set()
+            for shard_index in policy_dirty:
+                affected_aps.update(self.engine.shards[shard_index].aps)
+            self.engine.mark_aps_dirty(affected_aps)
         for user in joins:
             self._active.add(user)
             self.engine.join(user)
@@ -228,7 +263,11 @@ class ControlService:
             self._active.discard(user)
             self.engine.leave(user)
         if self._controller is not None:
-            self._run_repair(joins, leaves, rebuilt=bool(rate_changes or moves))
+            self._run_repair(
+                joins,
+                leaves,
+                rebuilt=bool(rate_changes or moves or policy_changes),
+            )
 
         changed = n_applied > 0 or self.solution is None
         if changed:
@@ -245,6 +284,7 @@ class ControlService:
             n_leaves=len(leaves),
             n_moves=len(moves),
             n_rate_changes=len(rate_changes),
+            n_policy_changes=len(policy_changes),
             dirty_shards=len(dirty),
             resolved_shards=solution.n_resolved if changed else 0,
             cache_hits=solution.cache_hits if changed else 0,
@@ -258,6 +298,10 @@ class ControlService:
             metrics.incr("service.events_applied", report.n_applied)
             metrics.incr("service.coalesced", report.n_coalesced)
             metrics.incr("service.dirty_shards", report.dirty_shards)
+            if report.n_policy_changes:
+                metrics.incr(
+                    "service.policy_changes", report.n_policy_changes
+                )
         return report
 
     # -- internals -------------------------------------------------------
@@ -287,13 +331,18 @@ class ControlService:
         metrics.observe("service.resolve_ms", t.wall_s * 1e3)
 
     def _mutate_problem(
-        self, rate_changes: Mapping[int, float], moves: Mapping[int, int]
+        self,
+        rate_changes: Mapping[int, float],
+        moves: Mapping[int, int],
+        policy_changes: Mapping[int, str] | None = None,
     ) -> None:
-        """Rebuild the immutable problem with new sessions/rates and swap
-        it into the engine (cache survives; fingerprints evict stale
-        shards)."""
+        """Rebuild the immutable problem with new sessions/rates/policies
+        and swap it into the engine (cache survives; fingerprints evict
+        stale shards)."""
         for session, rate in rate_changes.items():
             self._session_rates[session] = rate
+        for session, policy in (policy_changes or {}).items():
+            self._session_policies[session] = policy
         for user, session in moves.items():
             self._user_sessions[user] = session
         sessions = tuple(
@@ -305,6 +354,7 @@ class ControlService:
             self._user_sessions,
             sessions,
             self._base.budgets,
+            self._session_policies,
         )
         self.engine.swap_problem(self.problem)
         if metrics.enabled():
@@ -398,4 +448,5 @@ class ControlService:
             "n_active": len(self._active),
             "n_shards": self.engine.plan.n_shards,
             "session_rates_mbps": list(self._session_rates),
+            "session_policies": list(self._session_policies),
         }

@@ -42,6 +42,7 @@ from repro.scenarios.motion import (
     link_timeseries,
     make_motion_model,
 )
+from repro.core.problem import TX_POLICIES
 from repro.service.events import Event
 
 #: The rate grid rate-change events draw from (Mbps). A fixed grid keeps
@@ -59,15 +60,19 @@ def generate_event_stream(
     join_bias: float = 0.5,
     move_fraction: float = 0.1,
     rate_fraction: float = 0.02,
+    policy_fraction: float = 0.0,
 ) -> list[Event]:
     """A deterministic, state-consistent churn trace.
 
-    Each event is a rate change with probability ``rate_fraction``, else
+    Each event is a rate change with probability ``rate_fraction``, a
+    transmission-policy flip with probability ``policy_fraction``
+    (drawn uniformly from :data:`repro.core.problem.TX_POLICIES`), else
     a session move with probability ``move_fraction``, else a join/leave
     (joins with probability ``join_bias`` among membership events, when
     inactive users remain). Starting membership is everyone
     (``initially_active=True``), matching the service boot state, so a
-    replayed stream is never a stream of no-ops.
+    replayed stream is never a stream of no-ops. The default
+    ``policy_fraction=0.0`` keeps pre-policy traces byte-identical.
     """
     if n_users < 1 or n_sessions < 1:
         raise ValueError("need at least one user and one session")
@@ -75,10 +80,10 @@ def generate_event_stream(
         raise ValueError("n_events must be non-negative")
     if not 0 <= join_bias <= 1:
         raise ValueError("join_bias must be a probability")
-    if move_fraction < 0 or rate_fraction < 0 or (
-        move_fraction + rate_fraction > 1
+    if move_fraction < 0 or rate_fraction < 0 or policy_fraction < 0 or (
+        move_fraction + rate_fraction + policy_fraction > 1
     ):
-        raise ValueError("move/rate fractions must fit inside [0, 1]")
+        raise ValueError("move/rate/policy fractions must fit inside [0, 1]")
     rng = random.Random(seed)
     active = set(range(n_users)) if initially_active else set()
     inactive = set(range(n_users)) - active
@@ -94,7 +99,16 @@ def generate_event_stream(
                 )
             )
             continue
-        if roll < rate_fraction + move_fraction:
+        if roll < rate_fraction + policy_fraction:
+            events.append(
+                Event(
+                    kind="set-policy",
+                    session=rng.randrange(n_sessions),
+                    policy=rng.choice(TX_POLICIES),
+                )
+            )
+            continue
+        if roll < rate_fraction + policy_fraction + move_fraction:
             events.append(
                 Event(
                     kind="move",

@@ -1,6 +1,6 @@
 """The control-plane event model: parsing, validation, coalescing.
 
-Four event kinds cover the churn the paper's protocols are built for:
+Five event kinds cover the churn the paper's protocols are built for:
 
 * ``join`` / ``leave`` — a user (de)subscribes from its multicast
   session. Semantics are *declarative*: events state the desired
@@ -11,6 +11,10 @@ Four event kinds cover the churn the paper's protocols are built for:
   zapping). The last move inside a tick wins.
 * ``rate-change`` — a session's stream rate changes (an encoder
   switching quality). The last rate per session inside a tick wins.
+* ``set-policy`` — a session switches transmission policy (legacy /
+  DMS / hybrid, :data:`repro.core.problem.TX_POLICIES`) — the
+  EmPOWER-style per-group policy flip. The last policy per session
+  inside a tick wins.
 
 :func:`coalesce` folds a tick's raw events into a :class:`TickPlan` —
 one desired-membership bit and one desired session per touched user,
@@ -27,10 +31,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Literal, Mapping, Sequence
 
-EventKind = Literal["join", "leave", "move", "rate-change"]
+from repro.core.problem import TX_POLICIES
+
+EventKind = Literal["join", "leave", "move", "rate-change", "set-policy"]
 
 #: The accepted ``kind`` strings, in wire order.
-EVENT_KINDS: tuple[EventKind, ...] = ("join", "leave", "move", "rate-change")
+EVENT_KINDS: tuple[EventKind, ...] = (
+    "join",
+    "leave",
+    "move",
+    "rate-change",
+    "set-policy",
+)
 
 
 class EventError(ValueError):
@@ -45,6 +57,7 @@ class Event:
     user: int | None = None
     session: int | None = None
     rate_mbps: float | None = None
+    policy: str | None = None
 
     def validate(self, n_users: int, n_sessions: int) -> None:
         """Raise :class:`EventError` unless the event is well-formed."""
@@ -57,7 +70,7 @@ class Event:
                 raise EventError(
                     f"unknown user {self.user} (have {n_users})"
                 )
-        if self.kind in ("move", "rate-change"):
+        if self.kind in ("move", "rate-change", "set-policy"):
             if self.session is None:
                 raise EventError(f"{self.kind} event needs a session")
             if not 0 <= self.session < n_sessions:
@@ -70,6 +83,11 @@ class Event:
                 raise EventError(
                     f"rate-change needs a positive finite rate, got {rate!r}"
                 )
+        if self.kind == "set-policy" and self.policy not in TX_POLICIES:
+            raise EventError(
+                f"set-policy needs a policy in {TX_POLICIES}, "
+                f"got {self.policy!r}"
+            )
 
     def to_wire(self) -> dict[str, Any]:
         """The JSON-able wire form (only the fields the kind uses)."""
@@ -80,6 +98,8 @@ class Event:
             wire["session"] = self.session
         if self.rate_mbps is not None:
             wire["rate_mbps"] = self.rate_mbps
+        if self.policy is not None:
+            wire["policy"] = self.policy
         return wire
 
 
@@ -97,7 +117,7 @@ def parse_event(obj: Any) -> Event:
     """Parse one wire-form event dict (structure only, no range checks)."""
     if not isinstance(obj, Mapping):
         raise EventError(f"event must be an object, got {type(obj).__name__}")
-    unknown = set(obj) - {"kind", "user", "session", "rate_mbps"}
+    unknown = set(obj) - {"kind", "user", "session", "rate_mbps", "policy"}
     if unknown:
         raise EventError(f"unknown event field(s): {sorted(unknown)}")
     kind = obj.get("kind")
@@ -106,11 +126,15 @@ def parse_event(obj: Any) -> Event:
     rate = obj.get("rate_mbps")
     if rate is not None and not isinstance(rate, (int, float)):
         raise EventError(f"rate_mbps must be a number, got {rate!r}")
+    policy = obj.get("policy")
+    if policy is not None and not isinstance(policy, str):
+        raise EventError(f"policy must be a string, got {policy!r}")
     return Event(
         kind=kind,
         user=_int_field(obj, "user"),
         session=_int_field(obj, "session"),
         rate_mbps=float(rate) if rate is not None else None,
+        policy=policy,
     )
 
 
@@ -133,26 +157,36 @@ class TickPlan:
     ``membership`` holds the *desired* final membership bit for every
     user a join/leave touched; ``moves`` the desired session for every
     user a move touched; ``rates`` the desired rate for every session a
-    rate-change touched. ``n_events`` counts the raw inputs and
-    ``n_coalesced`` how many of them were superseded by a later event on
-    the same entity — the service's ``service.coalesced`` counter.
+    rate-change touched; ``policies`` the desired transmission policy
+    for every session a set-policy touched. ``n_events`` counts the raw
+    inputs and ``n_coalesced`` how many of them were superseded by a
+    later event on the same entity — the service's ``service.coalesced``
+    counter.
     """
 
     membership: dict[int, bool] = field(default_factory=dict)
     moves: dict[int, int] = field(default_factory=dict)
     rates: dict[int, float] = field(default_factory=dict)
+    policies: dict[int, str] = field(default_factory=dict)
     n_events: int = 0
 
     @property
     def n_coalesced(self) -> int:
         """Events whose effect a later same-entity event overwrote."""
-        distinct = len(self.membership) + len(self.moves) + len(self.rates)
+        distinct = (
+            len(self.membership)
+            + len(self.moves)
+            + len(self.rates)
+            + len(self.policies)
+        )
         return self.n_events - distinct
 
     @property
     def empty(self) -> bool:
         """True when the tick nets out to no desired state at all."""
-        return not (self.membership or self.moves or self.rates)
+        return not (
+            self.membership or self.moves or self.rates or self.policies
+        )
 
 
 def coalesce(events: Iterable[Event]) -> TickPlan:
@@ -167,6 +201,7 @@ def coalesce(events: Iterable[Event]) -> TickPlan:
     membership: dict[int, bool] = {}
     moves: dict[int, int] = {}
     rates: dict[int, float] = {}
+    policies: dict[int, str] = {}
     n = 0
     for event in events:
         n += 1
@@ -179,9 +214,16 @@ def coalesce(events: Iterable[Event]) -> TickPlan:
         elif event.kind == "move":
             assert event.user is not None and event.session is not None
             moves[event.user] = event.session
-        else:  # rate-change
+        elif event.kind == "rate-change":
             assert event.session is not None and event.rate_mbps is not None
             rates[event.session] = event.rate_mbps
+        else:  # set-policy
+            assert event.session is not None and event.policy is not None
+            policies[event.session] = event.policy
     return TickPlan(
-        membership=membership, moves=moves, rates=rates, n_events=n
+        membership=membership,
+        moves=moves,
+        rates=rates,
+        policies=policies,
+        n_events=n,
     )

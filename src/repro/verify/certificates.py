@@ -28,7 +28,7 @@ from repro.core.assignment import Assignment
 from repro.core.bla import max_iterations
 from repro.core.bounds import bla_lp_bound, mla_lp_bound, mnu_lp_bound
 from repro.core.errors import ModelError
-from repro.core.problem import MulticastAssociationProblem
+from repro.core.problem import TX_DMS, TX_LEGACY, MulticastAssociationProblem
 from repro.radio.rates import RateTable
 
 #: Objectives the checker understands (``None`` = structural checks only).
@@ -119,10 +119,15 @@ def _recompute_group_loads(
     """Group transmit rates and per-AP loads, re-derived from scratch.
 
     Deliberately independent of :class:`~repro.core.ledger.LoadLedger`'s
-    bookkeeping so a ledger bug cannot certify itself. Per-AP sums use
-    ``math.fsum`` — the same exactly-rounded, order-independent rounding
-    the ledger's exactness contract specifies — so agreement with a
-    correct ledger is bitwise, not approximate.
+    bookkeeping so a ledger bug cannot certify itself: each policy's
+    airtime formula is spelled out here by hand (legacy min-rate cost,
+    DMS per-member unicast sum, hybrid exhaustive threshold search)
+    rather than imported from the kernel. Per-AP sums use ``math.fsum``
+    — the same exactly-rounded, order-independent rounding the ledger's
+    exactness contract specifies — so agreement with a correct ledger is
+    bitwise, not approximate. The reported transmit rate is the group's
+    minimum member rate under every policy (for hybrid, the rate the
+    slow tail dictates; the chosen threshold is an internal detail).
     """
     members: dict[tuple[int, int], list[int]] = {}
     for user, ap in enumerate(ap_of_user):
@@ -132,12 +137,28 @@ def _recompute_group_loads(
     tx_rates: dict[tuple[int, int], float] = {}
     costs: list[list[float]] = [[] for _ in range(problem.n_aps)]
     for (ap, session), users in members.items():
-        rate = min(problem.link_rate(ap, u) for u in users)
+        link_rates = [problem.link_rate(ap, u) for u in users]
+        rate = min(link_rates)
         tx_rates[(ap, session)] = rate
+        stream = problem.session_rate(session)
+        policy = problem.policy_of(session)
         if rate <= 0:
             costs[ap].append(math.inf)
-        else:
-            costs[ap].append(problem.session_rate(session) / rate)
+        elif policy == TX_LEGACY:
+            costs[ap].append(stream / rate)
+        elif policy == TX_DMS:
+            costs[ap].append(math.fsum(stream / r for r in link_rates))
+        else:  # hybrid: exhaustive search over every member-rate threshold
+            ordered = sorted(link_rates)
+            costs[ap].append(
+                min(
+                    math.fsum(
+                        [stream / r for r in ordered[:i]]
+                        + [stream / ordered[i]]
+                    )
+                    for i in range(len(ordered))
+                )
+            )
     loads = [math.fsum(c) if c else 0.0 for c in costs]
     return tx_rates, loads
 
@@ -322,6 +343,7 @@ def verify_assignment(
             )
         ]
         detail = ""
+        code = "load-mismatch"
         if mismatches:
             detail = (
                 "derived loads disagree with recomputation: "
@@ -330,10 +352,18 @@ def verify_assignment(
             group_diff = _diff_ledger_groups(assignment, tx_rates)
             if group_diff:
                 detail += f"; per-group diff: {'; '.join(group_diff[:3])}"
+            # A mismatch on an AP hosting a non-legacy group implicates
+            # the policy pricing, not Definition-1 accounting — name it.
+            bad_aps = {ap for ap, _, _ in mismatches}
+            if any(
+                ap in bad_aps and problem.policy_of(session) != TX_LEGACY
+                for ap, session in tx_rates
+            ):
+                code = "policy-load-mismatch"
         out.record(
             "load-accounting",
             not mismatches,
-            "load-mismatch",
+            code,
             detail,
         )
     stats["total_load"] = sum(loads) if all(map(math.isfinite, loads)) else math.inf
@@ -370,11 +400,17 @@ def verify_assignment(
             f"(first few: {unserved[:5]})",
         )
 
-    # Bound checks only make sense for structurally sound solutions.
+    # Bound checks only make sense for structurally sound solutions, and
+    # only under the legacy policy: the LP relaxation and the exact ILPs
+    # price candidate sets, and a non-legacy candidate overprices strict
+    # subsets of its members (a DMS set pays a copy for every covered
+    # user), so those bounds can sit on the wrong side of a genuinely
+    # feasible assignment. The paper's theorems are Definition-1 theory.
     structurally_ok = not out.violations
-    if objective is not None and structurally_ok and lp_bounds:
+    theory_applies = structurally_ok and problem.all_legacy
+    if objective is not None and theory_applies and lp_bounds:
         _check_lp_bound(problem, objective, stats, out)
-    if objective is not None and structurally_ok and exact:
+    if objective is not None and theory_applies and exact:
         _check_approximation_factor(
             problem, ap_of_user, objective, stats, out
         )

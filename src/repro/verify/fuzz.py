@@ -255,6 +255,7 @@ def _drop_user(scenario: Scenario, user: int) -> Scenario | None:
         budget=scenario.budget,
         seed=scenario.seed,
         area=scenario.area,
+        policy=scenario.policy,
     )
 
 
@@ -271,6 +272,7 @@ def _drop_ap(scenario: Scenario, ap: int) -> Scenario | None:
         budget=scenario.budget,
         seed=scenario.seed,
         area=scenario.area,
+        policy=scenario.policy,
     )
 
 
@@ -287,6 +289,9 @@ def _drop_unused_sessions(scenario: Scenario) -> Scenario | None:
         )
         for old in used
     )
+    policy = scenario.policy
+    if not isinstance(policy, str):
+        policy = tuple(policy[old] for old in used)
     return Scenario(
         ap_positions=scenario.ap_positions,
         user_positions=scenario.user_positions,
@@ -296,6 +301,7 @@ def _drop_unused_sessions(scenario: Scenario) -> Scenario | None:
         budget=scenario.budget,
         seed=scenario.seed,
         area=scenario.area,
+        policy=policy,
     )
 
 

@@ -1,0 +1,165 @@
+"""Property tests for the policy-parameterized load kernel.
+
+Two headline invariants, Hypothesis-hunted:
+
+* **Ledger == oracle, bitwise, under churn.** For *any* per-session
+  policy mix and *any* random sequence of joins/leaves/moves, the
+  ledger's cached per-AP loads equal a hand-rolled from-scratch fsum
+  oracle **exactly** (``==``, not ``approx``). The oracle here is
+  deliberately independent of both :mod:`repro.core.ledger` and the
+  verifier — third implementation, same bits. fsum's exact rounding
+  makes the demand fair: every policy's group airtime is a single
+  correctly rounded sum, so evaluation order cannot matter.
+* **Hybrid dominates, exactly.** Per (AP, session) group the hybrid
+  rate-split airtime is ``<=`` both the legacy and the DMS airtime —
+  not approximately: the threshold search includes ``T = min`` (which
+  *is* the legacy cost, same floats) and ``T = max`` (which is the DMS
+  cost over the same multiset), so the minimum can never exceed either.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ledger import (
+    LoadLedger,
+    dms_airtime,
+    hybrid_airtime,
+    hybrid_split,
+    multicast_airtime,
+)
+from repro.core.problem import (
+    TX_POLICIES,
+    MulticastAssociationProblem,
+    Session,
+)
+
+RATES = (6.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+STREAMS = (0.5, 1.0, 1.5, 3.0)
+
+
+def oracle_loads(problem: MulticastAssociationProblem, ap_of_user) -> list[float]:
+    """From-scratch per-AP loads: third implementation, pure fsum.
+
+    Hybrid is priced *exhaustively* — every member rate tried as the
+    threshold, duplicates included — rather than the kernel's
+    deduplicated ascending scan, so agreement is evidence the search
+    optimizations preserve the optimum bit for bit.
+    """
+    loads = []
+    for ap in range(problem.n_aps):
+        groups: dict[int, list[int]] = {}
+        for user, assigned in enumerate(ap_of_user):
+            if assigned == ap:
+                groups.setdefault(problem.session_of(user), []).append(user)
+        terms = []
+        for session in sorted(groups):
+            stream = problem.session_rate(session)
+            rates = [problem.link_rate(ap, u) for u in groups[session]]
+            policy = problem.policy_of(session)
+            if min(rates) <= 0:
+                terms.append(math.inf)
+            elif policy == "legacy":
+                terms.append(stream / min(rates))
+            elif policy == "dms":
+                terms.append(math.fsum(stream / r for r in rates))
+            else:  # hybrid
+                ordered = sorted(rates)
+                terms.append(
+                    min(
+                        math.fsum(
+                            [stream / r for r in ordered[:i]]
+                            + [stream / ordered[i]]
+                        )
+                        for i in range(len(ordered))
+                    )
+                )
+        loads.append(math.fsum(terms))
+    return loads
+
+
+@st.composite
+def churn_cases(draw, max_aps=4, max_users=8, max_ops=12):
+    """A mixed-policy instance plus a coverage-respecting churn script."""
+    n_aps = draw(st.integers(min_value=1, max_value=max_aps))
+    n_users = draw(st.integers(min_value=1, max_value=max_users))
+    n_sessions = draw(st.integers(min_value=1, max_value=3))
+    link = [[0.0] * n_users for _ in range(n_aps)]
+    for u in range(n_users):
+        n_links = draw(st.integers(min_value=1, max_value=n_aps))
+        aps = draw(
+            st.permutations(range(n_aps)).map(lambda p: list(p)[:n_links])
+        )
+        for a in aps:
+            link[a][u] = draw(st.sampled_from(RATES))
+    sessions = [
+        Session(i, draw(st.sampled_from(STREAMS))) for i in range(n_sessions)
+    ]
+    user_sessions = [
+        draw(st.integers(min_value=0, max_value=n_sessions - 1))
+        for _ in range(n_users)
+    ]
+    policies = [
+        draw(st.sampled_from(TX_POLICIES)) for _ in range(n_sessions)
+    ]
+    problem = MulticastAssociationProblem(
+        link, user_sessions, sessions, math.inf, policies
+    )
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_ops))):
+        user = draw(st.integers(min_value=0, max_value=n_users - 1))
+        covering = [a for a in range(n_aps) if link[a][user] > 0]
+        target = draw(st.sampled_from([None, *covering]))
+        ops.append((user, target))
+    return problem, ops
+
+
+@settings(max_examples=200, deadline=None)
+@given(churn_cases())
+def test_ledger_matches_fsum_oracle_under_mixed_policy_churn(case):
+    problem, ops = case
+    ledger = LoadLedger(problem)
+    for user, target in ops:
+        ledger.move(user, target)
+        # bitwise: the fsum contract, not a tolerance
+        assert ledger.loads() == oracle_loads(problem, ledger.ap_of_user)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.sampled_from(STREAMS),
+    st.lists(st.sampled_from(RATES), min_size=1, max_size=8),
+)
+def test_hybrid_never_above_legacy_or_dms(stream, rates):
+    legacy = multicast_airtime(stream, rates)
+    dms = dms_airtime(stream, rates)
+    hybrid = hybrid_airtime(stream, rates)
+    assert hybrid <= legacy
+    assert hybrid <= dms
+    threshold, cost = hybrid_split(stream, rates)
+    assert threshold in rates
+    assert cost == hybrid
+    # T = min reproduces the legacy airtime on the same floats
+    if threshold == min(rates):
+        assert cost == legacy
+
+
+@settings(max_examples=60, deadline=None)
+@given(churn_cases(max_ops=6))
+def test_hybrid_dominates_per_group_on_live_ledgers(case):
+    """Per (AP, session) group of a churned hybrid ledger, the priced
+    airtime is never above either alternative on that group's rates."""
+    problem, ops = case
+    hybrid_problem = problem.with_policies("hybrid")
+    ledger = LoadLedger(hybrid_problem)
+    for user, target in ops:
+        ledger.move(user, target)
+    for ap, session, _tx_rate, users in ledger.group_items():
+        rates = [hybrid_problem.link_rate(ap, u) for u in users]
+        stream = hybrid_problem.session_rate(session)
+        priced = hybrid_airtime(stream, rates)
+        assert priced <= multicast_airtime(stream, rates)
+        assert priced <= dms_airtime(stream, rates)

@@ -8,3 +8,11 @@ def ap_load(sessions, member_rates):
     for rate, rates in zip(sessions, member_rates, strict=True):
         total += rate / min(rates)
     return math.fsum([total])
+
+
+def dms_load(bits, rates):
+    return math.fsum(bits / rate for rate in rates)
+
+
+def dms_load_builtin(bits, rates):
+    return sum(bits / rate for rate in rates)

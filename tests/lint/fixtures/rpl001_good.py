@@ -1,6 +1,11 @@
-"""Fixture: Definition-1 airtime via the load kernel (clean)."""
+"""Fixture: per-group airtime via the load kernel (clean)."""
 
-from repro.core.ledger import local_ap_load, multicast_airtime
+from repro.core.ledger import (
+    dms_airtime,
+    local_ap_load,
+    multicast_airtime,
+    policy_airtime,
+)
 
 
 def ap_load(groups):
@@ -9,3 +14,11 @@ def ap_load(groups):
 
 def one_group(rate, rates):
     return multicast_airtime(rate, rates)
+
+
+def one_group_dms(rate, rates):
+    return dms_airtime(rate, rates)
+
+
+def one_group_policy(policy, rate, rates):
+    return policy_airtime(policy, rate, rates)

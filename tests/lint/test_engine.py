@@ -99,10 +99,11 @@ def test_report_merge_and_counts() -> None:
     b = lint_file(FIXTURES / "rpl001_bad.py", module_name="repro.core.x")
     a.merge(b)
     assert a.files_scanned == 3
-    assert a.counts() == {"RPL001": 1}
+    # one legacy min(...) shape + two DMS sum-of-divisions shapes
+    assert a.counts() == {"RPL001": 3}
     blob = json.loads(render_json(a))
     assert blob["version"] == 1
-    assert blob["counts"] == {"RPL001": 1}
+    assert blob["counts"] == {"RPL001": 3}
     assert blob["diagnostics"][0]["code"] == "RPL001"
     human = render_human(a)
     assert "RPL001" in human and "violation(s)" in human

@@ -166,3 +166,28 @@ def test_rpl001_allowlist_exempts_the_kernel_and_oracle() -> None:
         assert lint_source(source, "x.py", module).ok
     flagged = lint_source(source, "x.py", "repro.core.mnu")
     assert [d.code for d in flagged.diagnostics] == ["RPL001"]
+
+
+def test_rpl001_dms_shape_fires_outside_the_kernel() -> None:
+    """The DMS shape — sum/fsum over a per-member division — is the
+    policy kernel's; elsewhere it fires, and sums without a division
+    element stay clean."""
+    from repro.lint.engine import lint_source
+
+    shapes = (
+        "import math\n\n\ndef f(bits, rates):\n"
+        "    return math.fsum(bits / r for r in rates)\n",
+        "def f(bits, rates):\n    return sum(bits / r for r in rates)\n",
+        "import math\n\n\ndef f(bits, rates):\n"
+        "    return math.fsum([bits / r for r in rates])\n",
+    )
+    for source in shapes:
+        flagged = lint_source(source, "x.py", "repro.core.mnu")
+        assert [d.code for d in flagged.diagnostics] == ["RPL001"], source
+        for module in ("repro.core.ledger", "repro.verify.certificates"):
+            assert lint_source(source, "x.py", module).ok
+    clean = (
+        "import math\n\n\ndef mean(values, n):\n"
+        "    return math.fsum(values) / n\n"
+    )
+    assert lint_source(clean, "x.py", "repro.core.mnu").ok

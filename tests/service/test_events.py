@@ -25,6 +25,9 @@ class TestParsing:
         assert parse_event(
             {"kind": "rate-change", "session": 0, "rate_mbps": 2}
         ) == Event("rate-change", session=0, rate_mbps=2.0)
+        assert parse_event(
+            {"kind": "set-policy", "session": 1, "policy": "dms"}
+        ) == Event("set-policy", session=1, policy="dms")
 
     def test_parse_list_and_single(self):
         single = parse_events({"kind": "join", "user": 1})
@@ -42,6 +45,7 @@ class TestParsing:
             {"kind": "join", "user": True},
             {"kind": "join", "user": 1, "extra": 1},
             {"kind": "rate-change", "session": 0, "rate_mbps": "fast"},
+            {"kind": "set-policy", "session": 0, "policy": 7},
             "join",
             42,
         ],
@@ -55,6 +59,7 @@ class TestParsing:
             Event("join", user=1),
             Event("move", user=2, session=1),
             Event("rate-change", session=0, rate_mbps=1.5),
+            Event("set-policy", session=1, policy="hybrid"),
         ]
         assert [parse_event(e.to_wire()) for e in events] == events
 
@@ -64,6 +69,7 @@ class TestValidation:
         Event("join", user=0).validate(4, 2)
         Event("move", user=3, session=1).validate(4, 2)
         Event("rate-change", session=1, rate_mbps=0.5).validate(4, 2)
+        Event("set-policy", session=0, policy="dms").validate(4, 2)
 
     @pytest.mark.parametrize(
         "event",
@@ -78,6 +84,9 @@ class TestValidation:
             Event("rate-change", session=0, rate_mbps=-1.0),
             Event("rate-change", session=0, rate_mbps=float("inf")),
             Event("rate-change", session=2, rate_mbps=1.0),
+            Event("set-policy", session=0),
+            Event("set-policy", session=2, policy="dms"),
+            Event("set-policy", session=0, policy="unicast"),
         ],
     )
     def test_out_of_range_events_rejected(self, event):
@@ -122,6 +131,17 @@ class TestCoalescing:
         assert plan.membership == {1: True}
         assert plan.moves == {1: 0}
         assert plan.n_coalesced == 0
+
+    def test_last_policy_wins_per_session(self):
+        plan = coalesce(
+            [
+                Event("set-policy", session=0, policy="dms"),
+                Event("set-policy", session=1, policy="hybrid"),
+                Event("set-policy", session=0, policy="legacy"),
+            ]
+        )
+        assert plan.policies == {0: "legacy", 1: "hybrid"}
+        assert plan.n_coalesced == 1
 
     def test_empty_plan(self):
         plan = coalesce([])
