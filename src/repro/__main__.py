@@ -291,12 +291,9 @@ def run_fuzz_cli(args: argparse.Namespace) -> int:
 
 def run_lint_cli(args: argparse.Namespace) -> int:
     """Run the replint architectural invariant checker."""
-    from repro.lint.cli import print_rule_table, run_lint
+    from repro.lint.cli import main as lint_main
 
-    if args.rules:
-        print_rule_table()
-        return 0
-    return run_lint(args.paths, args.output_format)
+    return lint_main(args.lint_args)
 
 
 def run_bench_cli(args: argparse.Namespace) -> int:
@@ -509,25 +506,11 @@ def _build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run replint, the architectural invariant checker",
+        add_help=False,
     )
-    lint.add_argument(
-        "paths",
-        nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
-    )
-    lint.add_argument(
-        "--format",
-        choices=["human", "json"],
-        default="human",
-        dest="output_format",
-        help="output format (default: human)",
-    )
-    lint.add_argument(
-        "--rules",
-        action="store_true",
-        help="print the rule table and exit",
-    )
+    # the full flag surface (cache, baseline, SARIF, jobs) lives in
+    # repro.lint.cli; pass everything through untouched
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     bench = sub.add_parser(
         "bench",
         help="run the pinned observability benchmark suite",

@@ -40,3 +40,13 @@ class InfeasibleAssignmentError(ReproError):
 
 class SolverError(ReproError):
     """An exact solver failed (ILP did not reach optimality)."""
+
+
+class SanitizeError(ReproError):
+    """A runtime-sanitizer invariant failed (``REPRO_SANITIZE=1``).
+
+    Raised by the cheap invariant hooks the sanitizer mode arms — ledger
+    recompute mismatches, tick-atomicity violations in the control
+    service — always indicating a state-consistency bug, never bad user
+    input.
+    """

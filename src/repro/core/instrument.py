@@ -17,7 +17,16 @@ The hook surface deliberately mirrors the subset of
 
 from __future__ import annotations
 
+import os
 from typing import Any, ContextManager, Protocol
+
+#: Environment switch for the runtime sanitizer mode: when set (to
+#: anything but ``0``/empty), cheap invariant hooks arm across the stack
+#: — ledger recompute-on-mutate, tick-atomicity checks in the control
+#: service, the event-loop stall watchdog. CI runs the service and
+#: engine suites under it; it is the dynamic complement of the RPL007–
+#: RPL009 static rules.
+SANITIZE_ENV = "REPRO_SANITIZE"
 
 
 class InstrumentationBackend(Protocol):
@@ -95,6 +104,15 @@ def gauge(name: str, value: float) -> None:
     backend = _backend
     if backend is not None:
         backend.gauge(name, value)
+
+
+def sanitize_enabled() -> bool:
+    """True when the runtime sanitizer mode is on (``REPRO_SANITIZE=1``).
+
+    Read per call, not cached at import: tests flip the environment with
+    ``monkeypatch.setenv`` and the hooks are all off the hot path.
+    """
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
 
 
 def span(name: str, **attrs: Any) -> ContextManager[Any]:

@@ -41,7 +41,10 @@ approximate — agreement.
 Setting ``REPRO_LEDGER_CHECK=1`` in the environment arms a debug
 invariant: after construction and after every mutation the ledger
 cross-checks its cached loads against a naive from-scratch recompute and
-raises :class:`~repro.core.errors.ModelError` on any disagreement.
+raises :class:`~repro.core.errors.ModelError` on any disagreement. The
+runtime sanitizer mode (``REPRO_SANITIZE=1``, see
+:func:`repro.core.instrument.sanitize_enabled`) arms the same invariant
+and counts each sweep as ``sanitize.ledger_checks``.
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core import instrument
 from repro.core.errors import ModelError
 from repro.core.problem import (
     TX_DMS,
@@ -70,8 +74,15 @@ LEDGER_CHECK_ENV = "REPRO_LEDGER_CHECK"
 
 
 def ledger_check_enabled() -> bool:
-    """True when ``REPRO_LEDGER_CHECK`` requests the debug invariant."""
-    return os.environ.get(LEDGER_CHECK_ENV, "") not in ("", "0")
+    """True when ``REPRO_LEDGER_CHECK`` requests the debug invariant.
+
+    The sanitizer mode (``REPRO_SANITIZE=1``) arms the same invariant:
+    recompute-on-mutate is exactly the ledger's contribution to the
+    whole-stack consistency sweep.
+    """
+    if os.environ.get(LEDGER_CHECK_ENV, "") not in ("", "0"):
+        return True
+    return instrument.sanitize_enabled()
 
 
 def multicast_airtime(
@@ -646,6 +657,8 @@ class LoadLedger:
     def verify_against_recompute(self) -> None:
         """Raise :class:`ModelError` unless cached loads match a naive
         recompute bit-for-bit."""
+        if instrument.sanitize_enabled():
+            instrument.incr("sanitize.ledger_checks")
         expected = self.naive_loads()
         actual = self._loads.tolist()
         for ap, (want, have) in enumerate(zip(expected, actual, strict=True)):

@@ -36,7 +36,7 @@ changes, so its cache entry simply misses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.assignment import Assignment
 from repro.core.errors import CoverageError, ModelError
@@ -340,15 +340,25 @@ class ShardedEngine:
                 live.append((shard, users))
         return live
 
-    def _stitch_mnu(self, augment: bool, active_set: set[int]):
-        def stitch(problem, raws):
+    def _stitch_mnu(
+        self, augment: bool, active_set: set[int]
+    ) -> Callable[..., Assignment]:
+        def stitch(
+            problem: MulticastAssociationProblem, raws: list
+        ) -> Assignment:
             return stitch_mnu(
                 problem, raws, augment=augment, eligible=active_set
             )
 
         return stitch
 
-    def _solve_cached(self, objective, active_set, worker, stitch):
+    def _solve_cached(
+        self,
+        objective: str,
+        active_set: set[int],
+        worker: Callable[[MulticastAssociationProblem], object],
+        stitch: Callable[..., Assignment],
+    ) -> tuple[Assignment, int, dict[str, object]]:
         """The shared MNU/MLA path: per-shard cache → backend → stitch.
 
         Cache entries hold the shard's raw set picks *already remapped to
@@ -394,7 +404,9 @@ class ShardedEngine:
         assignment = stitch(self.problem, raws)
         return assignment, len(pending), {}
 
-    def _solve_bla_exact(self, active_set: set[int]):
+    def _solve_bla_exact(
+        self, active_set: set[int]
+    ) -> tuple[Assignment, int, dict[str, object]]:
         result = solve_sharded_bla(
             self.problem,
             self.shards,
@@ -408,7 +420,9 @@ class ShardedEngine:
             {"b_star": result.b_star, "iterations": result.iterations},
         )
 
-    def _solve_bla_federated(self, active_set: set[int]):
+    def _solve_bla_federated(
+        self, active_set: set[int]
+    ) -> tuple[Assignment, int, dict[str, object]]:
         live = self._live_shards(active_set)
         entries: list[object | None] = [None] * len(live)
         pending: list[int] = []

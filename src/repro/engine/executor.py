@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.assignment import Assignment, from_selected_sets
 from repro.core.bla import (
@@ -129,7 +129,9 @@ def _covered(picks: Iterable[SetPick]) -> set[int]:
     return covered
 
 
-def _selections(picks: Iterable[SetPick]):
+def _selections(
+    picks: Iterable[SetPick],
+) -> Iterator[tuple[int, int, float, tuple[int, ...]]]:
     return ((ap, session, tx_rate, users) for ap, session, tx_rate, _, users in picks)
 
 

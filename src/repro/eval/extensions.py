@@ -15,7 +15,7 @@ run ext-baselines`` etc.):
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.bla import solve_bla
 from repro.core.bounds import quality_certificate
@@ -34,7 +34,7 @@ Progress = Callable[[str], None] | None
 
 
 def _uniform_points(
-    users: Sequence[int], n_scenarios: int, base_seed: int, **kwargs
+    users: Sequence[int], n_scenarios: int, base_seed: int, **kwargs: Any
 ) -> list[SweepPoint]:
     return [
         SweepPoint(

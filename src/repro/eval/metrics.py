@@ -80,81 +80,119 @@ def _metrics(
 Solver = Callable[[MulticastAssociationProblem, random.Random], Assignment]
 
 
-def _ssa(problem, rng):
+def _ssa(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_ssa(problem, enforce_budgets=False, rng=rng).assignment
 
 
-def _ssa_budget(problem, rng):
+def _ssa_budget(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_ssa(problem, enforce_budgets=True, rng=rng).assignment
 
 
-def _c_mla(problem, rng):
+def _c_mla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_mla(problem).assignment
 
 
-def _c_bla(problem, rng):
+def _c_bla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_bla(problem).assignment
 
 
-def _c_mnu(problem, rng):
+def _c_mnu(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_mnu(problem).assignment
 
 
-def _c_mnu_augmented(problem, rng):
+def _c_mnu_augmented(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_mnu(problem, augment=True).assignment
 
 
-def _d_mla(problem, rng):
+def _d_mla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return run_distributed(problem, "mla", rng=rng).assignment
 
 
-def _d_bla(problem, rng):
+def _d_bla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return run_distributed(problem, "bla", rng=rng).assignment
 
 
-def _d_mnu(problem, rng):
+def _d_mnu(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return run_distributed(problem, "mnu", rng=rng).assignment
 
 
-def _random_assoc(problem, rng):
+def _random_assoc(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_random(problem, rng=rng).assignment
 
 
-def _least_users(problem, rng):
+def _least_users(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_least_users(problem, rng=rng).assignment
 
 
-def _least_load(problem, rng):
+def _least_load(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_least_load(problem, rng=rng).assignment
 
 
-def _engine(problem, objective):
+def _engine(
+    problem: MulticastAssociationProblem, objective: str
+) -> Assignment:
     # One-shot solves: the fingerprint cache only pays off across calls.
     with ShardedEngine(problem, cache=False) as engine:
         return engine.solve(objective).assignment
 
 
-def _e_mla(problem, rng):
+def _e_mla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return _engine(problem, "mla")
 
 
-def _e_bla(problem, rng):
+def _e_bla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return _engine(problem, "bla")
 
 
-def _e_mnu(problem, rng):
+def _e_mnu(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return _engine(problem, "mnu")
 
 
-def _opt_mla(problem, rng):
+def _opt_mla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_mla_optimal(problem).assignment
 
 
-def _opt_bla(problem, rng):
+def _opt_bla(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_bla_optimal(problem).assignment
 
 
-def _opt_mnu(problem, rng):
+def _opt_mnu(
+    problem: MulticastAssociationProblem, rng: random.Random
+) -> Assignment:
     return solve_mnu_optimal(problem).assignment
 
 

@@ -10,7 +10,7 @@ come from this machinery:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.eval.experiments import ExperimentResult
 from repro.eval.extensions import EXTENSIONS
@@ -97,7 +97,7 @@ def generate_report(
     return "\n".join(sections)
 
 
-def write_report(path: str, **kwargs) -> str:
+def write_report(path: str, **kwargs: Any) -> str:
     """Generate a report and write it to ``path``; returns the text."""
     text = generate_report(**kwargs)
     with open(path, "w") as stream:

@@ -43,7 +43,7 @@ class StudyResult:
     metric: str
     cells: tuple[StudyCell, ...]
 
-    def cell(self, **settings) -> StudyCell:
+    def cell(self, **settings: object) -> StudyCell:
         """Look up one combination (all factors must be given)."""
         for candidate in self.cells:
             if all(

@@ -1,0 +1,111 @@
+"""The checked-in baseline: grandfathered findings, one entry each.
+
+A baseline entry matches a diagnostic by ``(path, code, message)`` —
+deliberately *not* by line, so reformatting a file does not resurrect a
+grandfathered finding. Matching diagnostics are dropped from the report
+(counted as ``baselined``); a baseline entry that matches nothing is
+*stale* and reported as a violation anchored at the baseline file, so
+the grandfather list can only shrink — the same contract per-line
+suppressions have.
+
+``python -m repro lint --update-baseline`` rewrites the file from the
+current findings; the diff is then reviewed like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import UNUSED_SUPPRESSION, LintError, LintReport
+
+DEFAULT_BASELINE_NAME = ".replint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[dict[str, str]] | None:
+    """The baseline's entry list; ``None`` when unreadable/foreign."""
+    try:
+        blob = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(blob, dict) or blob.get("version") != BASELINE_VERSION:
+        return None
+    entries = blob.get("entries")
+    if not isinstance(entries, list):
+        return None
+    return [e for e in entries if isinstance(e, dict)]
+
+
+def write_baseline(report: LintReport, path: Path) -> int:
+    """Rewrite the baseline from ``report``'s diagnostics; returns the
+    entry count. Unused-suppression findings are never baselined — they
+    are about the ignore machinery itself and must be fixed."""
+    entries = [
+        {"path": d.path, "code": d.code, "message": d.message}
+        for d in sorted(report.diagnostics)
+        if d.code != UNUSED_SUPPRESSION
+    ]
+    blob = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def apply_baseline(
+    report: LintReport, path: Path
+) -> tuple[LintReport, int]:
+    """Filter ``report`` through the baseline at ``path``.
+
+    Returns the filtered report and the number of baselined findings.
+    Each entry consumes at most one matching diagnostic; stale entries
+    become diagnostics anchored at the baseline file itself.
+    """
+    entries = load_baseline(path)
+    filtered = LintReport(
+        files_scanned=report.files_scanned,
+        suppressions_used=report.suppressions_used,
+    )
+    filtered.errors = list(report.errors)
+    if entries is None:
+        filtered.diagnostics = list(report.diagnostics)
+        filtered.errors.append(
+            LintError(str(path), "unreadable or unversioned baseline file")
+        )
+        return filtered, 0
+
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        key = (
+            str(entry.get("path", "")),
+            str(entry.get("code", "")),
+            str(entry.get("message", "")),
+        )
+        budget[key] = budget.get(key, 0) + 1
+
+    matched = 0
+    for diagnostic in report.diagnostics:
+        key = (diagnostic.path, diagnostic.code, diagnostic.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            filtered.diagnostics.append(diagnostic)
+
+    for (entry_path, code, message), left in sorted(budget.items()):
+        for _ in range(left):
+            filtered.diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    code=UNUSED_SUPPRESSION,
+                    message=(
+                        f"stale baseline entry: {entry_path}: {code} "
+                        f"{message!r} no longer fires — remove it"
+                    ),
+                )
+            )
+    filtered.diagnostics.sort()
+    return filtered, matched

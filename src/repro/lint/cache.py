@@ -1,0 +1,68 @@
+"""The incremental lint cache: content-hashed per-file analyses.
+
+A cache entry stores everything :func:`repro.lint.engine.analyze_source`
+produced for one file — its *pre-suppression* diagnostics, parse errors,
+suppression table and :class:`~repro.lint.callgraph.ModuleSummary` —
+keyed by the SHA-256 of the file's bytes. On a warm run, unchanged files
+skip parsing and rule dispatch entirely, yet the project-wide flow pass
+still sees every module: summaries come back out of the cache, so
+RPL007–RPL009 re-run over the *full* graph every time (a cheap pass) and
+a change in one file can still fire a diagnostic anchored in another.
+
+Suppression resolution happens after the flow pass, which is why entries
+store raw (pre-suppression) diagnostics: replaying a cached file through
+the resolve phase is byte-identical to re-analyzing it.
+
+The cache is a single JSON file (``.replint-cache.json`` by default,
+gitignored). :data:`CACHE_VERSION` is baked into it and must be bumped
+whenever rule behavior or the summary schema changes — a mismatch
+invalidates the whole cache rather than serving stale verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: Bump on any change to rules, tables, or the analysis schema.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_NAME = ".replint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    """The cache key of one file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def load_cache(path: Path) -> dict[str, Any]:
+    """Read the cache; an unreadable/old/foreign file is an empty cache."""
+    try:
+        blob = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(blob, dict) or blob.get("version") != CACHE_VERSION:
+        return {}
+    files = blob.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def save_cache(path: Path, files: dict[str, Any]) -> None:
+    """Write the cache atomically (rename over); failures are silent —
+    a cache that cannot be written is just a cold run next time."""
+    blob = {"version": CACHE_VERSION, "files": files}
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(
+            json.dumps(blob, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass

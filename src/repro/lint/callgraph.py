@@ -1,0 +1,918 @@
+"""The project-wide call graph the flow-aware replint rules run on.
+
+Per-file ASTs only see one module; the RPL007–RPL009 rules need to
+answer *reachability* questions ("can this coroutine reach a blocking
+solve?", "does this pool worker transitively write module state?").
+This module supplies the two layers that make those questions cheap:
+
+* :func:`summarize_module` compresses one parsed module into a
+  :class:`ModuleSummary` — functions, call sites, import aliases,
+  inferred attribute/local types, module-state mutations. Summaries are
+  plain JSON-able data, which is what lets the incremental cache store
+  them: a warm lint run rebuilds the whole call graph without re-parsing
+  a single unchanged file.
+* :class:`CallGraph` indexes the summaries of every linted module and
+  resolves dotted call expressions (``self.control.apply_events``,
+  ``metrics.incr``, ``solve_mnu``) to either an intra-repo
+  :class:`FunctionSummary` or an external dotted name — conservatively:
+  an expression it cannot type stays unresolved rather than guessed, so
+  flow rules over-look rather than over-fire.
+
+Resolution covers the seams the architecture actually uses: bare names
+(local, imported, own-module), ``self.method`` within a class,
+``self.attr.method`` where the attribute's class is pinned by an
+``__init__`` assignment or parameter annotation, local variables
+assigned from constructors or annotated, and module-attribute calls
+through ``import``/``from`` aliases. Function *references* (arguments
+to executors, ``functools.partial(fn, ...)``) are recorded as ``ref``
+call sites so RPL008 can find pool-submitted workers and RPL007 can
+refuse to traverse executor hand-offs.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.lint.tables import RESTORE_NAME_HINTS, STATE_MUTATORS
+
+#: Methods that mutate their receiver in place — used to spot mutations
+#: of module-level state inside functions.
+_MUTATING_METHODS: frozenset[str] = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+@dataclass
+class CallSite:
+    """One call (or callable reference) inside a function body."""
+
+    #: Dotted form of the callee/reference (``self.control.apply_events``,
+    #: ``time.sleep``, ``solve_mnu``); ``None`` when not a name chain.
+    expr: str | None
+    line: int
+    #: ``"call"`` for an actual invocation, ``"ref"`` for a function
+    #: reference passed as an argument to another call.
+    kind: str = "call"
+    #: For ``ref`` sites: the dotted expr of the call it was passed to.
+    context: str | None = None
+    #: For ``ref`` sites: positional index within that call.
+    arg_index: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        blob: dict[str, Any] = {"expr": self.expr, "line": self.line}
+        if self.kind != "call":
+            blob["kind"] = self.kind
+            blob["context"] = self.context
+            blob["arg_index"] = self.arg_index
+        return blob
+
+    @classmethod
+    def from_dict(cls, blob: dict[str, Any]) -> "CallSite":
+        return cls(
+            expr=blob.get("expr"),
+            line=blob["line"],
+            kind=blob.get("kind", "call"),
+            context=blob.get("context"),
+            arg_index=blob.get("arg_index"),
+        )
+
+
+@dataclass
+class MutationSite:
+    """A statement that mutates shared (module-level or passed-in) state."""
+
+    line: int
+    #: Dotted receiver (``CACHE``, ``ledger`` for ``ledger.join(...)``).
+    target: str
+    #: What happened: ``"assign"``, ``"augassign"``, ``"method"`` (a
+    #: mutating container method) or ``"state"`` (a ledger/engine
+    #: state-transition call, see ``STATE_MUTATORS``).
+    op: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "target": self.target, "op": self.op}
+
+    @classmethod
+    def from_dict(cls, blob: dict[str, Any]) -> "MutationSite":
+        return cls(line=blob["line"], target=blob["target"], op=blob["op"])
+
+
+@dataclass
+class TrySummary:
+    """One ``except`` handler, as RPL009 needs to judge it."""
+
+    #: Line of the ``except`` clause itself.
+    line: int
+    #: True for ``except Exception``/``except BaseException``.
+    broad: bool
+    #: True for a bare ``except:``.
+    bare: bool
+    #: The handler re-raises (``raise`` anywhere in its body).
+    reraises: bool
+    #: The enclosing ``try`` has a ``finally`` block.
+    has_finally: bool
+    #: State-mutator calls (:data:`STATE_MUTATORS`) in the ``try`` body —
+    #: the mutations a swallowing handler would leave half-applied.
+    mutators: list[str] = field(default_factory=list)
+    #: The handler calls something restore-flavored
+    #: (:data:`RESTORE_NAME_HINTS`) before swallowing.
+    restores: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "broad": self.broad,
+            "bare": self.bare,
+            "reraises": self.reraises,
+            "has_finally": self.has_finally,
+            "mutators": self.mutators,
+            "restores": self.restores,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict[str, Any]) -> "TrySummary":
+        return cls(
+            line=blob["line"],
+            broad=blob["broad"],
+            bare=blob["bare"],
+            reraises=blob["reraises"],
+            has_finally=blob["has_finally"],
+            mutators=list(blob["mutators"]),
+            restores=blob["restores"],
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the flow rules need to know about one function."""
+
+    module: str
+    #: Dotted within-module name (``ControlService.apply_plan`` or
+    #: ``lint_paths``); nested functions use ``outer.<locals>.inner``.
+    qualname: str
+    lineno: int
+    is_async: bool = False
+    #: Names of positional/keyword parameters (excluding self/cls).
+    params: list[str] = field(default_factory=list)
+    #: ``param name -> dotted class name`` from annotations.
+    param_types: dict[str, str] = field(default_factory=dict)
+    #: ``local var -> dotted class name`` from ``v = ClassName(...)``
+    #: assignments and ``v: ClassName`` annotations.
+    local_types: dict[str, str] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+    #: Module-level names this function rebinds via ``global``.
+    global_writes: list[str] = field(default_factory=list)
+    #: In-place mutations of module-level or parameter state.
+    mutations: list[MutationSite] = field(default_factory=list)
+    #: Names assigned from arbitrary calls inside the body — receivers
+    #: rooted here are *locally constructed*, so mutating them is fine.
+    local_constructed: list[str] = field(default_factory=list)
+    #: True for nested functions / lambdas with free variables (a
+    #: closure is not picklable across the pool boundary).
+    has_free_closure: bool = False
+    #: ``except`` handlers, for the exception-discipline rule.
+    tries: list[TrySummary] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def dotted(self) -> str:
+        """Fully qualified ``module.Class.func`` name."""
+        return f"{self.module}.{self.qualname}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "is_async": self.is_async,
+            "params": self.params,
+            "param_types": self.param_types,
+            "local_types": self.local_types,
+            "calls": [c.to_dict() for c in self.calls],
+            "global_writes": self.global_writes,
+            "mutations": [m.to_dict() for m in self.mutations],
+            "local_constructed": self.local_constructed,
+            "has_free_closure": self.has_free_closure,
+            "tries": [t.to_dict() for t in self.tries],
+        }
+
+    @classmethod
+    def from_dict(cls, module: str, blob: dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            module=module,
+            qualname=blob["qualname"],
+            lineno=blob["lineno"],
+            is_async=blob["is_async"],
+            params=list(blob["params"]),
+            param_types=dict(blob["param_types"]),
+            local_types=dict(blob["local_types"]),
+            calls=[CallSite.from_dict(c) for c in blob["calls"]],
+            global_writes=list(blob["global_writes"]),
+            mutations=[MutationSite.from_dict(m) for m in blob["mutations"]],
+            local_constructed=list(blob["local_constructed"]),
+            has_free_closure=blob.get("has_free_closure", False),
+            tries=[TrySummary.from_dict(t) for t in blob.get("tries", [])],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class: its methods and the attribute types ``__init__`` pins."""
+
+    name: str
+    #: ``attr -> dotted class name`` from ``self.attr = Class(...)`` and
+    #: ``self.attr = param`` where the parameter is annotated.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "attr_types": self.attr_types,
+            "methods": self.methods,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict[str, Any]) -> "ClassSummary":
+        return cls(
+            name=blob["name"],
+            attr_types=dict(blob["attr_types"]),
+            methods=list(blob["methods"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The cacheable flow-analysis view of one module."""
+
+    module: str
+    path: str
+    #: ``local alias -> dotted target`` for every import in the file
+    #: (module-level and function-local alike): ``metrics ->
+    #: repro.obs.counters``, ``urlopen -> urllib.request.urlopen``.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Names assigned at module level (the mutable-state universe).
+    module_names: list[str] = field(default_factory=list)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "imports": self.imports,
+            "module_names": self.module_names,
+            "classes": {k: c.to_dict() for k, c in self.classes.items()},
+            "functions": {k: f.to_dict() for k, f in self.functions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict[str, Any]) -> "ModuleSummary":
+        module = blob["module"]
+        return cls(
+            module=module,
+            path=blob["path"],
+            imports=dict(blob["imports"]),
+            module_names=list(blob["module_names"]),
+            classes={
+                k: ClassSummary.from_dict(c)
+                for k, c in blob["classes"].items()
+            },
+            functions={
+                k: FunctionSummary.from_dict(module, f)
+                for k, f in blob["functions"].items()
+            },
+        )
+
+
+# -- summarization -----------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string; ``None`` for anything not a name chain."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _class_of_call(node: ast.expr) -> str | None:
+    """``ClassName(...)`` / ``mod.ClassName(...)`` → the dotted callee
+    when it looks like a constructor (last component capitalized)."""
+    if not isinstance(node, ast.Call):
+        return None
+    callee = _dotted(node.func)
+    if callee is None:
+        return None
+    last = callee.rsplit(".", 1)[-1]
+    if last[:1].isupper():
+        return callee
+    return None
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """A plain-class annotation (``ControlService``, ``x.Y``,
+    ``"Quoted"``, ``T | None``) → dotted class name, else ``None``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value.isidentifier() else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # ``T | None`` — take whichever side is a name
+        return _annotation_name(node.left) or _annotation_name(node.right)
+    return _dotted(node)
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Collect call sites, types and mutations for one function body."""
+
+    def __init__(
+        self, summary: FunctionSummary, module_names: set[str]
+    ) -> None:
+        self.summary = summary
+        self.module_names = module_names
+
+    # nested defs are summarized separately; don't descend
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return None
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return None
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return None
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.summary.global_writes.extend(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        class_name = _class_of_call(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if class_name is not None:
+                    self.summary.local_types[target.id] = class_name
+                elif isinstance(node.value, ast.Call):
+                    self.summary.local_constructed.append(target.id)
+            else:
+                self._record_target_mutation(target, "assign")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            annotated = _annotation_name(node.annotation)
+            if annotated is not None:
+                self.summary.local_types[node.target.id] = annotated
+        else:
+            self._record_target_mutation(node.target, "assign")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target_mutation(node.target, "augassign")
+        self.generic_visit(node)
+
+    def _record_target_mutation(self, target: ast.expr, op: str) -> None:
+        """``X[k] = v`` / ``X.attr = v`` / ``X += v`` where ``X`` roots in
+        shared (non-local) state."""
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        root = _dotted(base)
+        if root is None:
+            return
+        head = root.split(".", 1)[0]
+        if self._is_shared_root(head) and not (
+            op == "assign" and isinstance(target, ast.Name)
+        ):
+            self.summary.mutations.append(
+                MutationSite(
+                    line=getattr(target, "lineno", self.summary.lineno),
+                    target=root,
+                    op=op,
+                )
+            )
+
+    def _is_shared_root(self, head: str) -> bool:
+        """Shared state roots: module-level names and parameters — not
+        locals this function constructed itself."""
+        if head in self.summary.local_constructed:
+            return False
+        if head in self.summary.local_types:
+            return False
+        return head in self.module_names or head in self.summary.params
+
+    def visit_Try(self, node: ast.Try) -> None:
+        mutators: list[str] = []
+        for inner in node.body:
+            for child in ast.walk(inner):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in STATE_MUTATORS
+                ):
+                    mutators.append(child.func.attr)
+        for handler in node.handlers:
+            broad = isinstance(handler.type, ast.Name) and handler.type.id in (
+                "Exception",
+                "BaseException",
+            )
+            reraises = any(
+                isinstance(child, ast.Raise)
+                for stmt in handler.body
+                for child in ast.walk(stmt)
+            )
+            restores = False
+            for stmt in handler.body:
+                for child in ast.walk(stmt):
+                    if isinstance(child, ast.Call):
+                        callee = _dotted(child.func) or ""
+                        last = callee.rsplit(".", 1)[-1].lower()
+                        if any(hint in last for hint in RESTORE_NAME_HINTS):
+                            restores = True
+            self.summary.tries.append(
+                TrySummary(
+                    line=handler.lineno,
+                    broad=broad,
+                    bare=handler.type is None,
+                    reraises=reraises,
+                    has_finally=bool(node.finalbody),
+                    mutators=sorted(set(mutators)),
+                    restores=restores,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        expr = _dotted(node.func)
+        self.summary.calls.append(
+            CallSite(expr=expr, line=node.lineno)
+        )
+        # mutating container/state methods on shared receivers
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            receiver = _dotted(node.func.value)
+            if receiver is not None and self._is_shared_root(
+                receiver.split(".", 1)[0]
+            ):
+                self.summary.mutations.append(
+                    MutationSite(
+                        line=node.lineno, target=receiver, op="method"
+                    )
+                )
+        # function references handed to other calls
+        for index, arg in enumerate(node.args):
+            ref = self._reference_expr(arg)
+            if ref is not None:
+                self.summary.calls.append(
+                    CallSite(
+                        expr=ref,
+                        line=getattr(arg, "lineno", node.lineno),
+                        kind="ref",
+                        context=expr,
+                        arg_index=index,
+                    )
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _reference_expr(arg: ast.expr) -> str | None:
+        """A callable reference argument: a name chain, a lambda, or
+        ``functools.partial(fn, ...)`` (unwrapped to ``fn``)."""
+        if isinstance(arg, ast.Lambda):
+            return "<lambda>"
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            dotted = _dotted(arg)
+            # heuristically keep only lowercase-ish final components so
+            # plain data arguments (CONSTANTS, classes) don't become refs
+            if dotted is not None:
+                return dotted
+            return None
+        if isinstance(arg, ast.Call):
+            callee = _dotted(arg.func)
+            if callee in ("partial", "functools.partial") and arg.args:
+                return _FunctionVisitor._reference_expr(arg.args[0])
+        return None
+
+
+def _free_variables(node: ast.AST, params: set[str]) -> bool:
+    """Crude closure check: does a nested def read names that are neither
+    its parameters nor locally bound?"""
+    bound = set(params)
+    loaded: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            if isinstance(child.ctx, ast.Store):
+                bound.add(child.id)
+            else:
+                loaded.add(child.id)
+    free = {
+        name
+        for name in loaded - bound
+        if not hasattr(builtins, name)
+    }
+    return bool(free)
+
+
+def summarize_module(
+    tree: ast.Module, module: str | None, path: str
+) -> ModuleSummary:
+    """Build the flow-analysis summary of one parsed module."""
+    summary = ModuleSummary(module=module or "", path=path)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                summary.imports[alias.asname or alias.name.split(".", 1)[0]] = (
+                    alias.name if alias.asname else alias.name.split(".", 1)[0]
+                )
+                if alias.asname:
+                    summary.imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module is None:
+                continue
+            for alias in node.names:
+                summary.imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    summary.module_names.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            summary.module_names.append(stmt.target.id)
+
+    module_names = set(summary.module_names)
+
+    def walk_body(
+        body: list[ast.stmt], prefix: str, class_name: str | None
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{stmt.name}"
+                _summarize_function(
+                    summary, stmt, qualname, module_names, nested=bool(
+                        prefix and class_name is None
+                    )
+                )
+                if class_name is not None:
+                    summary.classes[class_name].methods.append(stmt.name)
+                    if stmt.name == "__init__":
+                        _infer_attr_types(
+                            summary.classes[class_name],
+                            summary.functions[qualname],
+                            stmt,
+                        )
+                walk_body(
+                    stmt.body, f"{qualname}.<locals>.", None
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                summary.classes[stmt.name] = ClassSummary(name=stmt.name)
+                walk_body(stmt.body, f"{stmt.name}.", stmt.name)
+            elif isinstance(
+                stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)
+            ):
+                inner: list[ast.stmt] = list(stmt.body)
+                for attr in ("orelse", "finalbody"):
+                    inner.extend(getattr(stmt, attr, []) or [])
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        inner.extend(handler.body)
+                walk_body(inner, prefix, class_name)
+
+    walk_body(tree.body, "", None)
+    return summary
+
+
+def _summarize_function(
+    summary: ModuleSummary,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    module_names: set[str],
+    *,
+    nested: bool,
+) -> None:
+    args = node.args
+    all_args = args.posonlyargs + args.args + args.kwonlyargs
+    params = [a.arg for a in all_args if a.arg not in ("self", "cls")]
+    fn = FunctionSummary(
+        module=summary.module,
+        qualname=qualname,
+        lineno=node.lineno,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        params=params,
+    )
+    for arg in all_args:
+        annotated = _annotation_name(arg.annotation)
+        if annotated is not None:
+            fn.param_types[arg.arg] = annotated
+    if nested:
+        fn.has_free_closure = _free_variables(node, set(params))
+    visitor = _FunctionVisitor(fn, module_names)
+    for stmt in node.body:
+        visitor.visit(stmt)
+    summary.functions[qualname] = fn
+
+
+def _infer_attr_types(
+    klass: ClassSummary,
+    init: FunctionSummary,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> None:
+    """``self.attr = Class(...)`` / ``self.attr = annotated_param`` in
+    ``__init__`` pins the attribute's class for method resolution."""
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        constructed = _class_of_call(stmt.value)
+        if constructed is not None:
+            klass.attr_types[target.attr] = constructed
+        elif isinstance(stmt.value, ast.Name):
+            annotated = init.param_types.get(stmt.value.id)
+            if annotated is not None:
+                klass.attr_types[target.attr] = annotated
+
+
+# -- the graph ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Outcome of resolving one call expression."""
+
+    #: ``"fn"`` (intra-repo function), ``"external"`` (dotted name
+    #: outside the linted set) or ``"opaque"`` (could not resolve).
+    kind: str
+    function: FunctionSummary | None = None
+    external: str | None = None
+
+    @property
+    def dotted(self) -> str | None:
+        if self.function is not None:
+            return self.function.dotted
+        return self.external
+
+
+_OPAQUE = Resolved(kind="opaque")
+
+
+class CallGraph:
+    """Resolution and reachability over a set of module summaries."""
+
+    def __init__(self, summaries: dict[str, ModuleSummary]) -> None:
+        #: module name -> summary (modules without names are excluded:
+        #: they cannot be imported, so nothing resolves into them).
+        self.modules = {m: s for m, s in summaries.items() if m}
+        #: simple class name -> [(module, ClassSummary)]
+        self._classes: dict[str, list[tuple[str, ClassSummary]]] = {}
+        for mod, s in sorted(self.modules.items()):
+            for cname, klass in s.classes.items():
+                self._classes.setdefault(cname, []).append((mod, klass))
+
+    # -- lookups ---------------------------------------------------------
+
+    def functions(self) -> Iterator[FunctionSummary]:
+        for mod in sorted(self.modules):
+            summary = self.modules[mod]
+            for qualname in sorted(summary.functions):
+                yield summary.functions[qualname]
+
+    def function(self, dotted: str) -> FunctionSummary | None:
+        """Look up ``module.Qual.name`` against the summary set."""
+        for mod in sorted(self.modules, key=len, reverse=True):
+            if dotted.startswith(mod + "."):
+                qualname = dotted[len(mod) + 1 :]
+                fn = self.modules[mod].functions.get(qualname)
+                if fn is not None:
+                    return fn
+        return None
+
+    def _class(self, name: str, module: str) -> tuple[str, ClassSummary] | None:
+        """Resolve a class reference seen from ``module``: its own
+        classes first, then import aliases, then a unique global name."""
+        summary = self.modules.get(module)
+        simple = name.rsplit(".", 1)[-1]
+        if summary is not None:
+            if name in summary.classes:
+                return module, summary.classes[name]
+            target = summary.imports.get(name.split(".", 1)[0])
+            if target is not None:
+                dotted = target
+                if "." in name:
+                    dotted = f"{target}.{name.split('.', 1)[1]}"
+                owner, _, cname = dotted.rpartition(".")
+                owner_summary = self.modules.get(owner)
+                if owner_summary is not None and cname in owner_summary.classes:
+                    return owner, owner_summary.classes[cname]
+        candidates = self._classes.get(simple, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(self, caller: FunctionSummary, expr: str | None) -> Resolved:
+        """Resolve one call-site expression from ``caller``'s scope."""
+        if expr is None or expr in ("<lambda>",):
+            return _OPAQUE
+        parts = expr.split(".")
+        module = caller.module
+        summary = self.modules.get(module)
+        if summary is None:
+            return _OPAQUE
+
+        if parts[0] == "self":
+            return self._resolve_self(caller, parts[1:])
+
+        # a parameter or local with an inferred class: x.method()
+        root_type = caller.local_types.get(parts[0]) or caller.param_types.get(
+            parts[0]
+        )
+        if root_type is not None and len(parts) >= 2:
+            return self._resolve_on_class(root_type, module, parts[1:])
+
+        # an untyped parameter or locally constructed value: the callee
+        # is a runtime value we cannot name — opaque, never "external",
+        # so bare parameter names don't false-match the blocking tables
+        if parts[0] in caller.params or parts[0] in caller.local_constructed:
+            return _OPAQUE
+
+        # bare name: own module's functions, then import aliases
+        if len(parts) == 1:
+            fn = summary.functions.get(parts[0])
+            if fn is not None:
+                return Resolved(kind="fn", function=fn)
+            target = summary.imports.get(parts[0])
+            if target is not None:
+                return self._resolve_dotted(target)
+            if parts[0] in summary.classes:
+                return _OPAQUE  # constructor call
+            return Resolved(kind="external", external=parts[0])
+
+        # dotted chain rooted at an import alias: mod.sub.fn()
+        target = summary.imports.get(parts[0])
+        if target is not None:
+            return self._resolve_dotted(".".join([target, *parts[1:]]))
+
+        # dotted chain rooted at an own-module class: Class.method
+        if parts[0] in summary.classes and len(parts) == 2:
+            fn = summary.functions.get(f"{parts[0]}.{parts[1]}")
+            if fn is not None:
+                return Resolved(kind="fn", function=fn)
+
+        # unknown root — an external module used without import in this
+        # scope resolves externally so tables can still match on it
+        if parts[0] not in summary.module_names:
+            return Resolved(kind="external", external=expr)
+        return _OPAQUE
+
+    def _resolve_self(
+        self, caller: FunctionSummary, rest: list[str]
+    ) -> Resolved:
+        if "." not in caller.qualname or not rest:
+            return _OPAQUE
+        class_name = caller.qualname.split(".", 1)[0]
+        summary = self.modules.get(caller.module)
+        if summary is None or class_name not in summary.classes:
+            return _OPAQUE
+        klass = summary.classes[class_name]
+        if len(rest) == 1:
+            # self.method()
+            fn = summary.functions.get(f"{class_name}.{rest[0]}")
+            if fn is not None:
+                return Resolved(kind="fn", function=fn)
+            return _OPAQUE
+        # self.attr....method()
+        attr_type = klass.attr_types.get(rest[0])
+        if attr_type is None:
+            return _OPAQUE
+        return self._resolve_on_class(attr_type, caller.module, rest[1:])
+
+    def _expand(self, name: str, from_module: str) -> str:
+        """Expand ``name``'s first component through ``from_module``'s
+        import table, so external names are fully dotted for table
+        matching (``ControlService.x`` seen from ``service.loop`` →
+        ``repro.service.control.ControlService.x``)."""
+        summary = self.modules.get(from_module)
+        if summary is None:
+            return name
+        head, _, tail = name.partition(".")
+        target = summary.imports.get(head)
+        if target is None:
+            return name
+        return f"{target}.{tail}" if tail else target
+
+    def _resolve_on_class(
+        self, class_ref: str, from_module: str, rest: list[str]
+    ) -> Resolved:
+        found = self._class(class_ref, from_module)
+        if found is None:
+            # external class: report the fully dotted name so tables
+            # (blocking sinks, pool backends) can match on it
+            dotted_ref = self._expand(class_ref, from_module)
+            return Resolved(
+                kind="external", external=".".join([dotted_ref, *rest])
+            )
+        owner, klass = found
+        if len(rest) == 1:
+            fn = self.modules[owner].functions.get(f"{klass.name}.{rest[0]}")
+            if fn is not None:
+                return Resolved(kind="fn", function=fn)
+            return _OPAQUE
+        # chained attributes: follow attr types one more hop
+        attr_type = klass.attr_types.get(rest[0])
+        if attr_type is None:
+            return _OPAQUE
+        return self._resolve_on_class(attr_type, owner, rest[1:])
+
+    def _resolve_dotted(self, dotted: str) -> Resolved:
+        """A fully dotted target: intra-repo function or external name."""
+        fn = self.function(dotted)
+        if fn is not None:
+            return Resolved(kind="fn", function=fn)
+        # ``module.Class.method`` where module is summarized
+        owner, _, attr = dotted.rpartition(".")
+        owner_module, _, maybe_class = owner.rpartition(".")
+        owner_summary = self.modules.get(owner_module)
+        if owner_summary is not None and maybe_class in owner_summary.classes:
+            fn = owner_summary.functions.get(f"{maybe_class}.{attr}")
+            if fn is not None:
+                return Resolved(kind="fn", function=fn)
+        return Resolved(kind="external", external=dotted)
+
+    # -- transitive facts ------------------------------------------------
+
+    def writes_module_state(
+        self, fn: FunctionSummary, *, _depth: int = 0, _seen: set[str] | None = None
+    ) -> list[str] | None:
+        """Does ``fn`` (transitively) rebind or mutate module-level
+        state? Returns the call path ending at the offender, or ``None``.
+
+        Direct evidence: a ``global`` rebind, or an in-place mutation
+        whose receiver roots in a module-level name. Indirect: a resolved
+        intra-repo callee that does. Depth-capped and memo-free — the
+        graphs here are small and the cap keeps cycles finite.
+        """
+        if _seen is None:
+            _seen = set()
+        if fn.dotted in _seen or _depth > 12:
+            return None
+        _seen.add(fn.dotted)
+        summary = self.modules.get(fn.module)
+        module_names = set(summary.module_names) if summary else set()
+        if fn.global_writes:
+            return [f"{fn.dotted} (global {', '.join(sorted(set(fn.global_writes)))})"]
+        for mutation in fn.mutations:
+            if mutation.target.split(".", 1)[0] in module_names:
+                return [
+                    f"{fn.dotted} (mutates module-level "
+                    f"{mutation.target!r} at line {mutation.line})"
+                ]
+        for site in fn.calls:
+            if site.kind != "call":
+                continue
+            resolved = self.resolve(fn, site.expr)
+            if resolved.kind != "fn":
+                continue
+            assert resolved.function is not None
+            path = self.writes_module_state(
+                resolved.function, _depth=_depth + 1, _seen=_seen
+            )
+            if path is not None:
+                return [fn.dotted, *path]
+        return None

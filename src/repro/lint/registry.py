@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import ClassVar, Iterator, Protocol, TypeVar
+from typing import TYPE_CHECKING, ClassVar, Iterator, Protocol, TypeVar
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.tables import LAYER_DAG
+
+if TYPE_CHECKING:  # the graph type only matters to type checkers here
+    from repro.lint.callgraph import CallGraph
 
 
 @dataclass
@@ -82,7 +85,7 @@ class ModuleContext:
 
 
 class Rule(Protocol):
-    """What the engine requires of a rule."""
+    """What the engine requires of a per-file rule."""
 
     code: ClassVar[str]
     name: ClassVar[str]
@@ -91,33 +94,63 @@ class Rule(Protocol):
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]: ...
 
 
+class ProjectRule(Protocol):
+    """A flow-aware rule: runs once per invocation over the whole
+    call graph, after every per-file pass."""
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    summary: ClassVar[str]
+
+    def check(self, graph: "CallGraph") -> Iterator[Diagnostic]: ...
+
+
 _RULES: dict[str, Rule] = {}
+_PROJECT_RULES: dict[str, ProjectRule] = {}
 
 R = TypeVar("R", bound=type)
 
 
 def register(rule_cls: R) -> R:
-    """Class decorator: instantiate and index a rule by its code."""
+    """Class decorator: instantiate and index a per-file rule."""
     rule: Rule = rule_cls()
-    if rule.code in _RULES:
+    if rule.code in _RULES or rule.code in _PROJECT_RULES:
         raise ValueError(f"duplicate rule code {rule.code}")
     _RULES[rule.code] = rule
     return rule_cls
 
 
+def register_project(rule_cls: R) -> R:
+    """Class decorator: instantiate and index a project (flow) rule."""
+    rule: ProjectRule = rule_cls()
+    if rule.code in _RULES or rule.code in _PROJECT_RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _PROJECT_RULES[rule.code] = rule
+    return rule_cls
+
+
 def all_rules() -> list[Rule]:
-    """Every registered rule, sorted by code."""
+    """Every registered per-file rule, sorted by code."""
     _ensure_loaded()
     return [_RULES[code] for code in sorted(_RULES)]
 
 
-def get_rule(code: str) -> Rule:
-    """Look one rule up by its ``RPLxxx`` code."""
+def all_project_rules() -> list[ProjectRule]:
+    """Every registered project rule, sorted by code."""
     _ensure_loaded()
-    return _RULES[code]
+    return [_PROJECT_RULES[code] for code in sorted(_PROJECT_RULES)]
+
+
+def get_rule(code: str) -> Rule | ProjectRule:
+    """Look one rule up by its ``RPLxxx`` code (either kind)."""
+    _ensure_loaded()
+    if code in _RULES:
+        return _RULES[code]
+    return _PROJECT_RULES[code]
 
 
 def _ensure_loaded() -> None:
-    # rules.py registers itself on import; import lazily to avoid the
-    # registry→rules→registry cycle at module load
+    # rules.py / flowrules.py register themselves on import; import
+    # lazily to avoid the registry→rules→registry cycle at module load
+    import repro.lint.flowrules  # noqa: F401
     import repro.lint.rules  # noqa: F401

@@ -106,6 +106,119 @@ OBS_REGISTRY_CLASSES: frozenset[str] = frozenset(
     {"MetricsRegistry", "TraceCollector"}
 )
 
+#: Packages whose ``async def`` functions anchor the RPL007 reachability
+#: search: coroutines here run on the control service's event loop, so
+#: any synchronous call chain out of them that hits a blocking primitive
+#: stalls every tick.
+ASYNC_SCOPE_PACKAGES: frozenset[str] = frozenset({"repro.service"})
+
+#: Known-blocking external callables (RPL007), by resolved dotted name.
+#: A call chain from an event-loop coroutine that reaches one of these
+#: (outside an executor hand-off) blocks the loop.
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "requests.get",
+        "requests.post",
+        "input",
+    }
+)
+
+#: Dotted-name prefixes treated as blocking wholesale (RPL007):
+#: everything in ``subprocess`` forks and waits, and synchronous socket
+#: method calls block the loop.
+BLOCKING_PREFIXES: tuple[str, ...] = ("subprocess.",)
+
+#: Intra-repo *blocking sinks* (RPL007): solver entry points and other
+#: heavy synchronous work. Reaching one of these from a coroutine is a
+#: finding in itself — the search stops here and prints the chain, so
+#: the diagnostic names the solve rather than some leaf loop inside it.
+BLOCKING_SINKS: frozenset[str] = frozenset(
+    {
+        "repro.service.control.ControlService.apply_events",
+        "repro.service.control.ControlService.apply_plan",
+        "repro.service.control.ControlService.batch_solution",
+        "repro.engine.engine.ShardedEngine.solve",
+        "repro.core.mnu.solve_mnu",
+        "repro.core.bla.solve_bla",
+        "repro.core.mla.solve_mla",
+        "repro.core.distributed.run_distributed",
+        "repro.obs.remote.instrumented_map",
+        "repro.obs.bench.run_bench",
+    }
+)
+
+#: Callables that hand work to an executor (RPL007): a function
+#: *reference* passed to one of these runs off the event loop, so the
+#: reachability search never traverses such edges.
+EXECUTOR_SHIELDS: frozenset[str] = frozenset(
+    {"run_in_executor", "to_thread"}
+)
+
+#: Functions that submit work across the process-pool boundary (RPL008),
+#: by resolved dotted name, mapped to the positional index of the
+#: submitted callable.
+POOL_SUBMIT_FUNCTIONS: dict[str, int] = {
+    "repro.obs.remote.instrumented_map": 1,
+}
+
+#: Classes whose ``map``/``submit`` methods ship their callable to
+#: another process (RPL008). Matching is on the receiver's statically
+#: inferred class (constructor assignment or annotation).
+POOL_BACKEND_CLASSES: frozenset[str] = frozenset(
+    {
+        "ProcessPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "repro.engine.executor.ProcessBackend",
+    }
+)
+
+#: Method names on :data:`POOL_BACKEND_CLASSES` receivers that carry a
+#: callable across the pool boundary (RPL008) — the callable is their
+#: first positional argument.
+POOL_SUBMIT_METHODS: frozenset[str] = frozenset({"map", "submit"})
+
+#: Ledger/engine state-transition methods (RPL008's shared-state check
+#: and RPL009's mutation-before-swallow check). A call to one of these
+#: mutates live association state: half-applying it and swallowing the
+#: exception leaves the controller inconsistent, and calling it from a
+#: pool worker races the parent's copy.
+STATE_MUTATORS: frozenset[str] = frozenset(
+    {
+        "join",
+        "leave",
+        "move",
+        "set_active",
+        "seed_active",
+        "swap_problem",
+        "mark_aps_dirty",
+        "process_event",
+        "apply_events",
+        "apply_plan",
+        "_mutate_problem",
+    }
+)
+
+#: Substrings that mark a handler as *restoring* state (RPL009): a broad
+#: handler that rolls back before swallowing has discharged its duty.
+RESTORE_NAME_HINTS: frozenset[str] = frozenset(
+    {"rollback", "restore", "revert", "reset"}
+)
+
+#: Entry points of the control service's tick path (RPL009): every
+#: function reachable from these must use typed ``except`` handlers —
+#: a broad handler that does not re-raise can swallow a half-applied
+#: tick.
+TICK_PATH_ROOTS: frozenset[str] = frozenset(
+    {
+        "repro.service.control.ControlService.apply_events",
+        "repro.service.control.ControlService.apply_plan",
+    }
+)
+
 #: Directory names the recursive walker never descends into. ``fixtures``
 #: keeps the lint test corpus (deliberately-bad files) out of CI runs
 #: over ``tests/``; direct file arguments are always linted.

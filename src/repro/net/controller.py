@@ -17,15 +17,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
+from repro.core.assignment import Assignment
 from repro.core.bla import solve_bla
 from repro.core.mla import solve_mla
 from repro.core.mnu import solve_mnu
 from repro.core.problem import MulticastAssociationProblem
 from repro.net.messages import ScanReport
+
+if TYPE_CHECKING:
+    from repro.net.wlan import WlanConfig, WlanSimulation
+    from repro.scenarios.generator import Scenario
 
 Objective = Literal["mla", "bla", "mnu"]
 
@@ -43,7 +48,7 @@ class CentralizedController:
 
     def __init__(
         self,
-        sim,
+        sim: WlanSimulation,
         objective: Objective = "mla",
         *,
         period_s: float = 30.0,
@@ -109,7 +114,7 @@ class CentralizedController:
         )
         return problem, stations
 
-    def _solve(self, problem: MulticastAssociationProblem):
+    def _solve(self, problem: MulticastAssociationProblem) -> Assignment:
         if self.objective == "mla":
             return solve_mla(problem).assignment
         if self.objective == "bla":
@@ -144,12 +149,12 @@ class CentralizedController:
 
 
 def make_centralized(
-    scenario,
+    scenario: Scenario,
     objective: Objective = "mla",
     *,
-    config=None,
+    config: WlanConfig | None = None,
     controller_period_s: float = 30.0,
-):
+) -> tuple[WlanSimulation, CentralizedController]:
     """Build a WlanSimulation under centralized control.
 
     Returns ``(sim, controller)``; stations are created in managed mode

@@ -49,7 +49,9 @@ class FailureLog:
 class FailureInjector:
     """Schedules AP outages on a :class:`WlanSimulation`."""
 
-    def __init__(self, sim: WlanSimulation, events: Sequence[FailureEvent]):
+    def __init__(
+        self, sim: WlanSimulation, events: Sequence[FailureEvent]
+    ) -> None:
         for event in events:
             if not 0 <= event.ap < len(sim.aps):
                 raise ValueError(f"unknown AP {event.ap}")

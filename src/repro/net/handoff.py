@@ -25,11 +25,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Protocol, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, Sequence
 
 from repro.core import instrument
 from repro.core.ledger import multicast_airtime
 from repro.net.mac import DOT11A_MAC, MacParameters, frames_for
+
+if TYPE_CHECKING:
+    from repro.net.wlan import WlanSimulation
 
 AssociationLog = Sequence[tuple[float, int, int | None, int | None]]
 
@@ -173,7 +176,7 @@ def analyze_handoffs(
     return HandoffReport(stations=tuple(records))
 
 
-def report_from_simulation(sim) -> HandoffReport:
+def report_from_simulation(sim: "WlanSimulation") -> HandoffReport:
     """Convenience: analyze a finished :class:`WlanSimulation`."""
     return analyze_handoffs(
         sim.association_log,

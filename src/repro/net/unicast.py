@@ -20,11 +20,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.net.messages import Frame
 from repro.net.nodes import AccessPoint, Medium, Node
 from repro.radio.geometry import Point
+
+if TYPE_CHECKING:
+    from repro.net.wlan import WlanSimulation
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,7 +116,7 @@ class UnicastDeployment:
 
 
 def attach_unicast_users(
-    sim,
+    sim: "WlanSimulation",
     *,
     per_ap: int = 1,
     seed: int = 0,

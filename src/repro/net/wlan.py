@@ -15,7 +15,7 @@ the paper's Figure 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Any, Literal
 
 from repro.core.assignment import Assignment
 from repro.core.problem import MulticastAssociationProblem
@@ -69,7 +69,9 @@ class WlanResult:
 class WlanSimulation:
     """One scenario's protocol simulation."""
 
-    def __init__(self, scenario: Scenario, config: WlanConfig | None = None):
+    def __init__(
+        self, scenario: Scenario, config: WlanConfig | None = None
+    ) -> None:
         self.scenario = scenario
         self.config = config or WlanConfig()
         self.sim = Simulator()
@@ -176,7 +178,7 @@ class WlanSimulation:
 
 
 def simulate(
-    scenario: Scenario, policy: Policy = "mla", **config_kwargs
+    scenario: Scenario, policy: Policy = "mla", **config_kwargs: Any
 ) -> WlanResult:
     """Convenience one-shot: build, run, return."""
     config = WlanConfig(policy=policy, **config_kwargs)

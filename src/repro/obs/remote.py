@@ -80,8 +80,13 @@ def instrumented_map(
             for i, task in enumerate(tasks)
         ]
         results = []
+        # run_captured swaps the *worker-local* collector/registry in and
+        # restores them in a finally — each pool process mutates only its
+        # own copy of the module state, exports blobs, and the parent
+        # merges them here. The write RPL008 sees is the by-design
+        # capture seam, not shared-state leakage.
         for result, trace_blob, metrics_blob in backend.map(
-            run_captured, payloads
+            run_captured, payloads  # replint: ignore[RPL008]
         ):
             absorb(trace_blob, metrics_blob)
             results.append(result)

@@ -130,7 +130,11 @@ class NeighborIndex:
         """Indices of points within ``radius`` of ``center`` (inclusive)."""
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        reach = int(math.ceil(radius / self._cell_size))
+        # One guard ring beyond the ceiling: the inclusive <= below is
+        # evaluated in floats, so a point whose geometric distance is a
+        # hair over `radius` can still round to <= radius while sitting
+        # one cell outside the exact-radius square.
+        reach = int(math.ceil(radius / self._cell_size)) + 1
         cx, cy = self._cell_of(center)
         hits: list[int] = []
         for gx in range(cx - reach, cx + reach + 1):

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence, cast
 
+from repro.core import instrument
 from repro.core.assignment import Assignment
 from repro.core.distributed import Policy
 from repro.core.errors import ModelError
@@ -48,6 +49,7 @@ from repro.engine import ShardedEngine
 from repro.engine.engine import OBJECTIVES, EngineSolution
 from repro.obs import counters as metrics
 from repro.obs import trace as tracing
+from repro.service import sanitize
 from repro.service.events import Event, TickPlan, coalesce
 
 
@@ -92,6 +94,20 @@ class TickReport:
             "objective_value": self.objective_value,
             "n_active": self.n_active,
         }
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """Pre-tick copy of the mutable control state, for rollback."""
+
+    user_sessions: list[int]
+    session_rates: list[float]
+    session_policies: list[str]
+    active: set[int]
+    problem: MulticastAssociationProblem
+    solution: EngineSolution | None
+    tick_index: int
+    last_solve_s: float
 
 
 class ControlService:
@@ -195,7 +211,13 @@ class ControlService:
         return self.apply_plan(coalesce(events))
 
     def apply_plan(self, plan: TickPlan) -> TickReport:
-        """Apply one coalesced :class:`TickPlan` and re-solve if needed."""
+        """Apply one coalesced :class:`TickPlan` and re-solve if needed.
+
+        The tick is all-or-nothing: the mutable state is snapshotted
+        first and restored (with the engine re-synced) if the apply or
+        the re-solve raises. Under ``REPRO_SANITIZE=1`` a post-apply
+        check additionally verifies every diffed event landed.
+        """
         rate_changes = {
             s: r
             for s, r in plan.rates.items()
@@ -245,34 +267,44 @@ class ControlService:
         if rate_changes:
             dirty = set(range(self.engine.plan.n_shards))
 
-        if rate_changes or moves or policy_changes:
-            self._mutate_problem(rate_changes, moves, policy_changes)
-        if policy_dirty:
-            # Fingerprints already catch the policy bytes; marking the
-            # affected APs dirty additionally surfaces the blast radius
-            # on ``engine.aps_marked_dirty`` for operators and the e2e
-            # differential tests.
-            affected_aps: set[int] = set()
-            for shard_index in policy_dirty:
-                affected_aps.update(self.engine.shards[shard_index].aps)
-            self.engine.mark_aps_dirty(affected_aps)
-        for user in joins:
-            self._active.add(user)
-            self.engine.join(user)
-        for user in leaves:
-            self._active.discard(user)
-            self.engine.leave(user)
-        if self._controller is not None:
-            self._run_repair(
-                joins,
-                leaves,
-                rebuilt=bool(rate_changes or moves or policy_changes),
-            )
-
+        snapshot = self._take_snapshot()
         changed = n_applied > 0 or self.solution is None
-        if changed:
-            self.tick_index += 1
-            self._resolve()
+        try:
+            if rate_changes or moves or policy_changes:
+                self._mutate_problem(rate_changes, moves, policy_changes)
+            if policy_dirty:
+                # Fingerprints already catch the policy bytes; marking
+                # the affected APs dirty additionally surfaces the blast
+                # radius on ``engine.aps_marked_dirty`` for operators
+                # and the e2e differential tests.
+                affected_aps: set[int] = set()
+                for shard_index in policy_dirty:
+                    affected_aps.update(self.engine.shards[shard_index].aps)
+                self.engine.mark_aps_dirty(affected_aps)
+            for user in joins:
+                self._active.add(user)
+                self.engine.join(user)
+            for user in leaves:
+                self._active.discard(user)
+                self.engine.leave(user)
+            if self._controller is not None:
+                self._run_repair(
+                    joins,
+                    leaves,
+                    rebuilt=bool(rate_changes or moves or policy_changes),
+                )
+            if changed:
+                self.tick_index += 1
+                self._resolve()
+        except BaseException:
+            # The tick is atomic: a failed apply/re-solve must not leave
+            # half-mutated membership or a stale published association.
+            self._restore_snapshot(snapshot)
+            raise
+        if instrument.sanitize_enabled():
+            self._sanitize_verify_applied(
+                rate_changes, policy_changes, moves, joins, leaves
+            )
         solution = self.solution
         assert solution is not None
         report = TickReport(
@@ -305,6 +337,95 @@ class ControlService:
         return report
 
     # -- internals -------------------------------------------------------
+
+    def _take_snapshot(self) -> _Snapshot:
+        """Copy the mutable state a failed tick must restore."""
+        return _Snapshot(
+            user_sessions=list(self._user_sessions),
+            session_rates=list(self._session_rates),
+            session_policies=list(self._session_policies),
+            active=set(self._active),
+            problem=self.problem,
+            solution=self.solution,
+            tick_index=self.tick_index,
+            last_solve_s=self._last_solve_s,
+        )
+
+    def _restore_snapshot(self, snapshot: _Snapshot) -> None:
+        """Roll the control state back to a pre-tick snapshot.
+
+        The engine is re-pointed at the snapshot problem and membership
+        (its content-addressed cache makes the re-sync cheap), and the
+        repair controller — mutated in place by its dynamics — is
+        rebuilt from the restored state rather than patched.
+        """
+        self._user_sessions = list(snapshot.user_sessions)
+        self._session_rates = list(snapshot.session_rates)
+        self._session_policies = list(snapshot.session_policies)
+        self._active = set(snapshot.active)
+        if self.problem is not snapshot.problem:
+            self.problem = snapshot.problem
+            self.engine.swap_problem(snapshot.problem)
+        self.engine.set_active(self._active)
+        if self.repair != "none":
+            self._controller = self._fresh_controller()
+        self.solution = snapshot.solution
+        self.tick_index = snapshot.tick_index
+        self._last_solve_s = snapshot.last_solve_s
+        metrics.incr("service.tick_rollbacks")
+        if instrument.sanitize_enabled():
+            metrics.incr("sanitize.tick_rollbacks")
+            sanitize.check(
+                self._user_sessions == snapshot.user_sessions
+                and self._session_rates == snapshot.session_rates
+                and self._session_policies == snapshot.session_policies
+                and self._active == snapshot.active
+                and self.tick_index == snapshot.tick_index,
+                "tick rollback failed to restore the pre-tick state",
+            )
+
+    def _sanitize_verify_applied(
+        self,
+        rate_changes: Mapping[int, float],
+        policy_changes: Mapping[int, str],
+        moves: Mapping[int, int],
+        joins: Sequence[int],
+        leaves: Sequence[int],
+    ) -> None:
+        """Tick-atomicity check (``REPRO_SANITIZE=1``): every diffed
+        event must be visible in the post-tick state, all at once."""
+        metrics.incr("sanitize.tick_checks")
+        tick = self.tick_index
+        for session, rate in rate_changes.items():
+            sanitize.check(
+                self._session_rates[session] == rate,
+                f"tick {tick}: rate change for session {session} not applied",
+            )
+        for session, policy in policy_changes.items():
+            sanitize.check(
+                self._session_policies[session] == policy,
+                f"tick {tick}: policy change for session {session}"
+                " not applied",
+            )
+        for user, session in moves.items():
+            sanitize.check(
+                self._user_sessions[user] == session,
+                f"tick {tick}: move of user {user} not applied",
+            )
+        for user in joins:
+            sanitize.check(
+                user in self._active,
+                f"tick {tick}: join of user {user} not applied",
+            )
+        for user in leaves:
+            sanitize.check(
+                user not in self._active,
+                f"tick {tick}: leave of user {user} not applied",
+            )
+        sanitize.check(
+            self.solution is not None,
+            f"tick {tick}: no published solution after apply",
+        )
 
     def _resolve(self) -> None:
         """One engine solve of the current state; publishes the result."""

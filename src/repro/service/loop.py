@@ -17,23 +17,33 @@ ROADMAP's "controller PR" calls for:
   association is published, then the listener closes and
   :meth:`run_until_shutdown` returns.
 
-The solve itself runs inline on the loop thread: association control is
-a single-writer problem and the whole point of the tick design is that
-re-solve latency is bounded (and measured — ``service.resolve_ms``), so
-a brief pause of the control surface during a tick is the honest
-behavior, not a liability. ``POST /events?wait=1`` parks the client on
-a future resolved by the tick that applied its batch — the
-backpressure mechanism the churn driver and the e2e tests use.
+The solve runs *off* the event loop: a tick drains the queue on the
+loop thread, then applies the batch on the default executor via
+``loop.run_in_executor`` while the listener stays responsive. A
+``threading.Lock`` serializes the applied tick against the ``GET``
+payload reads, which also run off-loop — the single-writer tick
+semantics are unchanged (there is exactly one ticker, so ticks never
+overlap), but re-solve latency no longer stalls health checks or
+ingest. Replint rule RPL007 enforces this shape statically, and
+``REPRO_SANITIZE=1`` arms a loop-stall watchdog
+(:class:`~repro.service.sanitize.LoopWatchdog`) that verifies it at
+runtime. ``POST /events?wait=1`` parks the client on a future resolved
+— or failed, if the tick raises — by the tick that applied its batch;
+that is the backpressure mechanism the churn driver and the e2e tests
+use.
 """
 
 from __future__ import annotations
 
 import asyncio
 import signal
+import threading
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Awaitable, Callable, cast
 
+from repro.core import instrument
 from repro.obs import counters as metrics
+from repro.service.sanitize import LoopWatchdog
 from repro.service.control import ControlService, TickReport
 from repro.service.events import EventError, parse_events
 from repro.service.http import (
@@ -76,6 +86,11 @@ class AssociationService:
         self._stopped: asyncio.Event | None = None
         self._server: asyncio.base_events.Server | None = None
         self._ticker_task: asyncio.Task[None] | None = None
+        # Serializes the applied tick (executor thread) against the GET
+        # payload reads, which also run off-loop.
+        self._state_lock = threading.Lock()
+        self.watchdog: LoopWatchdog | None = None
+        self._watchdog_task: asyncio.Task[None] | None = None
         self._ingested = 0
         self._applied = 0
         self._ticks_run = 0
@@ -95,6 +110,9 @@ class AssociationService:
         assert sockets
         self.port = sockets[0].getsockname()[1]
         self._ticker_task = asyncio.create_task(self._ticker())
+        if instrument.sanitize_enabled():
+            self.watchdog = LoopWatchdog()
+            self._watchdog_task = asyncio.create_task(self.watchdog.run())
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain (idempotent; safe from signal context)."""
@@ -126,6 +144,13 @@ class AssociationService:
             await self._close()
 
     async def _close(self) -> None:
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except asyncio.CancelledError:
+                pass
+            self._watchdog_task = None
         if self._ticker_task is not None:
             self._ticker_task.cancel()
             try:
@@ -146,29 +171,75 @@ class AssociationService:
         assert self._stopped is not None
         while True:
             await asyncio.sleep(self.config.tick_interval_s)
-            self.run_tick()
+            await self.tick_async()
             if self._draining and not self._pending:
                 self._stopped.set()
                 return
+
+    def _take_batch(
+        self,
+    ) -> list[tuple[Any, asyncio.Future[TickReport] | None]]:
+        """Pop up to ``max_batch`` queued events (loop thread only)."""
+        batch = self._pending[: self.config.max_batch]
+        del self._pending[: len(batch)]
+        return batch
+
+    def _apply_events_locked(self, events: list[Any]) -> TickReport:
+        """Apply one batch under the state lock (runs off-loop)."""
+        with self._state_lock:
+            return self.control.apply_events(events)
+
+    def _finish_tick(
+        self,
+        batch: list[tuple[Any, asyncio.Future[TickReport] | None]],
+        report: TickReport,
+    ) -> None:
+        """Record the tick and resolve the waiters of its batch."""
+        self._ticks_run += 1
+        self._applied += len(batch)
+        self.last_report = report
+        for _, future in batch:
+            if future is not None and not future.done():
+                future.set_result(report)
+
+    async def tick_async(self) -> TickReport | None:
+        """Apply one tick's worth of queued events off the event loop.
+
+        The batch is taken on the loop thread (single writer of the
+        queue), applied on the default executor so the listener stays
+        responsive through the re-solve, and — should the tick raise —
+        its ``wait=1`` futures get the exception instead of hanging.
+        """
+        if not self._pending:
+            return None
+        batch = self._take_batch()
+        events = [event for event, _ in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            report = await loop.run_in_executor(
+                None, self._apply_events_locked, events
+            )
+        except BaseException as exc:
+            for _, future in batch:
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            raise
+        self._finish_tick(batch, report)
+        return report
 
     def run_tick(self) -> TickReport | None:
         """Apply one tick's worth of queued events (``None`` when idle).
 
         Public and synchronous so tests and the bench harness can drive
-        ticks deterministically without waiting out the interval.
+        ticks deterministically without a running loop; the asyncio
+        ticker goes through :meth:`tick_async` instead.
         """
         if not self._pending:
             return None
-        batch = self._pending[: self.config.max_batch]
-        del self._pending[: len(batch)]
+        batch = self._take_batch()
         events = [event for event, _ in batch]
-        report = self.control.apply_events(events)
-        self._ticks_run += 1
-        self._applied += len(events)
-        self.last_report = report
-        for _, future in batch:
-            if future is not None and not future.done():
-                future.set_result(report)
+        report = self._apply_events_locked(events)
+        self._finish_tick(batch, report)
         return report
 
     # -- HTTP ------------------------------------------------------------
@@ -191,17 +262,19 @@ class AssociationService:
                     error_response(500, "internal error").encode()
                 )
                 await writer.drain()
-            except Exception:
-                pass
+            except OSError:
+                pass  # peer already gone; nothing left to tell it
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except Exception:
+            except OSError:
                 pass
 
     async def _route(self, request: Request) -> Response:
-        routes: dict[tuple[str, str], Callable[[Request], Any]] = {
+        routes: dict[
+            tuple[str, str], Callable[[Request], Awaitable[Any]]
+        ] = {
             ("GET", "/healthz"): self._get_healthz,
             ("GET", "/assignments"): self._get_assignments,
             ("GET", "/loads"): self._get_loads,
@@ -218,7 +291,7 @@ class AssociationService:
                     405, f"method {request.method} not allowed"
                 )
             return error_response(404, f"no route {request.path}")
-        return Response(200, handler(request))
+        return Response(200, await handler(request))
 
     async def _post_events(self, request: Request) -> Response:
         if self._draining:
@@ -252,23 +325,40 @@ class AssociationService:
             payload["tick"] = report.to_wire()
         return Response(200, payload)
 
-    def _get_healthz(self, request: Request) -> dict[str, Any]:
+    def _locked_call(self, fn: Callable[[], Any]) -> Any:
+        with self._state_lock:
+            return fn()
+
+    async def _read_locked(self, fn: Callable[[], Any]) -> Any:
+        """Run a control-state read under the lock, off the loop thread.
+
+        Payload reads walk the full assignment, so they take the same
+        lock (and the same executor hop) as the applied tick rather
+        than racing it or stalling the listener.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._locked_call, fn)
+
+    async def _get_healthz(self, request: Request) -> dict[str, Any]:
+        state = await self._read_locked(self.control.state_payload)
         return {
             "status": "draining" if self._draining else "ok",
             "ticks": self._ticks_run,
             "ingested": self._ingested,
             "applied": self._applied,
             "queued": len(self._pending),
-            "state": self.control.state_payload(),
+            "state": state,
         }
 
-    def _get_assignments(self, request: Request) -> dict[str, Any]:
-        return self.control.assignments_payload()
+    async def _get_assignments(self, request: Request) -> dict[str, Any]:
+        result = await self._read_locked(self.control.assignments_payload)
+        return cast("dict[str, Any]", result)
 
-    def _get_loads(self, request: Request) -> dict[str, Any]:
-        return self.control.loads_payload()
+    async def _get_loads(self, request: Request) -> dict[str, Any]:
+        result = await self._read_locked(self.control.loads_payload)
+        return cast("dict[str, Any]", result)
 
-    def _get_metrics(self, request: Request) -> dict[str, Any]:
+    async def _get_metrics(self, request: Request) -> dict[str, Any]:
         registry = metrics.active()
         snapshot = registry.snapshot() if registry is not None else {}
         return {
@@ -284,6 +374,6 @@ class AssociationService:
             "obs": snapshot,
         }
 
-    def _post_shutdown(self, request: Request) -> dict[str, Any]:
+    async def _post_shutdown(self, request: Request) -> dict[str, Any]:
         self.request_shutdown()
         return {"status": "draining", "queued": len(self._pending)}

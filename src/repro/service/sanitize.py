@@ -1,0 +1,84 @@
+"""Runtime-sanitizer hooks for the asyncio control service.
+
+Armed by ``REPRO_SANITIZE=1``
+(:func:`repro.core.instrument.sanitize_enabled`), off and free
+otherwise. Two hooks live here:
+
+* :class:`LoopWatchdog` — an event-loop stall detector. A coroutine
+  sleeps a short interval and compares the monotonic clock against the
+  expected wake time; drift beyond the threshold means something
+  synchronous hogged the loop (exactly what RPL007 forbids statically),
+  recorded as ``sanitize.loop_stalls`` and kept in :attr:`stalls`.
+* :func:`check` — the assert helper the tick-atomicity verifications in
+  :class:`~repro.service.control.ControlService` go through: raises
+  :class:`~repro.core.errors.SanitizeError` and counts
+  ``sanitize.failures`` so a CI sweep surfaces every violation, not
+  just the first stack trace.
+
+The stall threshold comes from ``REPRO_SANITIZE_STALL_S`` (seconds,
+default 0.25) so slow CI machines can loosen it without code changes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.core.errors import SanitizeError
+from repro.obs import counters as metrics
+
+#: Environment override for the stall threshold, in seconds.
+STALL_ENV = "REPRO_SANITIZE_STALL_S"
+
+_DEFAULT_STALL_S = 0.25
+
+
+def stall_threshold_s() -> float:
+    """The configured loop-stall threshold in seconds."""
+    raw = os.environ.get(STALL_ENV, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return _DEFAULT_STALL_S
+    return value if value > 0 else _DEFAULT_STALL_S
+
+
+def check(condition: bool, message: str) -> None:
+    """Raise :class:`SanitizeError` (and count it) unless ``condition``."""
+    if condition:
+        return
+    metrics.incr("sanitize.failures")
+    raise SanitizeError(message)
+
+
+class LoopWatchdog:
+    """Monotonic drift detector for a running event loop.
+
+    Start :meth:`run` as a task on the loop under observation; cancel
+    it to stop. Each observed stall lands in :attr:`stalls` (the drift
+    in seconds) and increments ``sanitize.loop_stalls``.
+    """
+
+    def __init__(
+        self,
+        *,
+        interval_s: float = 0.05,
+        threshold_s: float | None = None,
+    ) -> None:
+        self.interval_s = interval_s
+        self.threshold_s = (
+            stall_threshold_s() if threshold_s is None else threshold_s
+        )
+        self.stalls: list[float] = []
+
+    async def run(self) -> None:
+        """Sleep-and-compare forever (run as a cancellable task)."""
+        while True:
+            before = time.monotonic()
+            await asyncio.sleep(self.interval_s)
+            drift = time.monotonic() - before - self.interval_s
+            if drift > self.threshold_s:
+                self.stalls.append(drift)
+                metrics.incr("sanitize.loop_stalls")
+                metrics.observe("sanitize.loop_stall_ms", drift * 1e3)

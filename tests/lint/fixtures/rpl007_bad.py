@@ -1,0 +1,19 @@
+"""RPL007 bad fixture: an async service path reaches a blocking call.
+
+Poses as ``repro.service.f007``; the chain is indirect on purpose —
+``tick`` itself never blocks, the helper two hops down does.
+"""
+
+import time
+
+
+def _settle() -> None:
+    time.sleep(0.1)
+
+
+def _apply() -> None:
+    _settle()
+
+
+async def tick() -> None:
+    _apply()

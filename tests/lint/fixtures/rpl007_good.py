@@ -1,0 +1,18 @@
+"""RPL007 good fixture: blocking work hops off the loop.
+
+The blocking helper still exists, but the async path only ever hands it
+to ``run_in_executor`` as a reference — reference edges are exactly
+what the rule must not traverse.
+"""
+
+import asyncio
+import time
+
+
+def _settle() -> None:
+    time.sleep(0.1)
+
+
+async def tick() -> None:
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _settle)

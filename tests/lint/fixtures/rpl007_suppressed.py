@@ -1,0 +1,15 @@
+"""RPL007 suppressed fixture: the bad chain, acknowledged in place."""
+
+import time
+
+
+def _settle() -> None:
+    time.sleep(0.1)
+
+
+def _apply() -> None:
+    _settle()
+
+
+async def tick() -> None:
+    _apply()  # replint: ignore[RPL007]

@@ -1,0 +1,19 @@
+"""RPL008 bad fixture: a pool worker mutates module-level state.
+
+Poses as ``repro.engine.f008``. The worker writes a module dict that
+only the forked child sees — the classic silent-loss bug.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE: dict[int, int] = {}
+
+
+def worker(task: int) -> int:
+    CACHE[task] = task * 2
+    return CACHE[task]
+
+
+def run(tasks: list[int]) -> list[int]:
+    pool = ProcessPoolExecutor()
+    return list(pool.map(worker, tasks))

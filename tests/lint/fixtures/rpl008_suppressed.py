@@ -1,0 +1,15 @@
+"""RPL008 suppressed fixture: the mutating worker, acknowledged."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE: dict[int, int] = {}
+
+
+def worker(task: int) -> int:
+    CACHE[task] = task * 2
+    return CACHE[task]
+
+
+def run(tasks: list[int]) -> list[int]:
+    pool = ProcessPoolExecutor()
+    return list(pool.map(worker, tasks))  # replint: ignore[RPL008]

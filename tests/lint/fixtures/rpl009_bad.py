@@ -1,0 +1,21 @@
+"""RPL009 bad fixture: a swallowed except after a mutating call.
+
+Poses as ``repro.service.f009``. If ``join`` raised halfway through,
+membership is now half-applied and the caller will never know.
+"""
+
+
+class _Ledger:
+    def join(self, user: int) -> None:
+        raise NotImplementedError
+
+    def leave(self, user: int) -> None:
+        raise NotImplementedError
+
+
+def apply(ledger: _Ledger, user: int) -> int:
+    try:
+        ledger.join(user)
+        return 1
+    except Exception:
+        return 0

@@ -1,0 +1,22 @@
+"""RPL009 good fixture: rollback then re-raise.
+
+The handler is still broad, but it restores the mutated state and
+re-raises — the discipline the rule asks for.
+"""
+
+
+class _Ledger:
+    def join(self, user: int) -> None:
+        raise NotImplementedError
+
+    def leave(self, user: int) -> None:
+        raise NotImplementedError
+
+
+def apply(ledger: _Ledger, user: int) -> int:
+    try:
+        ledger.join(user)
+        return 1
+    except BaseException:
+        ledger.leave(user)
+        raise

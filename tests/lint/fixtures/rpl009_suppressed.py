@@ -1,0 +1,14 @@
+"""RPL009 suppressed fixture: the swallowing handler, acknowledged."""
+
+
+class _Ledger:
+    def join(self, user: int) -> None:
+        raise NotImplementedError
+
+
+def apply(ledger: _Ledger, user: int) -> int:
+    try:
+        ledger.join(user)
+        return 1
+    except Exception:  # replint: ignore[RPL009]
+        return 0

@@ -1,0 +1,109 @@
+"""Incremental-cache correctness: replay, invalidation, identical output."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint.cache import CACHE_VERSION, load_cache
+from repro.lint.cli import render_json
+from repro.lint.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "VALUE = 1\n"
+BAD_RPL001 = "def f(rate, rates):\n    return rate / min(rates)\n"
+ASYNC_BLOCKING = (
+    "import time\n\n\n"
+    "def settle():\n    time.sleep(1)\n\n\n"
+    "async def tick():\n    settle()\n"
+)
+
+
+def make_tree(root: Path) -> Path:
+    pkg = root / "repro"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "service").mkdir()
+    (pkg / "core" / "naive.py").write_text(BAD_RPL001)
+    (pkg / "core" / "clean.py").write_text(CLEAN)
+    (pkg / "service" / "ticks.py").write_text(ASYNC_BLOCKING)
+    return pkg
+
+
+def test_cold_then_warm_hits_everything(tmp_path: Path) -> None:
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = lint_paths([pkg], cache_path=cache)
+    assert cold.cache_misses == 3 and cold.cache_hits == 0
+    warm = lint_paths([pkg], cache_path=cache)
+    assert warm.cache_hits == 3 and warm.cache_misses == 0
+
+
+def test_warm_json_byte_identical(tmp_path: Path) -> None:
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = lint_paths([pkg], cache_path=cache)
+    warm = lint_paths([pkg], cache_path=cache)
+    assert render_json(warm) == render_json(cold)
+    # the flow finding (RPL007) must survive cache replay: per-file
+    # analyses are cached, the project pass is recomputed every run
+    assert cold.counts().get("RPL007") == 1
+    assert warm.counts().get("RPL007") == 1
+
+
+def test_edit_reanalyzes_only_the_changed_file(tmp_path: Path) -> None:
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint_paths([pkg], cache_path=cache)
+    (pkg / "core" / "clean.py").write_text("VALUE = 2\n")
+    after = lint_paths([pkg], cache_path=cache)
+    assert after.cache_misses == 1 and after.cache_hits == 2
+
+
+def test_version_bump_invalidates(tmp_path: Path) -> None:
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint_paths([pkg], cache_path=cache)
+    blob = json.loads(cache.read_text())
+    assert blob["version"] == CACHE_VERSION
+    blob["version"] = CACHE_VERSION + 1
+    cache.write_text(json.dumps(blob))
+    assert load_cache(cache) == {}
+    rerun = lint_paths([pkg], cache_path=cache)
+    assert rerun.cache_misses == 3
+
+
+def test_corrupt_cache_falls_back_to_analysis(tmp_path: Path) -> None:
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    report = lint_paths([pkg], cache_path=cache)
+    assert report.cache_misses == 3
+    assert report.counts().get("RPL001") == 1
+
+
+def test_cache_merges_across_roots(tmp_path: Path) -> None:
+    """Linting one subtree must not evict another subtree's entries."""
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint_paths([pkg / "core"], cache_path=cache)
+    lint_paths([pkg / "service"], cache_path=cache)
+    again = lint_paths([pkg / "core"], cache_path=cache)
+    assert again.cache_hits == 2 and again.cache_misses == 0
+
+
+def test_warm_run_is_5x_faster_on_repo_src(tmp_path: Path) -> None:
+    """The acceptance bar: warm-cache lint of the real tree is at least
+    5x faster than cold, with the same report."""
+    cache = tmp_path / "cache.json"
+    src = str(REPO_ROOT / "src")
+    t0 = time.perf_counter()
+    cold = lint_paths([src], cache_path=cache)
+    t1 = time.perf_counter()
+    warm = lint_paths([src], cache_path=cache)
+    t2 = time.perf_counter()
+    assert warm.cache_hits == cold.files_scanned
+    assert render_json(warm) == render_json(cold)
+    cold_s, warm_s = t1 - t0, t2 - t1
+    assert cold_s > 5 * warm_s, f"cold {cold_s:.3f}s vs warm {warm_s:.3f}s"

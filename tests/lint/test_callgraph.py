@@ -1,0 +1,178 @@
+"""Unit tests for the project-wide call graph the flow rules ride on."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.callgraph import (
+    CallGraph,
+    ModuleSummary,
+    summarize_module,
+)
+
+
+def summarize(source: str, module: str) -> ModuleSummary:
+    return summarize_module(ast.parse(source), module, f"{module}.py")
+
+
+def graph_of(**sources: str) -> CallGraph:
+    summaries = {
+        module.replace("_", "."): summarize(src, module.replace("_", "."))
+        for module, src in sources.items()
+    }
+    return CallGraph(summaries)
+
+
+def test_resolves_intra_module_bare_call() -> None:
+    graph = graph_of(
+        repro_core_a=(
+            "def helper():\n    return 1\n\n\ndef top():\n    return helper()\n"
+        )
+    )
+    top = graph.function("repro.core.a.top")
+    assert top is not None
+    resolved = graph.resolve(top, top.calls[0].expr)
+    assert resolved.kind == "fn"
+    assert resolved.function is not None
+    assert resolved.function.dotted == "repro.core.a.helper"
+
+
+def test_resolves_through_import_alias() -> None:
+    graph = graph_of(
+        repro_core_a="def solve():\n    return 0\n",
+        repro_core_b=(
+            "from repro.core.a import solve\n\n\n"
+            "def run():\n    return solve()\n"
+        ),
+    )
+    run = graph.function("repro.core.b.run")
+    assert run is not None
+    resolved = graph.resolve(run, "solve")
+    assert resolved.kind == "fn"
+    assert resolved.function is not None
+    assert resolved.function.dotted == "repro.core.a.solve"
+
+
+def test_resolves_self_attribute_typed_in_init() -> None:
+    graph = graph_of(
+        repro_engine_x=(
+            "class Engine:\n"
+            "    def solve(self):\n        return 1\n"
+        ),
+        repro_service_y=(
+            "from repro.engine.x import Engine\n\n\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self.engine = Engine()\n\n"
+            "    def tick(self):\n"
+            "        return self.engine.solve()\n"
+        ),
+    )
+    tick = graph.function("repro.service.y.Service.tick")
+    assert tick is not None
+    resolved = graph.resolve(tick, "self.engine.solve")
+    assert resolved.kind == "fn"
+    assert resolved.function is not None
+    assert resolved.function.dotted == "repro.engine.x.Engine.solve"
+
+
+def test_untyped_parameter_resolves_opaque_not_external() -> None:
+    """A bare parameter must never resolve as an external dotted name —
+    ``backend.map`` on an unknown backend cannot false-match the
+    blocking or pool tables."""
+    graph = graph_of(
+        repro_core_a=(
+            "def run(backend):\n    return backend.map(len, [])\n"
+        )
+    )
+    run = graph.function("repro.core.a.run")
+    assert run is not None
+    assert graph.resolve(run, "backend.map").kind == "opaque"
+
+
+def test_external_call_keeps_dotted_name() -> None:
+    graph = graph_of(
+        repro_core_a=(
+            "import time\n\n\ndef nap():\n    time.sleep(1)\n"
+        )
+    )
+    nap = graph.function("repro.core.a.nap")
+    assert nap is not None
+    resolved = graph.resolve(nap, "time.sleep")
+    assert resolved.kind == "external"
+    assert resolved.dotted == "time.sleep"
+
+
+def test_partial_and_plain_references_recorded_with_arg_index() -> None:
+    source = (
+        "import functools\n\n\n"
+        "def worker(task):\n    return task\n\n\n"
+        "def run(pool, tasks):\n"
+        "    pool.map(functools.partial(worker, 1), tasks)\n"
+        "    pool.submit(worker)\n"
+    )
+    summary = summarize(source, "repro.core.a")
+    run = summary.functions["run"]
+    refs = {(s.expr, s.arg_index) for s in run.calls if s.kind == "ref"}
+    # the worker lands at arg 0 both times — unwrapped from the partial
+    # at the map site, plain at the submit site
+    assert ("worker", 0) in refs
+
+
+def test_writes_module_state_direct_and_transitive() -> None:
+    graph = graph_of(
+        repro_core_a=(
+            "STATE = {}\n\n\n"
+            "def poke(key):\n    STATE[key] = 1\n\n\n"
+            "def outer(key):\n    poke(key)\n\n\n"
+            "def pure(key):\n    return {key: 1}\n"
+        )
+    )
+    poke = graph.function("repro.core.a.poke")
+    outer = graph.function("repro.core.a.outer")
+    pure = graph.function("repro.core.a.pure")
+    assert poke is not None and outer is not None and pure is not None
+    direct = graph.writes_module_state(poke)
+    assert direct is not None and "STATE" in direct[-1]
+    path = graph.writes_module_state(outer)
+    assert path is not None
+    assert path[0] == "repro.core.a.outer"
+    assert graph.writes_module_state(pure) is None
+
+
+def test_global_declaration_counts_as_module_write() -> None:
+    graph = graph_of(
+        repro_core_a=(
+            "COUNT = 0\n\n\n"
+            "def bump():\n    global COUNT\n    COUNT += 1\n"
+        )
+    )
+    bump = graph.function("repro.core.a.bump")
+    assert bump is not None
+    path = graph.writes_module_state(bump)
+    assert path is not None and "global COUNT" in path[0]
+
+
+def test_summary_roundtrips_through_dict() -> None:
+    """The incremental cache persists summaries as JSON; a rebuilt
+    summary must resolve identically to the original."""
+    source = (
+        "import time\n\n\n"
+        "class Service:\n"
+        "    def tick(self):\n"
+        "        try:\n"
+        "            self.apply()\n"
+        "        except Exception:\n"
+        "            pass\n\n"
+        "    def apply(self):\n"
+        "        time.sleep(1)\n"
+    )
+    original = summarize(source, "repro.service.z")
+    rebuilt = ModuleSummary.from_dict(original.to_dict())
+    assert rebuilt.to_dict() == original.to_dict()
+    graph = CallGraph({"repro.service.z": rebuilt})
+    tick = graph.function("repro.service.z.Service.tick")
+    assert tick is not None
+    assert tick.tries and tick.tries[0].broad
+    resolved = graph.resolve(tick, "self.apply")
+    assert resolved.kind == "fn"

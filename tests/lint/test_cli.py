@@ -8,7 +8,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.lint import all_rules, get_rule, lint_paths
+from repro.lint import all_project_rules, all_rules, get_rule, lint_paths
 from repro.lint.cli import main
 from repro.lint.engine import lint_source
 
@@ -19,13 +19,16 @@ def test_rule_registry_complete() -> None:
     codes = [rule.code for rule in all_rules()]
     assert codes == ["RPL001", "RPL002", "RPL003", "RPL004", "RPL005"]
     assert get_rule("RPL002").name == "import-layering"
+    project_codes = [rule.code for rule in all_project_rules()]
+    assert project_codes == ["RPL007", "RPL008", "RPL009"]
+    assert get_rule("RPL007").name == "async-blocking"
 
 
 def test_cli_rules_listing(capsys) -> None:
     assert main(["--rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
-        assert code in out
+    for num in range(1, 10):
+        assert f"RPL00{num}" in out
 
 
 def test_cli_json_format(tmp_path: Path, capsys) -> None:

@@ -24,6 +24,9 @@ CASES = [
     ("RPL003", "rpl003", "repro.core.helper"),
     ("RPL004", "rpl004", "repro.eval.helper"),
     ("RPL005", "rpl005", "repro.engine.helper"),
+    ("RPL007", "rpl007", "repro.service.f007"),
+    ("RPL008", "rpl008", "repro.engine.f008"),
+    ("RPL009", "rpl009", "repro.service.f009"),
 ]
 
 
